@@ -1,0 +1,183 @@
+// Command experiments regenerates the tables and figures of the VF²Boost
+// paper's evaluation (Section 6) at laptop scale and prints them in the
+// paper's layout. See EXPERIMENTS.md for the scaling substitutions and
+// the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig7,table1,table2
+//	experiments -run fig10 -preset a9a
+//	experiments -run table4 -scale 2000 -keybits 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"vf2boost/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		run     = flag.String("run", "all", "comma-separated experiments: fig7,table1,table2,fig10,table4,table5,table6 or all")
+		preset  = flag.String("preset", "census", "preset for fig10 (census or a9a)")
+		scale   = flag.Float64("scale", 0, "override dataset scale divisor (0 = per-experiment default)")
+		keyBits = flag.Int("keybits", 512, "Paillier modulus size S")
+		trees   = flag.Int("trees", 0, "override tree count (0 = per-experiment default)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	do := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  [%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	do("fig7", func() error {
+		rows, err := experiments.Fig7(*keyBits, 2000)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(os.Stdout, *keyBits, rows)
+		return nil
+	})
+
+	do("table1", func() error {
+		tc := experiments.DefaultTable1()
+		tc.KeyBits = *keyBits
+		if *scale > 0 {
+			// The paper sweeps N over {2.5M, 5M, 10M}.
+			tc.Ns = []int{int(2.5e6 / *scale), int(5e6 / *scale), int(10e6 / *scale)}
+		}
+		rows, err := experiments.Table1(tc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(os.Stdout, tc, rows)
+		return nil
+	})
+
+	do("table2", func() error {
+		tc := experiments.DefaultTable2()
+		tc.KeyBits = *keyBits
+		rows, err := experiments.Table2(tc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(os.Stdout, tc, rows)
+		return nil
+	})
+
+	do("fig10", func() error {
+		fc := experiments.DefaultFig10(*preset)
+		fc.KeyBits = *keyBits
+		if *scale > 0 {
+			fc.Scale = *scale
+		}
+		if *trees > 0 {
+			fc.Trees = *trees
+		}
+		series, err := experiments.Fig10(fc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig10(os.Stdout, fc, series)
+		return nil
+	})
+
+	do("table4", func() error {
+		tc := experiments.DefaultTable4()
+		tc.KeyBits = *keyBits
+		if *scale > 0 {
+			tc.Scale = *scale
+		}
+		if *trees > 0 {
+			tc.Trees = *trees
+		}
+		rows, err := experiments.Table4(tc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable4(os.Stdout, tc, rows)
+		return nil
+	})
+
+	do("table5", func() error {
+		tc := experiments.DefaultTable5()
+		tc.KeyBits = *keyBits
+		if *scale > 0 {
+			tc.Scale = *scale
+		}
+		if *trees > 0 {
+			tc.Trees = *trees
+		}
+		rows, err := experiments.Table5(tc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable5(os.Stdout, tc, rows)
+		return nil
+	})
+
+	do("table6", func() error {
+		tc := experiments.DefaultTable6()
+		tc.KeyBits = *keyBits
+		if *scale > 0 {
+			tc.Scale = *scale
+		}
+		if *trees > 0 {
+			tc.Trees = *trees
+		}
+		rows, refs, err := experiments.Table6(tc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable6(os.Stdout, tc, rows, refs)
+		return nil
+	})
+
+	do("gantt", func() error {
+		gc := experiments.DefaultGantt()
+		gc.KeyBits = *keyBits
+		results, err := experiments.Gantt(gc)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGantt(os.Stdout, gc, results)
+		return nil
+	})
+
+	do("ablation", func() error {
+		ac := experiments.DefaultAblation()
+		ac.KeyBits = *keyBits
+		rows, err := experiments.Ablation(ac)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(os.Stdout, ac, rows)
+		return nil
+	})
+
+	if ran == 0 {
+		log.Fatalf("unknown experiment selection %q; valid: fig7,table1,table2,fig10,table4,table5,table6,gantt,ablation,all", *run)
+	}
+}

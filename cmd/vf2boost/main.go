@@ -1,0 +1,460 @@
+// Command vf2boost trains and serves vertical federated GBDT models. The
+// subcommands cover the deployment shapes:
+//
+//	vf2boost local   -data d.libsvm -out model.json        # non-federated baseline
+//	vf2boost sim     -data d.libsvm -split 30,20 ...       # all parties in-process
+//	vf2boost gateway -addr :7001 -secret s                 # message-queue gateway
+//	vf2boost party   -role b -gateway host:7001 ...        # one training party per process
+//	vf2boost predict -role a|b ...                         # fragment-only federated scoring
+//	vf2boost inspect -model fedmodel.json -trees           # human-readable model dump
+//
+// The gateway/party mode mirrors the paper's deployment: each enterprise
+// runs its own process (or host), and the only connectivity between them
+// is the authenticated message queue on the gateway machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/metrics"
+	"vf2boost/internal/mq"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "local":
+		cmdLocal(os.Args[2:])
+	case "sim":
+		cmdSim(os.Args[2:])
+	case "gateway":
+		cmdGateway(os.Args[2:])
+	case "party":
+		cmdParty(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vf2boost <local|sim|gateway|party|predict|inspect> [flags]")
+	os.Exit(2)
+}
+
+// trainFlags registers the hyper-parameter flags shared by the training
+// subcommands and returns a loader.
+func trainFlags(fs *flag.FlagSet) func() core.Config {
+	trees := fs.Int("trees", 20, "boosting rounds T")
+	eta := fs.Float64("eta", 0.1, "learning rate")
+	depth := fs.Int("depth", 6, "split levels per tree")
+	bins := fs.Int("bins", 20, "histogram bins per feature s")
+	lambda := fs.Float64("lambda", 1, "L2 leaf regularizer")
+	gamma := fs.Float64("gamma", 0, "split complexity penalty")
+	workers := fs.Int("workers", 0, "per-party workers (0 = GOMAXPROCS)")
+	scheme := fs.String("scheme", "paillier", "crypto scheme: paillier or mock")
+	keyBits := fs.Int("keybits", 1024, "Paillier modulus size S")
+	baseline := fs.Bool("baseline", false, "disable all VF2Boost optimizations (VF-GBDT)")
+	seed := fs.Int64("seed", 1, "seed for exponent obfuscation")
+	return func() core.Config {
+		cfg := core.DefaultConfig()
+		if *baseline {
+			cfg = core.BaselineConfig()
+		}
+		cfg.Trees = *trees
+		cfg.LearningRate = *eta
+		cfg.MaxDepth = *depth
+		cfg.MaxBins = *bins
+		cfg.Split.Lambda = *lambda
+		cfg.Split.Gamma = *gamma
+		cfg.Workers = *workers
+		cfg.Scheme = *scheme
+		cfg.KeyBits = *keyBits
+		cfg.Seed = *seed
+		return cfg
+	}
+}
+
+func loadData(path string) *dataset.Dataset {
+	d, err := dataset.LoadLibSVMFile(path, 0)
+	if err != nil {
+		log.Fatalf("loading %s: %v", path, err)
+	}
+	return d
+}
+
+func parseSplit(s string) []int {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c <= 0 {
+			log.Fatalf("bad -split %q", s)
+		}
+		counts = append(counts, c)
+	}
+	return counts
+}
+
+func cmdLocal(args []string) {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	data := fs.String("data", "", "labeled LibSVM training file")
+	out := fs.String("out", "model.json", "model output path")
+	cfgFn := trainFlags(fs)
+	fs.Parse(args)
+	if *data == "" {
+		log.Fatal("local: -data is required")
+	}
+	d := loadData(*data)
+	cfg := cfgFn()
+	p := gbdt.DefaultParams()
+	p.NumTrees = cfg.Trees
+	p.LearningRate = cfg.LearningRate
+	p.MaxDepth = cfg.MaxDepth
+	p.MaxBins = cfg.MaxBins
+	p.Split = cfg.Split
+	p.Workers = cfg.Workers
+	start := time.Now()
+	m, err := gbdt.Train(d, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	margins := m.PredictAll(d)
+	auc, _ := metrics.AUC(margins, d.Labels)
+	ll, _ := metrics.LogLoss(margins, d.Labels)
+	fmt.Printf("trained %d trees in %v; train AUC %.4f, logloss %.4f\n",
+		cfg.Trees, time.Since(start).Round(time.Millisecond), auc, ll)
+	if err := m.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", *out)
+}
+
+func cmdSim(args []string) {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	data := fs.String("data", "", "labeled joined LibSVM file (will be split vertically)")
+	split := fs.String("split", "", "per-party feature counts, e.g. 30,20 (last party keeps labels)")
+	out := fs.String("out", "fedmodel.json", "model output path")
+	wan := fs.Float64("wan", 0, "simulated WAN bandwidth in Mbps (0 = unshaped)")
+	cfgFn := trainFlags(fs)
+	fs.Parse(args)
+	if *data == "" || *split == "" {
+		log.Fatal("sim: -data and -split are required")
+	}
+	d := loadData(*data)
+	parts, err := d.VerticalSplit(parseSplit(*split), len(parseSplit(*split))-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cfgFn()
+	var opts []core.SessionOption
+	if *wan > 0 {
+		opts = append(opts, core.WithWAN(*wan, 0))
+	}
+	sess, err := core.NewSession(parts, cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	m, err := sess.Train()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	margins, err := m.PredictAll(parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auc, _ := metrics.AUC(margins, d.Labels)
+	ll, _ := metrics.LogLoss(margins, d.Labels)
+	st := sess.Stats()
+	fmt.Printf("federated training: %v (%v/tree)\n", elapsed.Round(time.Millisecond),
+		(elapsed / time.Duration(cfg.Trees)).Round(time.Millisecond))
+	fmt.Printf("  train AUC %.4f, logloss %.4f\n", auc, ll)
+	fmt.Printf("  encrypt %v, decrypt %v, build-hist %v, idle(B) %v\n",
+		st.EncryptTime().Round(time.Millisecond), st.DecryptTime().Round(time.Millisecond),
+		st.BuildHistTime().Round(time.Millisecond), st.BIdleTime().Round(time.Millisecond))
+	fmt.Printf("  splits: passive %d, B %d; dirty %d; traffic %.1f MiB\n",
+		st.SplitsByA(), st.SplitsByB(), st.DirtyNodes(),
+		float64(sess.Broker().BytesSent())/(1<<20))
+	fmt.Println(st)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s\n", *out)
+}
+
+func cmdGateway(args []string) {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", ":7001", "listen address")
+	secret := fs.String("secret", "", "shared token secret (empty disables auth)")
+	wan := fs.Float64("wan", 0, "simulated WAN bandwidth in Mbps (0 = unshaped)")
+	fs.Parse(args)
+	var opts []mq.Option
+	if *secret != "" {
+		opts = append(opts, mq.WithAuth([]byte(*secret)))
+	}
+	if *wan > 0 {
+		opts = append(opts, mq.WithShaper(mq.NewShaper(*wan, 0)))
+	}
+	broker := mq.NewBroker(opts...)
+	g := mq.NewGateway(broker)
+	bound, err := g.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway listening on %s (auth: %v)\n", bound, *secret != "")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	g.Close()
+	broker.Close()
+}
+
+// gatewayTransport adapts a producer/consumer TCP pair to core.Transport.
+type gatewayTransport struct {
+	prod *mq.RemoteProducer
+	cons *mq.RemoteConsumer
+}
+
+func (t gatewayTransport) Send(b []byte) error      { return t.prod.Send(b) }
+func (t gatewayTransport) Receive() ([]byte, error) { return t.cons.Receive() }
+
+func dialParty(gateway, secret, sendTopic, recvTopic string) core.Transport {
+	tok := func(topic string) string {
+		if secret == "" {
+			return ""
+		}
+		return mq.Token([]byte(secret), topic)
+	}
+	prod, err := mq.DialProducer(gateway, sendTopic, tok(sendTopic))
+	if err != nil {
+		log.Fatalf("dialing gateway producer: %v", err)
+	}
+	cons, err := mq.DialConsumer(gateway, recvTopic, tok(recvTopic))
+	if err != nil {
+		log.Fatalf("dialing gateway consumer: %v", err)
+	}
+	return gatewayTransport{prod: prod, cons: cons}
+}
+
+func cmdParty(args []string) {
+	fs := flag.NewFlagSet("party", flag.ExitOnError)
+	role := fs.String("role", "", "a (passive) or b (active, holds labels)")
+	index := fs.Int("index", 0, "passive party index (role a)")
+	peers := fs.Int("peers", 1, "number of passive parties (role b)")
+	gateway := fs.String("gateway", "127.0.0.1:7001", "gateway address")
+	secret := fs.String("secret", "", "shared token secret")
+	data := fs.String("data", "", "this party's LibSVM shard")
+	out := fs.String("out", "", "model fragment output path (optional)")
+	cfgFn := trainFlags(fs)
+	fs.Parse(args)
+	if *data == "" {
+		log.Fatal("party: -data is required")
+	}
+	d := loadData(*data)
+	cfg := cfgFn()
+
+	switch *role {
+	case "a":
+		// Passive shards must not carry labels.
+		d.Labels = nil
+		tr := dialParty(*gateway, *secret,
+			fmt.Sprintf("a%d2b", *index), fmt.Sprintf("b2a%d", *index))
+		pm, err := core.RunPassiveParty(*index, d, cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("passive party %d finished; %d trees contain local splits\n",
+			*index, len(pm.Trees))
+		saveFragment(*out, pm)
+	case "b":
+		trs := make([]core.Transport, *peers)
+		for i := 0; i < *peers; i++ {
+			trs[i] = dialParty(*gateway, *secret,
+				fmt.Sprintf("b2a%d", i), fmt.Sprintf("a%d2b", i))
+		}
+		start := time.Now()
+		pm, st, err := core.RunActiveParty(d, cfg, trs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("party B finished %d trees in %v\n", cfg.Trees, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  encrypt %v, decrypt %v, idle %v; splits passive %d / B %d; dirty %d\n",
+			st.EncryptTime().Round(time.Millisecond), st.DecryptTime().Round(time.Millisecond),
+			st.BIdleTime().Round(time.Millisecond), st.SplitsByA(), st.SplitsByB(), st.DirtyNodes())
+		saveFragment(*out, pm)
+	default:
+		log.Fatal("party: -role must be a or b")
+	}
+}
+
+// cmdPredict scores aligned instances through the fragment-only
+// federated prediction protocol: passive parties serve routing bitmaps
+// for the splits they own, Party B routes and writes margins.
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	role := fs.String("role", "", "a (serves placements) or b (routes and writes margins)")
+	index := fs.Int("index", 0, "passive party index (role a)")
+	peers := fs.Int("peers", 1, "number of passive parties (role b)")
+	gateway := fs.String("gateway", "127.0.0.1:7001", "gateway address")
+	secret := fs.String("secret", "", "shared token secret")
+	data := fs.String("data", "", "this party's LibSVM shard of the instances to score")
+	model := fs.String("model", "", "this party's model fragment (from party -out)")
+	eta := fs.Float64("eta", 0.1, "learning rate the model was trained with")
+	out := fs.String("out", "predictions.txt", "margin output path (role b)")
+	fs.Parse(args)
+	if *data == "" || *model == "" {
+		log.Fatal("predict: -data and -model are required")
+	}
+	d := loadData(*data)
+	fm := loadFragmentFile(*model)
+
+	switch *role {
+	case "a":
+		d.Labels = nil
+		tr := dialParty(*gateway, *secret,
+			fmt.Sprintf("pa%d2b", *index), fmt.Sprintf("pb2a%d", *index))
+		if err := core.ServePredict(fm, d, tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("placements served")
+	case "b":
+		trs := make([]core.Transport, *peers)
+		for i := 0; i < *peers; i++ {
+			trs[i] = dialParty(*gateway, *secret,
+				fmt.Sprintf("pb2a%d", i), fmt.Sprintf("pa%d2b", i))
+		}
+		margins, err := core.PredictRemote(fm, *eta, d, trs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		for _, m := range margins {
+			fmt.Fprintf(f, "%g\n", m)
+		}
+		fmt.Printf("wrote %d margins to %s\n", len(margins), *out)
+	default:
+		log.Fatal("predict: -role must be a or b")
+	}
+}
+
+// cmdInspect prints a federated model (or fragment) in human-readable
+// form: per-party split counts and gains, and optionally the tree
+// structure as seen by the fragment's owner.
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	model := fs.String("model", "", "model or fragment JSON (from sim/party -out)")
+	trees := fs.Bool("trees", false, "print tree structures")
+	fs.Parse(args)
+	if *model == "" {
+		log.Fatal("inspect: -model is required")
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parties: %d\n", m.NumParties())
+	if len(m.SplitsByParty) > 0 {
+		fmt.Printf("splits by party: %v\n", m.SplitsByParty)
+	}
+	gains := m.GainByParty()
+	fmt.Printf("gain by party:  %v\n", gains)
+	bTrees := m.Parties[m.NumParties()-1].Trees
+	fmt.Printf("trees: %d\n", len(bTrees))
+	if !*trees {
+		return
+	}
+	for ti, tr := range bTrees {
+		fmt.Printf("tree %d (%d nodes):\n", ti, len(tr.Nodes))
+		printFedTree(tr, m, tr.Root, 1)
+	}
+}
+
+func printFedTree(tr *core.FedTree, m *core.FederatedModel, id int32, depth int) {
+	n, ok := tr.Nodes[id]
+	if !ok {
+		fmt.Printf("%*s<missing node %d>\n", 2*depth, "", id)
+		return
+	}
+	indent := fmt.Sprintf("%*s", 2*depth, "")
+	if n.Owner == core.OwnerLeaf {
+		fmt.Printf("%sleaf w=%.5f\n", indent, n.Weight)
+		return
+	}
+	// Feature/threshold are only present in the owner's fragment.
+	if own, ok := m.Parties[n.Owner].Trees[treeIndexOf(m, tr)].Nodes[id]; ok && (own.Feature != 0 || own.Threshold != 0) {
+		fmt.Printf("%sparty%d f%d <= %.5f (gain %.4f)\n", indent, n.Owner, own.Feature, own.Threshold, n.Gain)
+	} else {
+		fmt.Printf("%sparty%d <private split> (gain %.4f)\n", indent, n.Owner, n.Gain)
+	}
+	printFedTree(tr, m, n.Left, depth+1)
+	printFedTree(tr, m, n.Right, depth+1)
+}
+
+func treeIndexOf(m *core.FederatedModel, tr *core.FedTree) int {
+	for i, t := range m.Parties[m.NumParties()-1].Trees {
+		if t == tr {
+			return i
+		}
+	}
+	return 0
+}
+
+func loadFragmentFile(path string) *core.PartyModel {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Parties[0]
+}
+
+func saveFragment(path string, pm *core.PartyModel) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m := core.FederatedModel{Parties: []*core.PartyModel{pm}}
+	if err := m.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fragment written to %s\n", path)
+}

@@ -1,0 +1,60 @@
+// Command vertical-lr demonstrates the generalization the paper sketches
+// in its Section 5 discussions: the re-ordered accumulation technique
+// also accelerates the encrypted-gradient reductions of vertical
+// federated logistic regression. Two parties jointly fit an LR model with
+// per-party Paillier key pairs and masked gradient exchange, and the
+// run compares the cipher-scaling counts with and without the re-ordered
+// reduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/fedlr"
+	"vf2boost/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	joined, err := dataset.Generate(dataset.GenOptions{
+		Rows: 2000, Cols: 16, Density: 1, Dense: true, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := joined.VerticalSplit([]int{8, 8}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, reordered, packed bool) {
+		cfg := fedlr.DefaultConfig()
+		cfg.KeyBits = 512
+		cfg.Epochs = 1
+		cfg.BatchSize = 200
+		cfg.Reordered = reordered
+		cfg.Packed = packed
+		start := time.Now()
+		model, stats, err := fedlr.Train(parts, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		margins := model.PredictAll(parts[0], parts[1])
+		auc, err := metrics.AUC(margins, joined.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %8v  AUC %.4f  scalings %6d  decryptions %5d\n",
+			label, elapsed.Round(time.Millisecond), auc, stats.Scalings, stats.Decryptions)
+	}
+
+	fmt.Println("vertical federated LR (Paillier 512, 1 epoch):")
+	run("naive reduction", false, false)
+	run("re-ordered reduction", true, false)
+	run("re-ordered + packed", true, true)
+}

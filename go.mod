@@ -1,0 +1,3 @@
+module vf2boost
+
+go 1.22

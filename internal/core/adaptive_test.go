@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdaptiveOptimismBacksOff: with a feature-rich passive party the
+// dirty ratio exceeds 1/2 on the first tree, so adaptive optimism must
+// fall back to the sequential schedule and accumulate fewer dirty nodes
+// than pure optimism — with an identical model.
+func TestAdaptiveOptimismBacksOff(t *testing.T) {
+	_, parts := twoPartyData(t, 500, 14, 2, 1, true, 41)
+	pure := quickConfig(SchemeMock)
+	pure.Trees = 4
+	pure.OptimisticSplit = true
+	pure.AdaptiveOptimism = false
+	adaptive := pure
+	adaptive.AdaptiveOptimism = true
+
+	mPure, sPure := trainFed(t, parts, pure)
+	mAdap, sAdap := trainFed(t, parts, adaptive)
+
+	if sPure.Stats().DirtyNodes() == 0 {
+		t.Fatal("test premise broken: pure optimism saw no dirty nodes")
+	}
+	if sAdap.Stats().DirtyNodes() >= sPure.Stats().DirtyNodes() {
+		t.Errorf("adaptive optimism did not reduce dirty nodes: %d vs %d",
+			sAdap.Stats().DirtyNodes(), sPure.Stats().DirtyNodes())
+	}
+	a, err := mPure.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mAdap.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatal("adaptive optimism changed the model")
+		}
+	}
+}
+
+// TestAdaptivePackingEquivalence: always-pack and adaptive-pack must
+// produce the same model; adaptive just changes the wire format of sparse
+// features.
+func TestAdaptivePackingEquivalence(t *testing.T) {
+	_, parts := twoPartyData(t, 400, 10, 4, 0.3, false, 42)
+	always := quickConfig(SchemeMock)
+	always.HistogramPacking = true
+	always.AdaptivePacking = false
+	adaptive := always
+	adaptive.AdaptivePacking = true
+
+	mA, _ := trainFed(t, parts, always)
+	mB, _ := trainFed(t, parts, adaptive)
+	a, err := mA.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mB.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatal("adaptive packing changed the model")
+		}
+	}
+}
+
+// TestAdaptivePackingReducesDecryptionsOnSparse: on very sparse data the
+// adaptive rule must ship mostly-empty features unpacked, cutting Party
+// B's decryption count below the always-pack configuration.
+func TestAdaptivePackingReducesDecryptionsOnSparse(t *testing.T) {
+	_, parts := twoPartyData(t, 300, 30, 4, 0.05, false, 43)
+	always := quickConfig(SchemePaillier)
+	always.Trees = 1
+	always.HistogramPacking = true
+	always.AdaptivePacking = false
+	adaptive := always
+	adaptive.AdaptivePacking = true
+
+	_, sAlways := trainFed(t, parts, always)
+	_, sAdaptive := trainFed(t, parts, adaptive)
+	da, db := sAlways.Stats().DecryptTime(), sAdaptive.Stats().DecryptTime()
+	if db >= da {
+		t.Logf("decrypt time always=%v adaptive=%v (timing-based, informational)", da, db)
+	}
+}

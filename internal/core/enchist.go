@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/he"
+)
+
+// encGH is a passive party's copy of the encrypted gradient statistics of
+// one boosting round.
+type encGH struct {
+	g []fixedpoint.EncNum
+	h []fixedpoint.EncNum
+}
+
+// EncHistogram accumulates encrypted gradient statistics into per-feature
+// bins for one tree node. Two accumulation strategies implement Section
+// 5.1's comparison:
+//
+//   - naive: one accumulator per bin; a ciphertext whose exponent differs
+//     from the accumulator's triggers a scaling (SMul) on every addition;
+//   - re-ordered: one workspace row per exponent value, so every addition
+//     is a plain HAdd; FinalizeBins merges the E rows with at most E-1
+//     scalings per occupied bin.
+type EncHistogram struct {
+	codec   *fixedpoint.Codec
+	offsets []int
+	// naive accumulators (nil Ct = empty bin).
+	gAcc, hAcc []fixedpoint.EncNum
+	// re-ordered workspaces, indexed [exp-baseExp][bin]; rows allocated
+	// lazily.
+	gSlots, hSlots [][]he.Ciphertext
+	reordered      bool
+}
+
+// NewEncHistogram allocates an empty histogram shaped like the party's bin
+// mapper.
+func NewEncHistogram(codec *fixedpoint.Codec, mapper *gbdt.BinMapper, reordered bool) *EncHistogram {
+	offsets := make([]int, len(mapper.Cuts)+1)
+	for j := range mapper.Cuts {
+		offsets[j+1] = offsets[j] + mapper.NumBins(j)
+	}
+	total := offsets[len(mapper.Cuts)]
+	eh := &EncHistogram{codec: codec, offsets: offsets, reordered: reordered}
+	if reordered {
+		eh.gSlots = make([][]he.Ciphertext, codec.ExpSpread())
+		eh.hSlots = make([][]he.Ciphertext, codec.ExpSpread())
+	} else {
+		eh.gAcc = make([]fixedpoint.EncNum, total)
+		eh.hAcc = make([]fixedpoint.EncNum, total)
+	}
+	return eh
+}
+
+func (eh *EncHistogram) totalBins() int { return eh.offsets[len(eh.offsets)-1] }
+
+// Accumulate sweeps the given instances of the binned matrix into the
+// histogram. It is not safe for concurrent use; parallel builders use one
+// histogram per shard and merge.
+func (eh *EncHistogram) Accumulate(bm *gbdt.BinnedMatrix, insts []int32, gh *encGH) {
+	for _, i := range insts {
+		cols, bins := bm.Row(int(i))
+		for k, j := range cols {
+			idx := eh.offsets[j] + int(bins[k])
+			eh.add(idx, gh.g[i], gh.h[i])
+		}
+	}
+}
+
+func (eh *EncHistogram) add(idx int, g, h fixedpoint.EncNum) {
+	if eh.reordered {
+		eh.addSlot(eh.gSlots, idx, g)
+		eh.addSlot(eh.hSlots, idx, h)
+		return
+	}
+	eh.addNaive(eh.gAcc, idx, g)
+	eh.addNaive(eh.hAcc, idx, h)
+}
+
+func (eh *EncHistogram) addNaive(acc []fixedpoint.EncNum, idx int, v fixedpoint.EncNum) {
+	if acc[idx].Ct == nil {
+		acc[idx] = fixedpoint.EncNum{Exp: v.Exp, Ct: eh.codec.Scheme().EncryptZero()}
+	}
+	eh.codec.AddEncInto(&acc[idx], v)
+}
+
+func (eh *EncHistogram) addSlot(slots [][]he.Ciphertext, idx int, v fixedpoint.EncNum) {
+	row := v.Exp - eh.codec.BaseExp()
+	if row < 0 || row >= len(slots) {
+		// Out-of-range exponents cannot be produced by the session codec;
+		// treat as corrupt input.
+		panic(fmt.Sprintf("core: ciphertext exponent %d outside codec range", v.Exp))
+	}
+	if slots[row] == nil {
+		slots[row] = make([]he.Ciphertext, eh.totalBins())
+	}
+	s := eh.codec.Scheme()
+	if slots[row][idx] == nil {
+		slots[row][idx] = s.EncryptZero()
+	}
+	eh.codec.Stats().AddHAdds(1)
+	slots[row][idx] = s.AddInto(slots[row][idx], v.Ct)
+}
+
+// Merge folds another histogram (same shape and strategy) into this one.
+func (eh *EncHistogram) Merge(o *EncHistogram) {
+	if eh.reordered {
+		s := eh.codec.Scheme()
+		for row := range o.gSlots {
+			eh.mergeSlotRow(eh.gSlots, o.gSlots, row, s)
+			eh.mergeSlotRow(eh.hSlots, o.hSlots, row, s)
+		}
+		return
+	}
+	for idx := range o.gAcc {
+		if o.gAcc[idx].Ct != nil {
+			eh.addNaive(eh.gAcc, idx, o.gAcc[idx])
+		}
+		if o.hAcc[idx].Ct != nil {
+			eh.addNaive(eh.hAcc, idx, o.hAcc[idx])
+		}
+	}
+}
+
+func (eh *EncHistogram) mergeSlotRow(dst, src [][]he.Ciphertext, row int, s he.Scheme) {
+	if src[row] == nil {
+		return
+	}
+	if dst[row] == nil {
+		dst[row] = src[row]
+		return
+	}
+	for idx, ct := range src[row] {
+		if ct == nil {
+			continue
+		}
+		if dst[row][idx] == nil {
+			dst[row][idx] = ct
+		} else {
+			eh.codec.Stats().AddHAdds(1)
+			dst[row][idx] = s.AddInto(dst[row][idx], ct)
+		}
+	}
+}
+
+// FinalizeBins resolves the accumulation into one EncNum per bin. Empty
+// bins keep a nil ciphertext (serialized as encrypted zero on the wire).
+// If unifyExp >= 0 every bin is scaled to that exponent (required by
+// histogram packing, which needs a single known exponent per feature).
+func (eh *EncHistogram) FinalizeBins(unifyExp int) (g, h []fixedpoint.EncNum) {
+	total := eh.totalBins()
+	g = make([]fixedpoint.EncNum, total)
+	h = make([]fixedpoint.EncNum, total)
+	if eh.reordered {
+		for idx := 0; idx < total; idx++ {
+			g[idx] = eh.mergeBin(eh.gSlots, idx)
+			h[idx] = eh.mergeBin(eh.hSlots, idx)
+		}
+	} else {
+		copy(g, eh.gAcc)
+		copy(h, eh.hAcc)
+	}
+	if unifyExp >= 0 {
+		for idx := range g {
+			if g[idx].Ct != nil {
+				g[idx] = eh.codec.ScaleEnc(g[idx], unifyExp)
+			}
+			if h[idx].Ct != nil {
+				h[idx] = eh.codec.ScaleEnc(h[idx], unifyExp)
+			}
+		}
+	}
+	return g, h
+}
+
+// mergeBin combines the per-exponent workspaces of one bin, scaling lower
+// rows up to the highest occupied exponent (at most E-1 scalings).
+func (eh *EncHistogram) mergeBin(slots [][]he.Ciphertext, idx int) fixedpoint.EncNum {
+	acc := fixedpoint.EncNum{}
+	for row := len(slots) - 1; row >= 0; row-- {
+		if slots[row] == nil || slots[row][idx] == nil {
+			continue
+		}
+		cur := fixedpoint.EncNum{Exp: eh.codec.BaseExp() + row, Ct: slots[row][idx]}
+		if acc.Ct == nil {
+			acc = cur
+			continue
+		}
+		scaled := eh.codec.ScaleEnc(cur, acc.Exp)
+		acc.Ct = eh.codec.Scheme().AddInto(acc.Ct, scaled.Ct)
+		eh.codec.Stats().AddHAdds(1)
+	}
+	return acc
+}
+
+// packPlan describes the histogram-packing parameters negotiated at setup.
+type packPlan struct {
+	// bits is M: every shifted prefix value fits in [0, 2^bits).
+	bits int
+	// capacity is t = (S-1)/bits.
+	capacity int
+	// exp is the unified exponent all packed values use.
+	exp int
+	// shift is the additive shift N·Bound applied to the first bin
+	// before prefix summation.
+	shift float64
+}
+
+// planPacking validates that packing is feasible for the session shape and
+// returns the plan. It fails if a single shifted prefix cannot fit in the
+// plaintext space.
+func planPacking(codec *fixedpoint.Codec, n int, gradBound float64, requestedBits int) (packPlan, error) {
+	exp := codec.BaseExp() + codec.ExpSpread() - 1
+	shift := float64(n) * gradBound
+	// Largest shifted prefix: 2·N·Bound at exponent exp.
+	maxVal := 2 * shift * math.Pow(float64(codec.Base()), float64(exp))
+	need := int(math.Ceil(math.Log2(maxVal))) + 2
+	bits := requestedBits
+	if bits < need {
+		bits = need
+	}
+	s := codec.Scheme().Bits()
+	if bits >= s {
+		return packPlan{}, fmt.Errorf("core: histogram packing infeasible: need %d-bit slots but modulus has %d bits", bits, s)
+	}
+	capacity := (s - 1) / bits
+	return packPlan{bits: bits, capacity: capacity, exp: exp, shift: shift}, nil
+}
+
+// packFeature turns one feature's finalized bins (at plan.exp) into packed
+// shifted prefix sums: prefix_0 = bin_0 + shift, prefix_k = prefix_{k-1} +
+// bin_k, packed plan.capacity per ciphertext. shiftCt must encrypt
+// shift·B^exp. Empty bins contribute nothing (they are zero).
+func packFeature(codec *fixedpoint.Codec, bins []fixedpoint.EncNum, shiftCt he.Ciphertext, plan packPlan) ([][]byte, error) {
+	s := codec.Scheme()
+	prefixes := make([]he.Ciphertext, len(bins))
+	run := shiftCt // shared read-only seed; Add always returns fresh ciphertexts
+	for k, b := range bins {
+		if b.Ct != nil {
+			if b.Exp > plan.exp {
+				return nil, fmt.Errorf("core: packing bin at exponent %d above plan exponent %d", b.Exp, plan.exp)
+			}
+			if b.Exp < plan.exp {
+				b = codec.ScaleEnc(b, plan.exp)
+			}
+			run = s.Add(run, b.Ct)
+			codec.Stats().AddHAdds(1)
+		}
+		prefixes[k] = run
+	}
+	out := make([][]byte, 0, (len(prefixes)+plan.capacity-1)/plan.capacity)
+	for lo := 0; lo < len(prefixes); lo += plan.capacity {
+		hi := lo + plan.capacity
+		if hi > len(prefixes) {
+			hi = len(prefixes)
+		}
+		packed, err := codec.Pack(prefixes[lo:hi], plan.bits)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s.Marshal(packed))
+	}
+	return out, nil
+}
+
+// unpackFeature reverses packFeature on Party B: it decrypts the packed
+// ciphertexts, slices out the shifted prefix mantissas, and differences
+// them back to per-bin sums. All arithmetic stays in the exact integer
+// mantissa domain — shifted prefixes can exceed float64's 53-bit exact
+// range, so converting before differencing would corrupt low-order bits.
+func unpackFeature(codec *fixedpoint.Codec, dec he.Decryptor, packed [][]byte, numBins int, plan packPlan) (binSums []float64, err error) {
+	mans := make([]*big.Int, 0, numBins)
+	remaining := numBins
+	for _, ctBytes := range packed {
+		ct, err := dec.Unmarshal(ctBytes)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := dec.Decrypt(ct)
+		if err != nil {
+			return nil, err
+		}
+		codec.Stats().AddDecryptions(1)
+		t := plan.capacity
+		if remaining < t {
+			t = remaining
+		}
+		mans = append(mans, fixedpoint.Unpack(plain, plan.bits, t)...)
+		remaining -= t
+	}
+	if len(mans) != numBins {
+		return nil, fmt.Errorf("core: unpacked %d prefixes, want %d", len(mans), numBins)
+	}
+	// The first prefix carries the shift; bin_0 = prefix_0 - shiftMan and
+	// bin_k = prefix_k - prefix_{k-1}, exact in the integer domain.
+	shiftNum, err := codec.EncodeAt(plan.shift, plan.exp)
+	if err != nil {
+		return nil, err
+	}
+	prev := shiftNum.Man
+	binSums = make([]float64, numBins)
+	for k, m := range mans {
+		diff := new(big.Int).Sub(m, prev)
+		binSums[k] = fixedpoint.DecodeSigned(diff, codec.Base(), plan.exp)
+		prev = m
+	}
+	return binSums, nil
+}
+
+// encryptShift produces the encryption of shift·B^exp used to seed packed
+// prefix sums. The shift is public (derived from N and the loss bound), so
+// its encryption carries no secret.
+func encryptShift(codec *fixedpoint.Codec, plan packPlan) (he.Ciphertext, error) {
+	num, err := codec.EncodeAt(plan.shift, plan.exp)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Scheme().Encrypt(num.Man)
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/he"
+)
+
+// encTestRig builds the pieces an encrypted-histogram test needs.
+type encTestRig struct {
+	d      *dataset.Dataset
+	mapper *gbdt.BinMapper
+	bm     *gbdt.BinnedMatrix
+	codec  *fixedpoint.Codec
+	dec    he.Decryptor
+	gh     *encGH
+	grads  []float64
+	hess   []float64
+	insts  []int32
+}
+
+func newEncRig(t testing.TB, rows, cols int, density float64, seed int64) *encTestRig {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{Rows: rows, Cols: cols, Density: density, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := gbdt.NewBinMapper(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := he.NewMock(512)
+	codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(seed))
+	rig := &encTestRig{
+		d: d, mapper: mapper, bm: gbdt.NewBinnedMatrix(d, mapper),
+		codec: codec, dec: dec,
+		gh:    &encGH{g: make([]fixedpoint.EncNum, rows), h: make([]fixedpoint.EncNum, rows)},
+		grads: make([]float64, rows),
+		hess:  make([]float64, rows),
+		insts: make([]int32, rows),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		rig.grads[i] = rng.Float64()*2 - 1
+		rig.hess[i] = rng.Float64() * 0.25
+		eg, err := codec.EncryptValue(rig.grads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh, err := codec.EncryptValue(rig.hess[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.gh.g[i], rig.gh.h[i] = eg, eh
+		rig.insts[i] = int32(i)
+	}
+	return rig
+}
+
+// plaintextBins computes the reference per-bin sums with the plaintext
+// engine.
+func (r *encTestRig) plaintextBins() *gbdt.Histogram {
+	h := gbdt.NewHistogram(r.mapper)
+	h.Accumulate(r.bm, r.insts, r.grads, r.hess)
+	return h
+}
+
+// decryptAll decrypts a finalized encrypted histogram into flat sums.
+func (r *encTestRig) decryptAll(t *testing.T, g, h []fixedpoint.EncNum) (gs, hs []float64) {
+	t.Helper()
+	gs = make([]float64, len(g))
+	hs = make([]float64, len(h))
+	for i := range g {
+		if g[i].Ct != nil {
+			v, err := r.codec.Decrypt(r.dec, g[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs[i] = v
+		}
+		if h[i].Ct != nil {
+			v, err := r.codec.Decrypt(r.dec, h[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs[i] = v
+		}
+	}
+	return gs, hs
+}
+
+func TestEncHistogramMatchesPlaintext(t *testing.T) {
+	for _, reordered := range []bool{false, true} {
+		rig := newEncRig(t, 120, 6, 0.6, 31)
+		eh := NewEncHistogram(rig.codec, rig.mapper, reordered)
+		eh.Accumulate(rig.bm, rig.insts, rig.gh)
+		g, h := eh.FinalizeBins(-1)
+		gs, hs := rig.decryptAll(t, g, h)
+		ref := rig.plaintextBins()
+		for i := range gs {
+			if math.Abs(gs[i]-ref.G[i]) > 1e-6 || math.Abs(hs[i]-ref.H[i]) > 1e-6 {
+				t.Fatalf("reordered=%v bin %d: enc (%g,%g) vs plain (%g,%g)",
+					reordered, i, gs[i], hs[i], ref.G[i], ref.H[i])
+			}
+		}
+	}
+}
+
+func TestEncHistogramMergeMatchesSingle(t *testing.T) {
+	for _, reordered := range []bool{false, true} {
+		rig := newEncRig(t, 100, 5, 0.5, 32)
+		full := NewEncHistogram(rig.codec, rig.mapper, reordered)
+		full.Accumulate(rig.bm, rig.insts, rig.gh)
+
+		h1 := NewEncHistogram(rig.codec, rig.mapper, reordered)
+		h2 := NewEncHistogram(rig.codec, rig.mapper, reordered)
+		h1.Accumulate(rig.bm, rig.insts[:50], rig.gh)
+		h2.Accumulate(rig.bm, rig.insts[50:], rig.gh)
+		h1.Merge(h2)
+
+		gF, hF := full.FinalizeBins(-1)
+		gM, hM := h1.FinalizeBins(-1)
+		gsF, hsF := rig.decryptAll(t, gF, hF)
+		gsM, hsM := rig.decryptAll(t, gM, hM)
+		for i := range gsF {
+			if math.Abs(gsF[i]-gsM[i]) > 1e-9 || math.Abs(hsF[i]-hsM[i]) > 1e-9 {
+				t.Fatalf("reordered=%v merged shard mismatch at bin %d", reordered, i)
+			}
+		}
+	}
+}
+
+func TestReorderedUsesNoAccumulationScalings(t *testing.T) {
+	rig := newEncRig(t, 200, 5, 0.5, 33)
+	before := rig.codec.Stats().Scalings()
+	eh := NewEncHistogram(rig.codec, rig.mapper, true)
+	eh.Accumulate(rig.bm, rig.insts, rig.gh)
+	during := rig.codec.Stats().Scalings()
+	if during != before {
+		t.Errorf("re-ordered accumulation performed %d scalings; must be zero", during-before)
+	}
+	eh.FinalizeBins(-1)
+	// Finalize may scale at most (E-1) per occupied bin.
+	budget := int64((rig.codec.ExpSpread() - 1)) * int64(eh.totalBins()) * 2
+	if scaled := rig.codec.Stats().Scalings() - during; scaled > budget {
+		t.Errorf("finalize used %d scalings, budget %d", scaled, budget)
+	}
+
+	// The naive path must scale a lot on the same input.
+	naiveRig := newEncRig(t, 200, 5, 0.5, 33)
+	nh := NewEncHistogram(naiveRig.codec, naiveRig.mapper, false)
+	nh.Accumulate(naiveRig.bm, naiveRig.insts, naiveRig.gh)
+	if naiveRig.codec.Stats().Scalings() == 0 {
+		t.Error("naive accumulation performed no scalings; exponents not mixed")
+	}
+}
+
+func TestPackedFeatureRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dec := he.NewMock(512)
+		codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(seed))
+		n := 50 + rng.Intn(100)
+		plan, err := planPacking(codec, n, 1, fixedpoint.DefaultPackBits)
+		if err != nil {
+			return false
+		}
+		shiftCt, err := encryptShift(codec, plan)
+		if err != nil {
+			return false
+		}
+		numBins := 2 + rng.Intn(12)
+		bins := make([]fixedpoint.EncNum, numBins)
+		want := make([]float64, numBins)
+		for k := range bins {
+			if rng.Float64() < 0.2 {
+				continue // empty bin stays nil (exact zero)
+			}
+			v := rng.Float64()*2 - 1
+			num, err := codec.EncodeAt(v, plan.exp)
+			if err != nil {
+				return false
+			}
+			ct, err := dec.Encrypt(num.Man)
+			if err != nil {
+				return false
+			}
+			bins[k] = fixedpoint.EncNum{Exp: plan.exp, Ct: ct}
+			// Reference uses the same fixed-point rounding.
+			want[k] = fixedpoint.DecodeSigned(he.Signed(dec, num.Man), codec.Base(), plan.exp)
+		}
+		packed, err := packFeature(codec, bins, shiftCt, plan)
+		if err != nil {
+			return false
+		}
+		got, err := unpackFeature(codec, dec, packed, numBins, plan)
+		if err != nil {
+			return false
+		}
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanPackingInfeasible(t *testing.T) {
+	dec := he.NewMock(64) // tiny modulus: shifted prefixes cannot fit
+	codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(1))
+	if _, err := planPacking(codec, 1_000_000, 1, fixedpoint.DefaultPackBits); err == nil {
+		t.Error("infeasible packing plan accepted")
+	}
+}
+
+func TestPlanPackingWidensSlots(t *testing.T) {
+	dec := he.NewMock(2048)
+	codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(1))
+	// Huge N forces slots wider than the default 64 bits.
+	plan, err := planPacking(codec, 1_000_000_000, 1, fixedpoint.DefaultPackBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.bits <= fixedpoint.DefaultPackBits {
+		t.Errorf("plan kept %d-bit slots for N=1e9", plan.bits)
+	}
+	if plan.capacity < 1 {
+		t.Errorf("capacity %d", plan.capacity)
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		bm := packBitmap(raw)
+		for i, want := range raw {
+			if bitmapGet(bm, i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPlacement(t *testing.T) {
+	insts := []int32{10, 20, 30, 40, 50}
+	bits := packBitmap([]bool{true, false, true, true, false})
+	left, right := applyPlacement(insts, bits)
+	if len(left) != 3 || left[0] != 10 || left[1] != 30 || left[2] != 40 {
+		t.Errorf("left = %v", left)
+	}
+	if len(right) != 2 || right[0] != 20 || right[1] != 50 {
+		t.Errorf("right = %v", right)
+	}
+	l, r := applyPlacement(nil, nil)
+	if l != nil || r != nil {
+		t.Error("empty placement mishandled")
+	}
+}

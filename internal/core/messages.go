@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire messages between Party B and each passive party. All cross-party
+// traffic is gob-encoded and carried over an mq topic pair, so the exact
+// same engine runs in-process, through the WAN shaper, or across the TCP
+// gateway.
+
+// MsgSetup is sent once by B to each passive party before training: the
+// public key material and the encoding parameters both sides must share.
+type MsgSetup struct {
+	Scheme    string
+	N         []byte // public modulus (paillier) or width marker (mock)
+	Bits      int
+	BaseExp   int
+	ExpSpread int
+	PackBits  int
+	Shift     float64 // histogram-packing shift N·Bound
+}
+
+// MsgReady is a passive party's answer to MsgSetup: its shape, which B
+// needs for the global feature order and the instance-alignment check.
+type MsgReady struct {
+	Party    int
+	Features int
+	Rows     int
+}
+
+// MsgGradBatch carries encrypted gradient/hessian pairs for a contiguous
+// instance range. With blaster encryption many small batches stream per
+// tree; without it a single batch carries everything.
+type MsgGradBatch struct {
+	Tree  int
+	Start int
+	G     [][]byte
+	H     [][]byte
+	GExp  []int16
+	HExp  []int16
+	Last  bool
+}
+
+// MsgHistograms carries a passive party's encrypted histograms for one or
+// more nodes of one layer.
+type MsgHistograms struct {
+	Tree  int
+	Layer int
+	Nodes []NodeHist
+}
+
+// NodeHist is the encrypted histogram of one node over the sender's
+// features.
+type NodeHist struct {
+	Node  int32
+	Feats []FeatHist
+}
+
+// FeatHist is one feature's bins. Exactly one representation is used:
+// per-bin ciphertexts with per-bin exponents (unpacked), or packed
+// shifted prefix sums at a single exponent.
+type FeatHist struct {
+	NumBins int
+	// Unpacked representation.
+	GBins [][]byte
+	HBins [][]byte
+	GExp  []int16
+	HExp  []int16
+	// Packed representation: ceil(NumBins/t) ciphertexts each for G and
+	// H prefix sums, shifted into the non-negative range.
+	Packed  bool
+	PackedG [][]byte
+	PackedH [][]byte
+	Exp     int16
+}
+
+// Node actions in a split decision.
+const (
+	ActionLeaf   = uint8(iota) // node becomes a leaf
+	ActionSplitB               // B owns the split; placement included
+	ActionSplitA               // a passive party owns the split
+)
+
+// NodeDecision tells passive parties how one node was (tentatively or
+// finally) resolved.
+type NodeDecision struct {
+	Node   int32
+	Action uint8
+	// LeftID/RightID are the child node IDs B allocated (so all parties
+	// agree on the tree arena).
+	LeftID, RightID int32
+	// Placement is the left/right bitmap over the node's instance list
+	// (bit k set = k-th instance goes left). Present for ActionSplitB,
+	// and for ActionSplitA when relayed by B to the non-owner parties.
+	Placement []byte
+	Count     int
+	// Owner is the passive party index for ActionSplitA.
+	Owner int
+	// Feature and Bin identify the split for its owner (party-local
+	// feature index). Only the owner receives them; other parties see
+	// just the placement.
+	Feature int32
+	Bin     int32
+	// AbortLeft/AbortRight name tentative children invalidated by this
+	// corrective decision (optimistic protocol only); 0 means none.
+	AbortLeft, AbortRight int32
+}
+
+// MsgDecisions carries the resolved (or, under the optimistic protocol,
+// tentative) decisions for a set of nodes of one layer.
+type MsgDecisions struct {
+	Tree      int
+	Layer     int
+	Tentative bool
+	Nodes     []NodeDecision
+}
+
+// MsgDirty tells the owner passive party that a tentatively-split node was
+// dirty: the owner's split won. The owner answers with MsgPlacement and
+// rebuilds the node's children (with the fresh IDs).
+type MsgDirty struct {
+	Tree  int
+	Layer int
+	Node  int32
+	// OldLeft and OldRight are the aborted tentative children.
+	OldLeft, OldRight int32
+	// Fresh children IDs for the corrected split.
+	LeftID, RightID int32
+	Feature         int32
+	Bin             int32
+}
+
+// MsgPlacement is a passive party's placement bitmap for a node it split.
+type MsgPlacement struct {
+	Tree  int
+	Layer int
+	Node  int32
+	Bits  []byte
+	Count int
+}
+
+// MsgTreeDone signals the end of a boosting round.
+type MsgTreeDone struct {
+	Tree int
+}
+
+// MsgShutdown ends the session.
+type MsgShutdown struct{}
+
+// envelope wraps a message for gob transport.
+type envelope struct {
+	M any
+}
+
+func init() {
+	gob.Register(MsgSetup{})
+	gob.Register(MsgReady{})
+	gob.Register(MsgGradBatch{})
+	gob.Register(MsgHistograms{})
+	gob.Register(MsgDecisions{})
+	gob.Register(MsgDirty{})
+	gob.Register(MsgPlacement{})
+	gob.Register(MsgTreeDone{})
+	gob.Register(MsgShutdown{})
+}
+
+// Transport is the minimal producer/consumer pair the engine needs; both
+// mq in-process endpoints and TCP remote endpoints satisfy it.
+type Transport interface {
+	Send(payload []byte) error
+	Receive() ([]byte, error)
+}
+
+// link is a typed bidirectional channel between two parties.
+type link struct {
+	out Transport
+	in  Transport
+}
+
+func (l *link) send(m any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{M: m}); err != nil {
+		return fmt.Errorf("core: encoding %T: %w", m, err)
+	}
+	return l.out.Send(buf.Bytes())
+}
+
+func (l *link) recv() (any, error) {
+	payload, err := l.in.Receive()
+	if err != nil {
+		return nil, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding message: %w", err)
+	}
+	return env.M, nil
+}
+
+// pairTransport adapts an mq producer/consumer pair to Transport.
+type pairTransport struct {
+	send func([]byte) error
+	recv func() ([]byte, error)
+}
+
+func (p pairTransport) Send(b []byte) error      { return p.send(b) }
+func (p pairTransport) Receive() ([]byte, error) { return p.recv() }
+
+// packBitmap encodes booleans little-endian into bytes.
+func packBitmap(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// bitmapGet reads bit i of a packed bitmap.
+func bitmapGet(bm []byte, i int) bool {
+	return bm[i/8]&(1<<(i%8)) != 0
+}

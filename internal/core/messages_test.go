@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+)
+
+// chanTransport is an in-memory Transport for message-layer tests.
+type chanTransport struct {
+	ch chan []byte
+}
+
+func (c chanTransport) Send(b []byte) error {
+	cp := append([]byte(nil), b...)
+	c.ch <- cp
+	return nil
+}
+
+func (c chanTransport) Receive() ([]byte, error) { return <-c.ch, nil }
+
+func loopbackLink() *link {
+	t := chanTransport{ch: make(chan []byte, 16)}
+	return &link{out: t, in: t}
+}
+
+// discardTransport swallows sends; Receive never returns.
+type discardTransport struct{}
+
+func (discardTransport) Send([]byte) error { return nil }
+func (discardTransport) Receive() ([]byte, error) {
+	select {}
+}
+
+// drivenLink feeds a party from a test channel while its own replies are
+// discarded (the test plays Party B's sending side only).
+func drivenLink() (*link, chanTransport) {
+	in := chanTransport{ch: make(chan []byte, 16)}
+	return &link{out: discardTransport{}, in: in}, in
+}
+
+func TestLinkRoundTripAllMessageTypes(t *testing.T) {
+	l := loopbackLink()
+	msgs := []any{
+		MsgSetup{Scheme: "paillier", N: []byte{1, 2, 3}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 1000},
+		MsgReady{Party: 2, Features: 10, Rows: 100},
+		MsgGradBatch{Tree: 1, Start: 5, G: [][]byte{{9}}, H: [][]byte{{8}}, GExp: []int16{8}, HExp: []int16{9}, Last: true},
+		MsgHistograms{Tree: 1, Layer: 2, Nodes: []NodeHist{{
+			Node: 3,
+			Feats: []FeatHist{
+				{NumBins: 2, GBins: [][]byte{{1}, nil}, HBins: [][]byte{{2}, {3}}, GExp: []int16{8, 8}, HExp: []int16{9, 9}},
+				{NumBins: 3, Packed: true, PackedG: [][]byte{{4}}, PackedH: [][]byte{{5}}, Exp: 11},
+			},
+		}}},
+		MsgDecisions{Tree: 1, Layer: 0, Tentative: true, Nodes: []NodeDecision{
+			{Node: 1, Action: ActionSplitB, LeftID: 2, RightID: 3, Placement: []byte{0b101}, Count: 3},
+			{Node: 4, Action: ActionLeaf},
+			{Node: 5, Action: ActionSplitA, Owner: 1, Feature: 7, Bin: 2, AbortLeft: 8, AbortRight: 9},
+		}},
+		MsgDirty{Tree: 1, Layer: 3, Node: 7, OldLeft: 8, OldRight: 9, LeftID: 10, RightID: 11, Feature: 4, Bin: 1},
+		MsgPlacement{Tree: 1, Layer: 3, Node: 7, Bits: []byte{0xFF}, Count: 8},
+		MsgTreeDone{Tree: 1},
+		MsgShutdown{},
+	}
+	for _, m := range msgs {
+		if err := l.send(m); err != nil {
+			t.Fatalf("send %T: %v", m, err)
+		}
+		got, err := l.recv()
+		if err != nil {
+			t.Fatalf("recv %T: %v", m, err)
+		}
+		switch want := m.(type) {
+		case MsgSetup:
+			g := got.(MsgSetup)
+			if g.Scheme != want.Scheme || g.Bits != want.Bits || g.PackBits != want.PackBits || g.Shift != want.Shift {
+				t.Errorf("MsgSetup round trip: %+v", g)
+			}
+		case MsgGradBatch:
+			g := got.(MsgGradBatch)
+			if g.Start != want.Start || !g.Last || len(g.G) != 1 || g.GExp[0] != 8 {
+				t.Errorf("MsgGradBatch round trip: %+v", g)
+			}
+		case MsgHistograms:
+			g := got.(MsgHistograms)
+			if len(g.Nodes) != 1 || len(g.Nodes[0].Feats) != 2 {
+				t.Fatalf("MsgHistograms round trip: %+v", g)
+			}
+			f0 := g.Nodes[0].Feats[0]
+			if f0.NumBins != 2 || len(f0.GBins[1]) != 0 {
+				t.Errorf("unpacked feature round trip: %+v", f0)
+			}
+			f1 := g.Nodes[0].Feats[1]
+			if !f1.Packed || f1.Exp != 11 {
+				t.Errorf("packed feature round trip: %+v", f1)
+			}
+		case MsgDecisions:
+			g := got.(MsgDecisions)
+			if !g.Tentative || len(g.Nodes) != 3 || g.Nodes[2].AbortLeft != 8 {
+				t.Errorf("MsgDecisions round trip: %+v", g)
+			}
+		case MsgDirty:
+			g := got.(MsgDirty)
+			if g != want {
+				t.Errorf("MsgDirty round trip: %+v", g)
+			}
+		case MsgShutdown:
+			if _, ok := got.(MsgShutdown); !ok {
+				t.Errorf("MsgShutdown round trip: %T", got)
+			}
+		}
+	}
+}
+
+func TestPassivePartyRejectsUnknownMessageOrder(t *testing.T) {
+	_, parts := twoPartyData(t, 30, 2, 2, 1, true, 71)
+	l, feed := drivenLink()
+	p, err := newPassiveParty(0, parts[0], mustNormalize(t, quickConfig(SchemeMock)), l, &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gradients before setup must fail.
+	if err := (&link{out: feed, in: feed}).send(MsgGradBatch{Tree: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.run(); err == nil {
+		t.Error("gradients before setup accepted")
+	}
+}
+
+func TestPassivePartyRejectsUnknownNodeDecision(t *testing.T) {
+	_, parts := twoPartyData(t, 30, 2, 2, 1, true, 72)
+	l, feed := drivenLink()
+	cfg := mustNormalize(t, quickConfig(SchemeMock))
+	p, err := newPassiveParty(0, parts[0], cfg, l, &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := &link{out: feed, in: feed}
+	if err := sender.send(MsgSetup{Scheme: SchemeMock, Bits: 512, BaseExp: 8, ExpSpread: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.send(MsgDecisions{Nodes: []NodeDecision{{Node: 999, Action: ActionLeaf}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.run(); err == nil {
+		t.Error("decision for unknown node accepted")
+	}
+}
+
+// mustNormalize returns a normalized copy of the config for direct engine
+// construction in tests.
+func mustNormalize(t *testing.T, cfg Config) Config {
+	t.Helper()
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}

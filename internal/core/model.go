@@ -1,0 +1,249 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/metrics"
+)
+
+// Node ownership markers in the federated tree arena.
+const (
+	OwnerLeaf = -1 // node is a leaf
+)
+
+// FedNode is one node of a federated tree as seen by Party B, which knows
+// the full structure but, for passive-party splits, only the owner index —
+// not the feature or threshold.
+type FedNode struct {
+	// Owner is OwnerLeaf for leaves, otherwise the party index (passive
+	// parties 0..P-2 in order, Party B = P-1) owning the split.
+	Owner int `json:"owner"`
+	// Feature and Threshold are filled only on nodes owned by the party
+	// holding this tree copy; elsewhere they are zero.
+	Feature   int32   `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      int32   `json:"left"`
+	Right     int32   `json:"right"`
+	// Weight is the leaf weight (Party B only).
+	Weight float64 `json:"weight"`
+	Gain   float64 `json:"gain,omitempty"`
+}
+
+// FedTree is a federated tree arena addressed by the node IDs Party B
+// allocates. Under the optimistic protocol aborted children leave holes;
+// the arena is a map so holes are free.
+type FedTree struct {
+	Nodes map[int32]*FedNode `json:"nodes"`
+	Root  int32              `json:"root"`
+}
+
+// NewFedTree creates a tree with a single leaf root of the given ID.
+func NewFedTree(root int32) *FedTree {
+	return &FedTree{
+		Nodes: map[int32]*FedNode{root: {Owner: OwnerLeaf}},
+		Root:  root,
+	}
+}
+
+// PartyModel is the model fragment one party retains after training: the
+// shared structure plus only its own split payloads (features/thresholds).
+type PartyModel struct {
+	Party int        `json:"party"`
+	Trees []*FedTree `json:"trees"`
+}
+
+// FederatedModel glues the per-party fragments for joint prediction. In a
+// production deployment each fragment stays inside its party and
+// prediction is a protocol; in-process evaluation walks them directly.
+type FederatedModel struct {
+	Parties      []*PartyModel `json:"parties"`
+	LearningRate float64       `json:"learning_rate"`
+	BaseScore    float64       `json:"base_score"`
+	// SplitsByParty counts confirmed splits per party, the "Ratio of
+	// Splits in Party B" column of Table 2.
+	SplitsByParty []int `json:"splits_by_party"`
+}
+
+// NumParties returns the party count.
+func (m *FederatedModel) NumParties() int { return len(m.Parties) }
+
+// PredictMargin routes row i of the vertically-partitioned instance (one
+// dataset per party, aligned rows) through every tree.
+func (m *FederatedModel) PredictMargin(parts []*dataset.Dataset, i int) (float64, error) {
+	if len(parts) != len(m.Parties) {
+		return 0, fmt.Errorf("core: model has %d parties, got %d datasets", len(m.Parties), len(parts))
+	}
+	s := m.BaseScore
+	bTrees := m.Parties[len(m.Parties)-1].Trees
+	for t := range bTrees {
+		w, err := m.predictTree(t, parts, i)
+		if err != nil {
+			return 0, err
+		}
+		s += m.LearningRate * w
+	}
+	return s, nil
+}
+
+func (m *FederatedModel) predictTree(t int, parts []*dataset.Dataset, i int) (float64, error) {
+	bTree := m.Parties[len(m.Parties)-1].Trees[t]
+	id := bTree.Root
+	for depth := 0; ; depth++ {
+		if depth > 64 {
+			return 0, fmt.Errorf("core: tree %d traversal did not terminate", t)
+		}
+		bn, ok := bTree.Nodes[id]
+		if !ok {
+			return 0, fmt.Errorf("core: tree %d missing node %d", t, id)
+		}
+		if bn.Owner == OwnerLeaf {
+			return bn.Weight, nil
+		}
+		// The owner party's fragment holds the routing payload.
+		on, ok := m.Parties[bn.Owner].Trees[t].Nodes[id]
+		if !ok {
+			return 0, fmt.Errorf("core: tree %d node %d missing from owner party %d", t, id, bn.Owner)
+		}
+		if goesLeftRaw(parts[bn.Owner], i, on.Feature, on.Threshold) {
+			id = bn.Left
+		} else {
+			id = bn.Right
+		}
+	}
+}
+
+// goesLeftRaw applies the shared split semantics on raw values: stored
+// value <= threshold goes left, missing goes left.
+func goesLeftRaw(d *dataset.Dataset, i int, feature int32, threshold float64) bool {
+	cols, vals := d.Row(i)
+	k := sort.Search(len(cols), func(x int) bool { return cols[x] >= feature })
+	if k < len(cols) && cols[k] == feature {
+		return vals[k] <= threshold
+	}
+	return true
+}
+
+// PredictAll returns raw margins for aligned rows of the per-party
+// datasets.
+func (m *FederatedModel) PredictAll(parts []*dataset.Dataset) ([]float64, error) {
+	return m.PredictAllPrefix(parts, len(m.Parties[len(m.Parties)-1].Trees))
+}
+
+// PredictAllPrefix returns margins using only the first k trees, which is
+// how the loss-vs-time curves of Figure 10 are reconstructed after
+// training (per-tree wall times are recorded by the session).
+func (m *FederatedModel) PredictAllPrefix(parts []*dataset.Dataset, k int) ([]float64, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: no datasets")
+	}
+	if len(parts) != len(m.Parties) {
+		return nil, fmt.Errorf("core: model has %d parties, got %d datasets", len(m.Parties), len(parts))
+	}
+	n := parts[0].Rows()
+	for _, p := range parts {
+		if p.Rows() != n {
+			return nil, fmt.Errorf("core: row mismatch across parties")
+		}
+	}
+	if total := len(m.Parties[len(m.Parties)-1].Trees); k > total {
+		k = total
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := m.BaseScore
+		for t := 0; t < k; t++ {
+			w, err := m.predictTree(t, parts, i)
+			if err != nil {
+				return nil, err
+			}
+			s += m.LearningRate * w
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Evaluate computes AUC and logloss on aligned validation shards.
+func (m *FederatedModel) Evaluate(parts []*dataset.Dataset, labels []float64) (auc, logloss float64, err error) {
+	margins, err := m.PredictAll(parts)
+	if err != nil {
+		return 0, 0, err
+	}
+	auc, err = metrics.AUC(margins, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	logloss, err = metrics.LogLoss(margins, labels)
+	return auc, logloss, err
+}
+
+// GainByParty sums the recorded split gains per owner party, a
+// privacy-respecting importance summary: it attributes model contribution
+// to parties without revealing which features did the work.
+func (m *FederatedModel) GainByParty() []float64 {
+	out := make([]float64, len(m.Parties))
+	bTrees := m.Parties[len(m.Parties)-1].Trees
+	for _, t := range bTrees {
+		for _, n := range t.Nodes {
+			if n.Owner >= 0 && n.Owner < len(out) {
+				out[n.Owner] += n.Gain
+			}
+		}
+	}
+	return out
+}
+
+// FeatureImportance returns one party's per-feature gain sums, computable
+// only by combining that party's private fragment (feature identities)
+// with Party B's gain records — which is exactly the information the two
+// parties jointly hold, so in a deployment this runs as a two-party
+// exchange. In-process it reads both fragments directly.
+func (m *FederatedModel) FeatureImportance(party int, numFeatures int) []float64 {
+	imp := make([]float64, numFeatures)
+	bTrees := m.Parties[len(m.Parties)-1].Trees
+	ownTrees := m.Parties[party].Trees
+	for ti, t := range bTrees {
+		for id, n := range t.Nodes {
+			if n.Owner != party {
+				continue
+			}
+			own, ok := ownTrees[ti].Nodes[id]
+			if party == len(m.Parties)-1 {
+				own, ok = n, true
+			}
+			if ok && int(own.Feature) < numFeatures {
+				imp[own.Feature] += n.Gain
+			}
+		}
+	}
+	return imp
+}
+
+// modelFile versions the serialized form.
+type modelFile struct {
+	Version int             `json:"version"`
+	Model   *FederatedModel `json:"model"`
+}
+
+// Save writes the glued federated model as JSON. Note that persisting the
+// glued model re-centralizes the per-party secrets; production deployments
+// persist PartyModel fragments separately.
+func (m *FederatedModel) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(modelFile{Version: 1, Model: m})
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*FederatedModel, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Version != 1 || mf.Model == nil || len(mf.Model.Parties) == 0 {
+		return nil, fmt.Errorf("core: invalid model file")
+	}
+	return mf.Model, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vf2boost/internal/dataset"
+)
+
+// buildTinyModel constructs a two-party model by hand: root split owned
+// by the passive party on its feature 0 at threshold 1.5, leaves ±1.
+func buildTinyModel() *FederatedModel {
+	aTree := NewFedTree(1)
+	aTree.Nodes[1] = &FedNode{Owner: 0, Feature: 0, Threshold: 1.5, Left: 2, Right: 3}
+	bTree := NewFedTree(1)
+	bTree.Nodes[1] = &FedNode{Owner: 0, Left: 2, Right: 3}
+	bTree.Nodes[2] = &FedNode{Owner: OwnerLeaf, Weight: -1}
+	bTree.Nodes[3] = &FedNode{Owner: OwnerLeaf, Weight: 1}
+	return &FederatedModel{
+		Parties: []*PartyModel{
+			{Party: 0, Trees: []*FedTree{aTree}},
+			{Party: 1, Trees: []*FedTree{bTree}},
+		},
+		LearningRate: 1,
+	}
+}
+
+func tinyParts(t *testing.T, aVals []float64) []*dataset.Dataset {
+	t.Helper()
+	a := dataset.NewBuilder(1)
+	b := dataset.NewBuilder(1)
+	for _, v := range aVals {
+		if v != 0 {
+			if err := a.AddRowUnlabeled([]int32{0}, []float64{v}); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := a.AddRowUnlabeled(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddRow([]int32{0}, []float64{0}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []*dataset.Dataset{a.Build(), b.Build()}
+}
+
+func TestModelRoutingSemantics(t *testing.T) {
+	m := buildTinyModel()
+	// Row 0: value 1.0 <= 1.5 -> left (-1).
+	// Row 1: value 2.0 > 1.5 -> right (+1).
+	// Row 2: missing -> left (-1).
+	parts := tinyParts(t, []float64{1.0, 2.0, 0})
+	got, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: margin %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestModelMissingOwnerNode(t *testing.T) {
+	m := buildTinyModel()
+	// Remove the passive fragment's routing payload: traversal must fail
+	// loudly rather than guess.
+	delete(m.Parties[0].Trees[0].Nodes, 1)
+	parts := tinyParts(t, []float64{1.0})
+	_, err := m.PredictAll(parts)
+	if err == nil || !strings.Contains(err.Error(), "missing from owner") {
+		t.Errorf("expected missing-owner error, got %v", err)
+	}
+}
+
+func TestModelDanglingChild(t *testing.T) {
+	m := buildTinyModel()
+	delete(m.Parties[1].Trees[0].Nodes, 2)
+	parts := tinyParts(t, []float64{1.0})
+	if _, err := m.PredictAll(parts); err == nil {
+		t.Error("dangling child accepted")
+	}
+}
+
+func TestModelCycleDetection(t *testing.T) {
+	m := buildTinyModel()
+	// Point the root's left child back at the root.
+	m.Parties[1].Trees[0].Nodes[1].Left = 1
+	parts := tinyParts(t, []float64{1.0})
+	if _, err := m.PredictAll(parts); err == nil {
+		t.Error("cyclic tree traversal did not terminate with an error")
+	}
+}
+
+func TestPredictAllPrefix(t *testing.T) {
+	_, parts := twoPartyData(t, 200, 3, 3, 1, true, 51)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 4
+	m, _ := trainFed(t, parts, cfg)
+	zero, err := m.PredictAllPrefix(parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("0-tree prefix must be the base score")
+		}
+	}
+	full, err := m.PredictAllPrefix(parts, 99) // clamps to available trees
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if full[i] != all[i] {
+			t.Fatal("clamped prefix differs from full prediction")
+		}
+	}
+	// Prefix margins must converge toward the full margin as k grows.
+	k2, err := m.PredictAllPrefix(parts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range all {
+		if k2[i] != all[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("2-tree prefix identical to 4-tree prediction; prefix not applied")
+	}
+}
+
+func TestEvaluateHelper(t *testing.T) {
+	joined, parts := twoPartyData(t, 300, 3, 3, 1, true, 52)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 3
+	m, _ := trainFed(t, parts, cfg)
+	auc, ll, err := m.Evaluate(parts, joined.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc <= 0.5 || ll <= 0 {
+		t.Errorf("Evaluate = %g, %g", auc, ll)
+	}
+}

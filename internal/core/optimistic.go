@@ -1,0 +1,139 @@
+package core
+
+import "time"
+
+// buildTreeOptimistic grows one tree with the concurrent VF²Boost
+// protocol of Section 4.2. Per layer:
+//
+//   - Phase 1 (tentative): B finds its own best splits (FindSplitB is
+//     cheap — plaintext histograms) and immediately splits every node with
+//     them, shipping tentative decisions so the passive parties start
+//     building the next layer's histograms right away;
+//   - Phase 2 (validation): B then receives and decrypts the passive
+//     histograms of the *current* layer — concurrently with the passive
+//     parties' next-layer construction — and validates each tentative
+//     split. A node whose best split actually belongs to a passive party
+//     is dirty: its tentative children are aborted (MsgDirty carries the
+//     IDs so in-flight histogram sub-tasks stop), the owner answers with
+//     the correct placement, and fresh children are created — the
+//     roll-back-and-re-do mechanism of Figure 6.
+//
+// The expected dirty rate is D_A/(D_A+D_B) (validated in the Table 2
+// benchmark), so when Party B is feature-rich almost all optimistic work
+// survives.
+func (b *activeParty) buildTreeOptimistic(t int) (*FedTree, []leafResult, error) {
+	tree, root := b.startTree()
+	active := []*bNode{root}
+	var leaves []leafResult
+
+	for layer := 0; layer < b.cfg.MaxDepth && len(active) > 0; layer++ {
+		ownHists := b.buildOwnHistograms(active)
+
+		// Phase 1: tentative resolution from B's own splits only.
+		type tentative struct {
+			node            *bNode
+			cand            candidate
+			leftID, rightID int32
+			left, right     []int32
+		}
+		tents := make([]tentative, len(active))
+		decs := make([]NodeDecision, 0, len(active))
+		for k, nd := range active {
+			tn := tentative{node: nd, cand: b.ownBest(ownHists[k], nd)}
+			if tn.cand.valid() {
+				tn.leftID, tn.rightID = b.allocID(), b.allocID()
+				bits, left, right := b.placementBitmap(nd.insts, tn.cand.split.Feature, tn.cand.split.Bin)
+				tn.left, tn.right = left, right
+				decs = append(decs, NodeDecision{
+					Node: nd.id, Action: ActionSplitB,
+					LeftID: tn.leftID, RightID: tn.rightID,
+					Placement: bits, Count: len(nd.insts),
+				})
+			} else {
+				decs = append(decs, NodeDecision{Node: nd.id, Action: ActionLeaf})
+			}
+			tents[k] = tn
+		}
+		for _, l := range b.links {
+			if err := l.send(MsgDecisions{Tree: t, Layer: layer, Tentative: true, Nodes: decs}); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		// Phase 2: validate against the passive parties' histograms while
+		// they already work on layer+1.
+		var next []*bNode
+		for k := range tents {
+			tn := &tents[k]
+			nd := tn.node
+			best := tn.cand
+			for pi := range b.links {
+				idle := time.Now()
+				nh, err := b.pumps[pi].histFor(t, nd.id)
+				addDur(&b.stats.bIdleTime, time.Since(idle))
+				if err != nil {
+					return nil, nil, err
+				}
+				c, err := b.passiveBest(pi, nh, nd)
+				if err != nil {
+					return nil, nil, err
+				}
+				if c.valid() && (!best.valid() || betterCandidate(c, best)) {
+					best = c
+				}
+			}
+
+			switch {
+			case !best.valid():
+				// Tentative leaf confirmed.
+				leaves = append(leaves, b.recordLeaf(tree, nd))
+			case best.party == len(b.links):
+				// Tentative split confirmed as-is.
+				b.recordSplitB(tree, nd, best, tn.leftID, tn.rightID)
+				next = append(next, b.childNodes(tn.leftID, tn.left, tn.rightID, tn.right)...)
+			default:
+				// Dirty node: a passive party had the better split.
+				b.stats.dirtyNodes.Add(1)
+				newL, newR := b.allocID(), b.allocID()
+				owner := best.party
+				if err := b.links[owner].send(MsgDirty{
+					Tree: t, Layer: layer, Node: nd.id,
+					OldLeft: tn.leftID, OldRight: tn.rightID,
+					LeftID: newL, RightID: newR,
+					Feature: best.split.Feature, Bin: best.split.Bin,
+				}); err != nil {
+					return nil, nil, err
+				}
+				idle := time.Now()
+				pl, err := b.pumps[owner].placementFor(t, nd.id)
+				addDur(&b.stats.bIdleTime, time.Since(idle))
+				if err != nil {
+					return nil, nil, err
+				}
+				left, right := applyPlacement(nd.insts, pl.Bits)
+				relay := NodeDecision{
+					Node: nd.id, Action: ActionSplitA, Owner: owner,
+					LeftID: newL, RightID: newR,
+					Placement: pl.Bits, Count: len(nd.insts),
+					AbortLeft: tn.leftID, AbortRight: tn.rightID,
+				}
+				for pi, l := range b.links {
+					if pi == owner {
+						continue
+					}
+					if err := l.send(MsgDecisions{Tree: t, Layer: layer, Nodes: []NodeDecision{relay}}); err != nil {
+						return nil, nil, err
+					}
+				}
+				b.recordSplitA(tree, nd, best, newL, newR)
+				next = append(next, b.childNodes(newL, left, newR, right)...)
+			}
+		}
+		active = next
+	}
+
+	for _, nd := range active {
+		leaves = append(leaves, b.recordLeaf(tree, nd))
+	}
+	return tree, leaves, nil
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/he"
+	"vf2boost/internal/paillier"
+	"vf2boost/internal/trace"
+)
+
+// passiveParty is a Party A engine: it owns feature columns but no labels,
+// receives encrypted gradient statistics, builds encrypted histograms, and
+// answers placement queries for the splits it wins. It is driven entirely
+// by the messages on its link, so the same engine runs in-process or
+// across the TCP gateway.
+type passiveParty struct {
+	index int
+	cfg   Config
+	data  *dataset.Dataset
+
+	mapper *gbdt.BinMapper
+	bm     *gbdt.BinnedMatrix
+
+	scheme  he.Scheme
+	codec   *fixedpoint.Codec
+	plan    packPlan
+	packing bool
+	shiftCt he.Ciphertext
+
+	link   *link
+	sendMu sync.Mutex // serializes link sends from tasks and the main loop
+	stats  *Stats
+
+	// offsets are the per-feature bin offsets of this party's mapper.
+	offsets []int
+
+	// Per-tree state.
+	tree int
+	gh   *encGH
+	// rootParts are per-worker partial root histograms so blaster
+	// batches accumulate in parallel; merged when the last batch lands.
+	rootParts []*EncHistogram
+	rootCount int
+	nodeInsts map[int32][]int32
+	// binCache retains each node's finalized bins for sibling
+	// subtraction (HistogramSubtraction).
+	binCache   map[int32]*cachedBins
+	binCacheMu sync.Mutex
+
+	// Abortable histogram sub-tasks, keyed by node ID.
+	tasks   map[int32]*histTask
+	tasksMu sync.Mutex
+	taskWG  sync.WaitGroup
+	sem     chan struct{} // bounds task parallelism
+
+	model *PartyModel
+
+	// rec, when set, records this party's Gantt lane.
+	rec *trace.Recorder
+}
+
+// histTask is one abortable per-node histogram build (the "small
+// sub-tasks which can be processed in parallel" of Figure 6).
+type histTask struct {
+	node    int32
+	layer   int
+	aborted atomic.Bool
+}
+
+func newPassiveParty(index int, data *dataset.Dataset, cfg Config, lk *link, stats *Stats) (*passiveParty, error) {
+	mapper, err := gbdt.NewBinMapper(data, cfg.MaxBins)
+	if err != nil {
+		return nil, err
+	}
+	p := &passiveParty{
+		index:  index,
+		cfg:    cfg,
+		data:   data,
+		mapper: mapper,
+		bm:     gbdt.NewBinnedMatrix(data, mapper),
+		link:   lk,
+		stats:  stats,
+		sem:    make(chan struct{}, cfg.Workers),
+		model:  &PartyModel{Party: index},
+	}
+	p.offsets = make([]int, data.Cols()+1)
+	for j := 0; j < data.Cols(); j++ {
+		p.offsets[j+1] = p.offsets[j] + mapper.NumBins(j)
+	}
+	return p, nil
+}
+
+// cachedBins are one node's finalized histogram bins, retained for
+// sibling subtraction.
+type cachedBins struct {
+	g, h []fixedpoint.EncNum
+}
+
+// run drives the passive engine until shutdown. It returns the party's
+// model fragment.
+func (p *passiveParty) run() (*PartyModel, error) {
+	for {
+		idleStart := time.Now()
+		msg, err := p.link.recv()
+		addDur(&p.stats.aIdleTime, time.Since(idleStart))
+		if err != nil {
+			return nil, fmt.Errorf("core: party %d receive: %w", p.index, err)
+		}
+		switch m := msg.(type) {
+		case MsgSetup:
+			if err := p.handleSetup(m); err != nil {
+				return nil, err
+			}
+		case MsgGradBatch:
+			if err := p.handleGradBatch(m); err != nil {
+				return nil, err
+			}
+		case MsgDecisions:
+			if err := p.handleDecisions(m); err != nil {
+				return nil, err
+			}
+		case MsgDirty:
+			if err := p.handleDirty(m); err != nil {
+				return nil, err
+			}
+		case MsgTreeDone:
+			p.taskWG.Wait()
+		case MsgShutdown:
+			p.taskWG.Wait()
+			return p.model, nil
+		default:
+			return nil, fmt.Errorf("core: party %d: unexpected message %T", p.index, msg)
+		}
+	}
+}
+
+func (p *passiveParty) send(m any) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	return p.link.send(m)
+}
+
+// handleSetup installs the shared cryptographic context.
+func (p *passiveParty) handleSetup(m MsgSetup) error {
+	switch m.Scheme {
+	case SchemePaillier:
+		n := new(big.Int).SetBytes(m.N)
+		p.scheme = he.NewPaillierPublic(paillier.NewPublicKey(n))
+	case SchemeMock:
+		p.scheme = he.NewMock(m.Bits)
+	default:
+		return fmt.Errorf("core: setup with unknown scheme %q", m.Scheme)
+	}
+	p.codec = fixedpoint.NewCodec(p.scheme,
+		fixedpoint.WithExponents(m.BaseExp, m.ExpSpread),
+		fixedpoint.WithSeed(p.cfg.Seed+int64(p.index)+1))
+	p.packing = m.PackBits > 0
+	if p.packing {
+		p.plan = packPlan{
+			bits:     m.PackBits,
+			capacity: (p.scheme.Bits() - 1) / m.PackBits,
+			exp:      m.BaseExp + m.ExpSpread - 1,
+			shift:    m.Shift,
+		}
+		ct, err := encryptShift(p.codec, p.plan)
+		if err != nil {
+			return fmt.Errorf("core: party %d encrypting shift: %w", p.index, err)
+		}
+		p.shiftCt = ct
+	}
+	return p.send(MsgReady{Party: p.index, Features: p.data.Cols(), Rows: p.data.Rows()})
+}
+
+// handleGradBatch stores a batch of encrypted gradient statistics and
+// accumulates it straight into the root histogram — with blaster-style
+// encryption the batches stream in while Party B is still encrypting, so
+// encryption, transfer and root construction overlap.
+func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
+	if p.scheme == nil {
+		return fmt.Errorf("core: gradients before setup")
+	}
+	n := p.data.Rows()
+	if p.gh == nil || p.tree != m.Tree {
+		p.tree = m.Tree
+		p.gh = &encGH{
+			g: make([]fixedpoint.EncNum, n),
+			h: make([]fixedpoint.EncNum, n),
+		}
+		p.rootParts = make([]*EncHistogram, p.cfg.Workers)
+		p.rootCount = 0
+		p.nodeInsts = make(map[int32][]int32)
+		p.tasks = make(map[int32]*histTask)
+		p.binCache = make(map[int32]*cachedBins)
+	}
+	if m.Start+len(m.G) > n {
+		return fmt.Errorf("core: gradient batch [%d,%d) out of range", m.Start, m.Start+len(m.G))
+	}
+	for k := range m.G {
+		gc, err := p.scheme.Unmarshal(m.G[k])
+		if err != nil {
+			return err
+		}
+		hc, err := p.scheme.Unmarshal(m.H[k])
+		if err != nil {
+			return err
+		}
+		i := m.Start + k
+		p.gh.g[i] = fixedpoint.EncNum{Exp: int(m.GExp[k]), Ct: gc}
+		p.gh.h[i] = fixedpoint.EncNum{Exp: int(m.HExp[k]), Ct: hc}
+	}
+
+	// Accumulate this batch into the root histogram immediately,
+	// sharded across workers (each worker owns a partial histogram;
+	// merged once the last batch arrives).
+	start := time.Now()
+	endSpan := p.rec.Span(p.lane("BuildHist"), fmt.Sprintf("root batch @%d", m.Start))
+	insts := make([]int32, len(m.G))
+	for k := range insts {
+		insts[k] = int32(m.Start + k)
+	}
+	workers := len(p.rootParts)
+	var wg sync.WaitGroup
+	chunk := (len(insts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(insts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(insts) {
+			hi = len(insts)
+		}
+		if p.rootParts[w] == nil {
+			p.rootParts[w] = NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p.rootParts[w].Accumulate(p.bm, insts[lo:hi], p.gh)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	p.rootCount += len(insts)
+	endSpan()
+	addDur(&p.stats.buildHistTime, time.Since(start))
+
+	if m.Last {
+		if p.rootCount != n {
+			return fmt.Errorf("core: root saw %d of %d instances", p.rootCount, n)
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		p.nodeInsts[rootID] = all
+		if p.cfg.MaxDepth > 0 {
+			var root *EncHistogram
+			for _, part := range p.rootParts {
+				if part == nil {
+					continue
+				}
+				if root == nil {
+					root = part
+				} else {
+					root.Merge(part)
+				}
+			}
+			if root == nil {
+				root = NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
+			}
+			nh, err := p.finalizeNodeHist(rootID, root)
+			if err != nil {
+				return err
+			}
+			if err := p.send(MsgHistograms{Tree: p.tree, Layer: 0, Nodes: []NodeHist{nh}}); err != nil {
+				return err
+			}
+		}
+		p.rootParts = nil
+	}
+	return nil
+}
+
+// finalizeNodeHist converts a built histogram into its wire form and
+// caches the finalized bins for sibling subtraction.
+func (p *passiveParty) finalizeNodeHist(node int32, eh *EncHistogram) (NodeHist, error) {
+	g, h := eh.FinalizeBins(-1)
+	return p.wireNodeHist(node, g, h)
+}
+
+// wireNodeHist serializes finalized bins. With adaptive packing a feature
+// ships packed only when that reduces Party B's decryptions (occupied
+// bins exceed the packed ciphertext count); packFeature scales the chosen
+// features to the unified exponent.
+func (p *passiveParty) wireNodeHist(node int32, g, h []fixedpoint.EncNum) (NodeHist, error) {
+	if p.cfg.HistogramSubtraction {
+		p.binCacheMu.Lock()
+		p.binCache[node] = &cachedBins{g: g, h: h}
+		p.binCacheMu.Unlock()
+	}
+	nh := NodeHist{Node: node, Feats: make([]FeatHist, p.data.Cols())}
+	for j := 0; j < p.data.Cols(); j++ {
+		lo, hi := p.offsets[j], p.offsets[j+1]
+		fh := FeatHist{NumBins: hi - lo}
+		if p.packing && p.shouldPack(g[lo:hi], h[lo:hi]) {
+			pg, err := packFeature(p.codec, g[lo:hi], p.shiftCt, p.plan)
+			if err != nil {
+				return NodeHist{}, err
+			}
+			ph, err := packFeature(p.codec, h[lo:hi], p.shiftCt, p.plan)
+			if err != nil {
+				return NodeHist{}, err
+			}
+			fh.Packed = true
+			fh.PackedG, fh.PackedH = pg, ph
+			fh.Exp = int16(p.plan.exp)
+		} else {
+			fh.GBins = make([][]byte, hi-lo)
+			fh.HBins = make([][]byte, hi-lo)
+			fh.GExp = make([]int16, hi-lo)
+			fh.HExp = make([]int16, hi-lo)
+			for k := lo; k < hi; k++ {
+				fh.GBins[k-lo], fh.GExp[k-lo] = p.marshalBin(g[k])
+				fh.HBins[k-lo], fh.HExp[k-lo] = p.marshalBin(h[k])
+			}
+		}
+		nh.Feats[j] = fh
+	}
+	return nh, nil
+}
+
+// shouldPack decides per feature whether packing pays off. Without
+// adaptive packing every feature is packed (the paper's behaviour).
+func (p *passiveParty) shouldPack(g, h []fixedpoint.EncNum) bool {
+	if !p.cfg.AdaptivePacking {
+		return true
+	}
+	occupied := 0
+	for i := range g {
+		if g[i].Ct != nil || h[i].Ct != nil {
+			occupied++
+		}
+	}
+	packedCts := (len(g) + p.plan.capacity - 1) / p.plan.capacity
+	return occupied > packedCts
+}
+
+// marshalBin serializes a bin; empty bins become nil payloads, which the
+// decoder treats as exact zero. Emptiness carries no extra information:
+// Party B decrypts every bin sum anyway, so it would see the zeros
+// regardless.
+func (p *passiveParty) marshalBin(b fixedpoint.EncNum) ([]byte, int16) {
+	if b.Ct == nil {
+		return nil, int16(p.codec.BaseExp())
+	}
+	return p.scheme.Marshal(b.Ct), int16(b.Exp)
+}
+
+// handleDecisions applies a layer's (tentative or final) node decisions.
+func (p *passiveParty) handleDecisions(m MsgDecisions) error {
+	for _, d := range m.Nodes {
+		if err := p.applyDecision(m.Layer, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *passiveParty) applyDecision(layer int, d NodeDecision) error {
+	// Corrective decisions may abort previously-scheduled children.
+	if d.AbortLeft != 0 || d.AbortRight != 0 {
+		p.abortChildren(d.AbortLeft, d.AbortRight)
+	}
+	insts, ok := p.nodeInsts[d.Node]
+	if !ok {
+		return fmt.Errorf("core: party %d: decision for unknown node %d", p.index, d.Node)
+	}
+	switch d.Action {
+	case ActionLeaf:
+		// Keep the instance list: under the optimistic protocol a
+		// tentative leaf can still be revived by a dirty correction, and
+		// per-tree state is discarded wholesale at MsgTreeDone anyway.
+		return nil
+	case ActionSplitB:
+		if len(d.Placement) == 0 && d.Count > 0 {
+			return fmt.Errorf("core: splitB decision without placement for node %d", d.Node)
+		}
+		left, right := applyPlacement(insts, d.Placement)
+		p.childReady(d.Node, layer, d.LeftID, left, d.RightID, right)
+		return nil
+	case ActionSplitA:
+		if d.Owner == p.index {
+			// My split: record it, compute the placement and answer.
+			threshold := p.mapper.Threshold(int(d.Feature), int(d.Bin))
+			p.recordSplit(d.Node, d.Feature, threshold, d.LeftID, d.RightID)
+			left, right := p.partition(insts, d.Feature, d.Bin)
+			bits := make([]bool, len(insts))
+			li := 0
+			for k, inst := range insts {
+				if li < len(left) && left[li] == inst {
+					bits[k] = true
+					li++
+				}
+			}
+			if err := p.send(MsgPlacement{Tree: p.tree, Layer: layer, Node: d.Node, Bits: packBitmap(bits), Count: len(insts)}); err != nil {
+				return err
+			}
+			p.childReady(d.Node, layer, d.LeftID, left, d.RightID, right)
+			return nil
+		}
+		// Another party's split: the placement is relayed by B.
+		if len(d.Placement) == 0 && d.Count > 0 {
+			return fmt.Errorf("core: relayed splitA without placement for node %d", d.Node)
+		}
+		left, right := applyPlacement(insts, d.Placement)
+		p.childReady(d.Node, layer, d.LeftID, left, d.RightID, right)
+		return nil
+	default:
+		return fmt.Errorf("core: unknown decision action %d", d.Action)
+	}
+}
+
+// handleDirty rolls back a dirty node: this party's split won, so the
+// tentative children are aborted and the corrected split applied.
+func (p *passiveParty) handleDirty(m MsgDirty) error {
+	p.abortChildren(m.OldLeft, m.OldRight)
+	return p.applyDecision(m.Layer, NodeDecision{
+		Node:    m.Node,
+		Action:  ActionSplitA,
+		Owner:   p.index,
+		LeftID:  m.LeftID,
+		RightID: m.RightID,
+		Feature: m.Feature,
+		Bin:     m.Bin,
+	})
+}
+
+// abortChildren cancels queued or running histogram tasks and discards the
+// instance lists of aborted tentative children.
+func (p *passiveParty) abortChildren(ids ...int32) {
+	p.tasksMu.Lock()
+	defer p.tasksMu.Unlock()
+	for _, id := range ids {
+		if id == 0 {
+			continue
+		}
+		if t, ok := p.tasks[id]; ok {
+			t.aborted.Store(true)
+			delete(p.tasks, id)
+			p.stats.abortedTasks.Add(1)
+		}
+		delete(p.nodeInsts, id)
+	}
+}
+
+// recordSplit stores this party's private split payload in its model
+// fragment.
+func (p *passiveParty) recordSplit(node int32, feature int32, threshold float64, left, right int32) {
+	for len(p.model.Trees) <= p.tree {
+		p.model.Trees = append(p.model.Trees, NewFedTree(rootID))
+	}
+	t := p.model.Trees[p.tree]
+	t.Nodes[node] = &FedNode{
+		Owner:     p.index,
+		Feature:   feature,
+		Threshold: threshold,
+		Left:      left,
+		Right:     right,
+	}
+}
+
+// partition splits an instance list on one of this party's features.
+func (p *passiveParty) partition(insts []int32, feature, bin int32) (left, right []int32) {
+	for _, i := range insts {
+		if gbdt.GoesLeft(p.bm, i, feature, bin) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// childReady registers the children of a split node and schedules their
+// histogram builds (children at the depth limit are future leaves and
+// need no histograms).
+func (p *passiveParty) childReady(parent int32, layer int, leftID int32, left []int32, rightID int32, right []int32) {
+	p.nodeInsts[leftID] = left
+	p.nodeInsts[rightID] = right
+	childLayer := layer + 1
+	if childLayer >= p.cfg.MaxDepth {
+		return
+	}
+	if p.cfg.HistogramSubtraction {
+		p.binCacheMu.Lock()
+		parentBins, ok := p.binCache[parent]
+		p.binCacheMu.Unlock()
+		if ok {
+			p.scheduleHistPair(parentBins, childLayer, leftID, left, rightID, right)
+			return
+		}
+	}
+	p.scheduleHist(leftID, childLayer, left)
+	p.scheduleHist(rightID, childLayer, right)
+}
+
+// scheduleHistPair builds only the smaller child's histogram and derives
+// the sibling by homomorphic subtraction from the cached parent bins. One
+// abortable task covers both children.
+func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID int32, left []int32, rightID int32, right []int32) {
+	smallID, small, bigID := leftID, left, rightID
+	if len(right) < len(left) {
+		smallID, small, bigID = rightID, right, leftID
+	}
+	task := &histTask{node: smallID, layer: layer}
+	p.tasksMu.Lock()
+	p.tasks[smallID] = task
+	p.tasks[bigID] = task
+	p.tasksMu.Unlock()
+	gh := p.gh
+	tree := p.tree
+	p.taskWG.Add(1)
+	go func() {
+		defer p.taskWG.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		g, h, ok := p.buildBins(task, small, gh)
+		if !ok {
+			return
+		}
+		smallNH, err := p.wireNodeHist(smallID, g, h)
+		if err != nil {
+			panic(err)
+		}
+		if task.aborted.Load() {
+			return
+		}
+		p.send(MsgHistograms{Tree: tree, Layer: layer, Nodes: []NodeHist{smallNH}})
+
+		// Sibling = parent - small, bin by bin.
+		start := time.Now()
+		sg := subtractBins(p.codec, parent.g, g)
+		sh := subtractBins(p.codec, parent.h, h)
+		addDur(&p.stats.buildHistTime, time.Since(start))
+		if task.aborted.Load() {
+			return
+		}
+		bigNH, err := p.wireNodeHist(bigID, sg, sh)
+		if err != nil {
+			panic(err)
+		}
+		if task.aborted.Load() {
+			return
+		}
+		p.send(MsgHistograms{Tree: tree, Layer: layer, Nodes: []NodeHist{bigNH}})
+		p.tasksMu.Lock()
+		delete(p.tasks, smallID)
+		delete(p.tasks, bigID)
+		p.tasksMu.Unlock()
+	}()
+}
+
+// buildBins accumulates one node's histogram in abort-checked chunks and
+// finalizes it. ok is false when the task was aborted.
+func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h []fixedpoint.EncNum, ok bool) {
+	if task.aborted.Load() {
+		return nil, nil, false
+	}
+	start := time.Now()
+	endSpan := p.rec.Span(p.lane("BuildHist"), fmt.Sprintf("node %d", task.node))
+	defer endSpan()
+	eh := NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
+	const chunk = 256
+	for lo := 0; lo < len(insts); lo += chunk {
+		if task.aborted.Load() {
+			return nil, nil, false
+		}
+		hi := lo + chunk
+		if hi > len(insts) {
+			hi = len(insts)
+		}
+		eh.Accumulate(p.bm, insts[lo:hi], gh)
+	}
+	addDur(&p.stats.buildHistTime, time.Since(start))
+	if task.aborted.Load() {
+		return nil, nil, false
+	}
+	g, h = eh.FinalizeBins(-1)
+	return g, h, true
+}
+
+// subtractBins computes parent - child per bin. A child can only have
+// mass where its parent does (child instances are a subset), so a nil
+// parent bin forces a nil child bin.
+func subtractBins(codec *fixedpoint.Codec, parent, child []fixedpoint.EncNum) []fixedpoint.EncNum {
+	out := make([]fixedpoint.EncNum, len(parent))
+	for i := range parent {
+		switch {
+		case parent[i].Ct == nil && child[i].Ct == nil:
+			// stays nil (zero)
+		case parent[i].Ct == nil:
+			panic("core: child histogram has mass in a bin its parent lacks")
+		case child[i].Ct == nil:
+			out[i] = parent[i]
+		default:
+			out[i] = codec.SubEnc(parent[i], child[i])
+		}
+	}
+	return out
+}
+
+// scheduleHist launches an abortable histogram build for one node; the
+// result is sent to B as soon as it completes (nodes stream independently,
+// which is what lets B validate early and abort less work).
+func (p *passiveParty) scheduleHist(node int32, layer int, insts []int32) {
+	task := &histTask{node: node, layer: layer}
+	p.tasksMu.Lock()
+	p.tasks[node] = task
+	p.tasksMu.Unlock()
+	gh := p.gh
+	tree := p.tree
+	p.taskWG.Add(1)
+	go func() {
+		defer p.taskWG.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		g, h, ok := p.buildBins(task, insts, gh)
+		if !ok {
+			return
+		}
+		nh, err := p.wireNodeHist(node, g, h)
+		if err != nil {
+			// Packing invariants are validated at setup; a failure here
+			// is a protocol bug, not a runtime condition.
+			panic(err)
+		}
+		if task.aborted.Load() {
+			return
+		}
+		p.send(MsgHistograms{Tree: tree, Layer: layer, Nodes: []NodeHist{nh}})
+		p.tasksMu.Lock()
+		delete(p.tasks, node)
+		p.tasksMu.Unlock()
+	}()
+}
+
+// applyPlacement splits an instance list by a placement bitmap (bit set =
+// left), preserving order.
+func applyPlacement(insts []int32, bm []byte) (left, right []int32) {
+	for k, inst := range insts {
+		if bitmapGet(bm, k) {
+			left = append(left, inst)
+		} else {
+			right = append(right, inst)
+		}
+	}
+	return left, right
+}
+
+// lane names this party's Gantt lane for a phase.
+func (p *passiveParty) lane(phase string) trace.Lane {
+	return trace.Lane(fmt.Sprintf("A%d:%s", p.index, phase))
+}
+
+// rootID is the fixed node ID of every tree's root.
+const rootID int32 = 1

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/he"
+	"vf2boost/internal/trace"
+)
+
+// activeParty is the Party B engine: it owns the labels and the private
+// key, orchestrates the training routine, decrypts passive histograms and
+// arbitrates the globally best split of every node.
+type activeParty struct {
+	cfg  Config
+	data *dataset.Dataset
+
+	mapper *gbdt.BinMapper
+	bm     *gbdt.BinnedMatrix
+
+	dec   he.Decryptor
+	codec *fixedpoint.Codec
+
+	links []*link
+	pumps []*pump
+
+	packing bool
+	plan    packPlan
+
+	stats *Stats
+
+	// offsets[i] is the global feature offset of passive party i; bOffset
+	// is Party B's own.
+	offsets []int32
+	bOffset int32
+
+	// Per-tree training state.
+	margins []float64
+	grads   []float64
+	hess    []float64
+	nextID  int32
+
+	model *PartyModel
+
+	// rec, when set, records Gantt spans of the cryptography phases
+	// (Figures 4 and 5). A nil recorder is a no-op.
+	rec *trace.Recorder
+
+	// perTreeTime records wall time per boosting round for Figure 10.
+	perTreeTime []time.Duration
+}
+
+// pump demultiplexes one passive party's incoming messages by type so the
+// scheduler can await histograms and placements independently. A pump's
+// receive loop also keeps draining while B computes, which is what lets
+// blaster batches and streamed histograms overlap with decryption.
+type pump struct {
+	hist      chan MsgHistograms
+	placement chan MsgPlacement
+	ready     chan MsgReady
+	errs      chan error
+
+	// stores hold messages pulled off the channels but not yet consumed.
+	histStore  map[int32]NodeHist
+	placeStore map[int32]MsgPlacement
+}
+
+func startPump(l *link) *pump {
+	p := &pump{
+		hist:       make(chan MsgHistograms, 1024),
+		placement:  make(chan MsgPlacement, 256),
+		ready:      make(chan MsgReady, 1),
+		errs:       make(chan error, 1),
+		histStore:  make(map[int32]NodeHist),
+		placeStore: make(map[int32]MsgPlacement),
+	}
+	go func() {
+		for {
+			msg, err := l.recv()
+			if err != nil {
+				p.errs <- err
+				return
+			}
+			switch m := msg.(type) {
+			case MsgHistograms:
+				p.hist <- m
+			case MsgPlacement:
+				p.placement <- m
+			case MsgReady:
+				p.ready <- m
+			default:
+				p.errs <- fmt.Errorf("core: party B: unexpected message %T", msg)
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// histFor blocks until the passive party's histogram for a node of the
+// given tree arrives. Histograms from earlier trees (stragglers from
+// aborted optimistic sub-tasks) are discarded: node IDs restart every
+// tree, so without the tree filter a stale message could masquerade as
+// the current tree's histogram.
+func (p *pump) histFor(tree int, node int32) (NodeHist, error) {
+	for {
+		if nh, ok := p.histStore[node]; ok {
+			delete(p.histStore, node)
+			return nh, nil
+		}
+		select {
+		case m := <-p.hist:
+			if m.Tree != tree {
+				continue
+			}
+			for _, nh := range m.Nodes {
+				p.histStore[nh.Node] = nh
+			}
+		case err := <-p.errs:
+			return NodeHist{}, err
+		}
+	}
+}
+
+// placementFor blocks until the passive party's placement for a node of
+// the given tree arrives; stale-tree placements are discarded.
+func (p *pump) placementFor(tree int, node int32) (MsgPlacement, error) {
+	for {
+		if pl, ok := p.placeStore[node]; ok {
+			delete(p.placeStore, node)
+			return pl, nil
+		}
+		select {
+		case m := <-p.placement:
+			if m.Tree != tree {
+				continue
+			}
+			p.placeStore[m.Node] = m
+		case err := <-p.errs:
+			return MsgPlacement{}, err
+		}
+	}
+}
+
+// reset discards per-tree leftovers (stale histograms of aborted nodes).
+func (p *pump) reset() {
+	p.histStore = make(map[int32]NodeHist)
+	p.placeStore = make(map[int32]MsgPlacement)
+	for {
+		select {
+		case <-p.hist:
+		case <-p.placement:
+		default:
+			return
+		}
+	}
+}
+
+func newActiveParty(data *dataset.Dataset, cfg Config, dec he.Decryptor, links []*link, stats *Stats) (*activeParty, error) {
+	if data.Labels == nil {
+		return nil, fmt.Errorf("core: party B dataset has no labels")
+	}
+	mapper, err := gbdt.NewBinMapper(data, cfg.MaxBins)
+	if err != nil {
+		return nil, err
+	}
+	b := &activeParty{
+		cfg:    cfg,
+		data:   data,
+		mapper: mapper,
+		bm:     gbdt.NewBinnedMatrix(data, mapper),
+		dec:    dec,
+		codec: fixedpoint.NewCodec(dec,
+			fixedpoint.WithExponents(cfg.BaseExp, cfg.ExpSpread),
+			fixedpoint.WithSeed(cfg.Seed)),
+		links: links,
+		stats: stats,
+		model: &PartyModel{Party: len(links)},
+	}
+	if cfg.HistogramPacking {
+		plan, err := planPacking(b.codec, data.Rows(), cfg.Loss.GradBound(), fixedpoint.DefaultPackBits)
+		if err != nil {
+			return nil, err
+		}
+		b.packing = true
+		b.plan = plan
+	}
+	return b, nil
+}
+
+// setup shares the cryptographic context and learns each passive party's
+// feature count (for the global feature order).
+func (b *activeParty) setup() error {
+	setup := MsgSetup{
+		Scheme:    b.cfg.Scheme,
+		N:         b.dec.N().Bytes(),
+		Bits:      b.dec.Bits(),
+		BaseExp:   b.cfg.BaseExp,
+		ExpSpread: b.cfg.ExpSpread,
+	}
+	if b.packing {
+		setup.PackBits = b.plan.bits
+		setup.Shift = b.plan.shift
+	}
+	for _, l := range b.links {
+		if err := l.send(setup); err != nil {
+			return err
+		}
+	}
+	b.pumps = make([]*pump, len(b.links))
+	for i, l := range b.links {
+		b.pumps[i] = startPump(l)
+	}
+	b.offsets = make([]int32, len(b.links))
+	off := int32(0)
+	for i, p := range b.pumps {
+		select {
+		case r := <-p.ready:
+			if r.Rows != b.data.Rows() {
+				return fmt.Errorf("core: party %d has %d rows, party B has %d (instances not aligned)",
+					i, r.Rows, b.data.Rows())
+			}
+			b.offsets[i] = off
+			off += int32(r.Features)
+		case err := <-p.errs:
+			return err
+		}
+	}
+	b.bOffset = off
+	return nil
+}
+
+// train runs all boosting rounds and returns B's model fragment.
+func (b *activeParty) train() (*PartyModel, error) {
+	if err := b.setup(); err != nil {
+		return nil, err
+	}
+	n := b.data.Rows()
+	b.margins = make([]float64, n)
+	b.grads = make([]float64, n)
+	b.hess = make([]float64, n)
+
+	// With adaptive optimism the optimistic schedule is abandoned for the
+	// next tree whenever the previous tree's dirty ratio exceeded 1/2:
+	// the optimistic bet lost more often than it won, so the re-done work
+	// outweighs the hidden idle time.
+	backOff := false
+	for t := 0; t < b.cfg.Trees; t++ {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			b.grads[i], b.hess[i] = b.cfg.Loss.GradHess(b.data.Labels[i], b.margins[i])
+		}
+		if err := b.sendGradients(t); err != nil {
+			return nil, err
+		}
+		dirtyBefore := b.stats.DirtyNodes()
+		splitsBefore := b.stats.SplitsByA() + b.stats.SplitsByB()
+		var tree *FedTree
+		var leaves []leafResult
+		var err error
+		if b.cfg.OptimisticSplit && !(b.cfg.AdaptiveOptimism && backOff) {
+			tree, leaves, err = b.buildTreeOptimistic(t)
+			dirty := b.stats.DirtyNodes() - dirtyBefore
+			splits := b.stats.SplitsByA() + b.stats.SplitsByB() - splitsBefore
+			backOff = splits > 0 && float64(dirty)/float64(splits) > 0.5
+		} else {
+			tree, leaves, err = b.buildTreeSequential(t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.model.Trees = append(b.model.Trees, tree)
+		for _, lf := range leaves {
+			for _, i := range lf.insts {
+				b.margins[i] += b.cfg.LearningRate * lf.weight
+			}
+		}
+		for _, l := range b.links {
+			if err := l.send(MsgTreeDone{Tree: t}); err != nil {
+				return nil, err
+			}
+		}
+		for _, p := range b.pumps {
+			p.reset()
+		}
+		b.stats.treesFinished.Add(1)
+		b.perTreeTime = append(b.perTreeTime, time.Since(start))
+	}
+	for _, l := range b.links {
+		if err := l.send(MsgShutdown{}); err != nil {
+			return nil, err
+		}
+	}
+	return b.model, nil
+}
+
+// sendGradients encrypts the round's gradient statistics and ships them to
+// every passive party. With blaster encryption the instances stream in
+// batches so encryption, WAN transfer, and root-histogram construction in
+// the passive parties overlap (Section 4.1); without it one bulk batch is
+// sent after all encryption finishes.
+func (b *activeParty) sendGradients(t int) error {
+	n := b.data.Rows()
+	batch := b.cfg.BatchSize
+	if !b.cfg.BlasterEncryption {
+		batch = n
+	}
+
+	// Blaster mode ships finished batches from a background goroutine
+	// (the paper's "blasts the ciphers to Party A in a background
+	// thread"), so encryption of batch k+1 overlaps the WAN transmission
+	// of batch k. Without blaster the single bulk batch is sent inline.
+	var sendCh chan MsgGradBatch
+	var sendErr error
+	done := make(chan struct{})
+	if b.cfg.BlasterEncryption {
+		sendCh = make(chan MsgGradBatch, 2)
+		go func() {
+			defer close(done)
+			for m := range sendCh {
+				for _, l := range b.links {
+					if err := l.send(m); err != nil {
+						sendErr = err
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		m := MsgGradBatch{
+			Tree:  t,
+			Start: start,
+			G:     make([][]byte, end-start),
+			H:     make([][]byte, end-start),
+			GExp:  make([]int16, end-start),
+			HExp:  make([]int16, end-start),
+			Last:  end == n,
+		}
+		encStart := time.Now()
+		endSpan := b.rec.Span("B:Encrypt", fmt.Sprintf("tree %d [%d,%d)", t, start, end))
+		if err := b.encryptRange(start, end, &m); err != nil {
+			return err
+		}
+		endSpan()
+		addDur(&b.stats.encryptTime, time.Since(encStart))
+		if sendCh != nil {
+			select {
+			case sendCh <- m:
+			case <-done:
+				return sendErr
+			}
+			continue
+		}
+		for _, l := range b.links {
+			if err := l.send(m); err != nil {
+				return err
+			}
+		}
+	}
+	if sendCh != nil {
+		close(sendCh)
+		<-done
+		return sendErr
+	}
+	return nil
+}
+
+// encryptRange fills a gradient batch with ciphertexts, parallelized
+// across the configured workers.
+func (b *activeParty) encryptRange(start, end int, m *MsgGradBatch) error {
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(end-start, b.cfg.Workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := start + k
+			eg, err := b.codec.EncryptValue(b.grads[i])
+			if err == nil {
+				var eh fixedpoint.EncNum
+				eh, err = b.codec.EncryptValue(b.hess[i])
+				if err == nil {
+					m.G[k] = b.dec.Marshal(eg.Ct)
+					m.H[k] = b.dec.Marshal(eh.Ct)
+					m.GExp[k] = int16(eg.Exp)
+					m.HExp[k] = int16(eh.Exp)
+					continue
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+	})
+	return firstErr
+}
+
+// bNode is Party B's bookkeeping for one live tree node.
+type bNode struct {
+	id    int32
+	insts []int32
+	g, h  float64
+}
+
+// leafResult is a finalized leaf: its instances receive the weight.
+type leafResult struct {
+	insts  []int32
+	weight float64
+}
+
+// candidate is a best-split candidate tagged with its owner for global
+// arbitration.
+type candidate struct {
+	split      gbdt.Split
+	party      int // passive index, or len(links) for B
+	globalFeat int32
+}
+
+func (c candidate) valid() bool { return c.split.Valid() }
+
+// betterCandidate imposes the global deterministic order: gain first, then
+// global feature index, then bin — the same rule gbdt.Better applies
+// locally, so federated arbitration matches co-located training.
+func betterCandidate(a, b candidate) bool {
+	if a.split.Gain != b.split.Gain {
+		return a.split.Gain > b.split.Gain
+	}
+	if a.globalFeat != b.globalFeat {
+		return a.globalFeat < b.globalFeat
+	}
+	return a.split.Bin < b.split.Bin
+}
+
+// ownBest finds Party B's best split for a node from its plaintext
+// histogram.
+func (b *activeParty) ownBest(h *gbdt.Histogram, node *bNode) candidate {
+	start := time.Now()
+	s := gbdt.BestSplit(h, node.g, node.h, b.cfg.Split)
+	addDur(&b.stats.findSplitTime, time.Since(start))
+	c := candidate{split: s, party: len(b.links)}
+	if s.Valid() {
+		c.globalFeat = b.bOffset + s.Feature
+	}
+	return c
+}
+
+// passiveBest decrypts one passive party's histogram of a node and finds
+// that party's best split.
+func (b *activeParty) passiveBest(party int, nh NodeHist, node *bNode) (candidate, error) {
+	decStart := time.Now()
+	endSpan := b.rec.Span("B:Decrypt+FindSplitA", fmt.Sprintf("node %d", node.id))
+	gSums, hSums, err := b.decryptNodeHist(nh)
+	endSpan()
+	addDur(&b.stats.decryptTime, time.Since(decStart))
+	if err != nil {
+		return candidate{}, err
+	}
+	findStart := time.Now()
+	best := candidate{split: gbdt.NoSplit, party: party}
+	for j := range gSums {
+		s := gbdt.BestSplitForFeature(int32(j), gSums[j], hSums[j], node.g, node.h, b.cfg.Split)
+		if !s.Valid() {
+			continue
+		}
+		c := candidate{split: s, party: party, globalFeat: b.offsets[party] + int32(j)}
+		if !best.valid() || betterCandidate(c, best) {
+			best = c
+		}
+	}
+	addDur(&b.stats.findSplitTime, time.Since(findStart))
+	return best, nil
+}
+
+// decryptNodeHist recovers the per-feature (g, h) bin sums of a passive
+// histogram, parallelized across features.
+func (b *activeParty) decryptNodeHist(nh NodeHist) (gSums, hSums [][]float64, err error) {
+	gSums = make([][]float64, len(nh.Feats))
+	hSums = make([][]float64, len(nh.Feats))
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(len(nh.Feats), b.cfg.Workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			g, h, err := b.decryptFeature(nh.Feats[j])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			gSums[j], hSums[j] = g, h
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return gSums, hSums, nil
+}
+
+func (b *activeParty) decryptFeature(fh FeatHist) (g, h []float64, err error) {
+	if fh.Packed {
+		g, err = unpackFeature(b.codec, b.dec, fh.PackedG, fh.NumBins, b.plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err = unpackFeature(b.codec, b.dec, fh.PackedH, fh.NumBins, b.plan)
+		return g, h, err
+	}
+	g = make([]float64, fh.NumBins)
+	h = make([]float64, fh.NumBins)
+	for k := 0; k < fh.NumBins; k++ {
+		g[k], err = b.decryptBin(fh.GBins[k], int(fh.GExp[k]))
+		if err != nil {
+			return nil, nil, err
+		}
+		h[k], err = b.decryptBin(fh.HBins[k], int(fh.HExp[k]))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, h, nil
+}
+
+func (b *activeParty) decryptBin(payload []byte, exp int) (float64, error) {
+	if len(payload) == 0 {
+		return 0, nil // empty bin
+	}
+	ct, err := b.dec.Unmarshal(payload)
+	if err != nil {
+		return 0, err
+	}
+	return b.codec.Decrypt(b.dec, fixedpoint.EncNum{Exp: exp, Ct: ct})
+}
+
+// childStats computes exact child gradient totals from B's plaintext
+// gradient arrays (B always knows node membership).
+func (b *activeParty) childStats(insts []int32) (g, h float64) {
+	for _, i := range insts {
+		g += b.grads[i]
+		h += b.hess[i]
+	}
+	return g, h
+}
+
+// placementBitmap computes the left/right bitmap of a Party-B split over
+// a node's instances.
+func (b *activeParty) placementBitmap(insts []int32, feature, bin int32) ([]byte, []int32, []int32) {
+	bits := make([]bool, len(insts))
+	var left, right []int32
+	for k, i := range insts {
+		if gbdt.GoesLeft(b.bm, i, feature, bin) {
+			bits[k] = true
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return packBitmap(bits), left, right
+}
+
+// allocID hands out the next tree-node ID.
+func (b *activeParty) allocID() int32 {
+	b.nextID++
+	return b.nextID
+}
+
+// buildOwnHistograms builds Party B's plaintext histograms for a set of
+// nodes.
+func (b *activeParty) buildOwnHistograms(nodes []*bNode) []*gbdt.Histogram {
+	lists := make([][]int32, len(nodes))
+	for k, nd := range nodes {
+		lists[k] = nd.insts
+	}
+	return gbdt.BuildHistograms(b.bm, lists, b.grads, b.hess, b.cfg.Workers)
+}

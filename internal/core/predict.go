@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"vf2boost/internal/dataset"
+)
+
+// Federated prediction: after training, each party keeps only its own
+// model fragment, so scoring new (aligned) instances is itself a
+// protocol. The exchange mirrors training's placement messages: Party B
+// announces the instance count, every passive party answers with one
+// routing bitmap per split node it owns (bit i set = instance i routes
+// left), and B — which knows the full tree structure — routes every
+// instance locally. Passive parties reveal exactly the same information
+// as during training (placements), never features or thresholds.
+
+// MsgPredictStart asks a passive party for routing bitmaps over its
+// current dataset rows.
+type MsgPredictStart struct {
+	Rows int
+}
+
+// MsgPredictPlacements answers with one bitmap per owned split node, or
+// an error description when the request cannot be served.
+type MsgPredictPlacements struct {
+	Party int
+	Nodes []PredictNodeBits
+	Last  bool
+	Error string
+}
+
+// PredictNodeBits is the routing bitmap of one owned node of one tree.
+type PredictNodeBits struct {
+	Tree int
+	Node int32
+	Bits []byte
+}
+
+func init() {
+	gob.Register(MsgPredictStart{})
+	gob.Register(MsgPredictPlacements{})
+}
+
+// ServePredict answers prediction queries for a passive party: it blocks
+// for one MsgPredictStart, streams the routing bitmaps for every split
+// node the fragment owns, and returns. data must hold the party's feature
+// shard of the instances to score, aligned with the other parties.
+func ServePredict(fragment *PartyModel, data *dataset.Dataset, tr Transport) error {
+	l := &link{out: tr, in: tr}
+	msg, err := l.recv()
+	if err != nil {
+		return err
+	}
+	start, ok := msg.(MsgPredictStart)
+	if !ok {
+		return fmt.Errorf("core: expected MsgPredictStart, got %T", msg)
+	}
+	if start.Rows != data.Rows() {
+		err := fmt.Errorf("core: predict rows %d, shard has %d", start.Rows, data.Rows())
+		// Tell the querying party before failing, so it does not hang.
+		_ = l.send(MsgPredictPlacements{Party: fragment.Party, Last: true, Error: err.Error()})
+		return err
+	}
+	out := MsgPredictPlacements{Party: fragment.Party, Last: true}
+	for ti, tree := range fragment.Trees {
+		ids := make([]int32, 0, len(tree.Nodes))
+		for id := range tree.Nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			n := tree.Nodes[id]
+			if n.Owner != fragment.Party {
+				continue
+			}
+			bits := make([]bool, data.Rows())
+			for i := 0; i < data.Rows(); i++ {
+				bits[i] = goesLeftRaw(data, i, n.Feature, n.Threshold)
+			}
+			out.Nodes = append(out.Nodes, PredictNodeBits{Tree: ti, Node: id, Bits: packBitmap(bits)})
+		}
+	}
+	return l.send(out)
+}
+
+// PredictRemote scores aligned instances from Party B's side: bData is
+// B's feature shard, bFragment its model fragment (which holds the full
+// structure), and trs one transport per passive party currently serving
+// ServePredict. It returns raw margins.
+func PredictRemote(bFragment *PartyModel, learningRate float64, bData *dataset.Dataset, trs []Transport) ([]float64, error) {
+	n := bData.Rows()
+	// Collect passive routing bitmaps.
+	type key struct {
+		party int
+		tree  int
+		node  int32
+	}
+	routes := make(map[key][]byte)
+	for pi, tr := range trs {
+		l := &link{out: tr, in: tr}
+		if err := l.send(MsgPredictStart{Rows: n}); err != nil {
+			return nil, err
+		}
+		msg, err := l.recv()
+		if err != nil {
+			return nil, err
+		}
+		pl, ok := msg.(MsgPredictPlacements)
+		if !ok {
+			return nil, fmt.Errorf("core: expected MsgPredictPlacements, got %T", msg)
+		}
+		if pl.Error != "" {
+			return nil, fmt.Errorf("core: party %d cannot serve prediction: %s", pi, pl.Error)
+		}
+		for _, nb := range pl.Nodes {
+			routes[key{party: pi, tree: nb.Tree, node: nb.Node}] = nb.Bits
+		}
+	}
+
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		margin := 0.0
+		for ti, tree := range bFragment.Trees {
+			id := tree.Root
+			for hop := 0; ; hop++ {
+				if hop > 64 {
+					return nil, fmt.Errorf("core: prediction traversal of tree %d did not terminate", ti)
+				}
+				nd, ok := tree.Nodes[id]
+				if !ok {
+					return nil, fmt.Errorf("core: tree %d missing node %d", ti, id)
+				}
+				if nd.Owner == OwnerLeaf {
+					margin += learningRate * nd.Weight
+					break
+				}
+				var left bool
+				if nd.Owner == bFragment.Party {
+					left = goesLeftRaw(bData, i, nd.Feature, nd.Threshold)
+				} else {
+					bits, ok := routes[key{party: nd.Owner, tree: ti, node: id}]
+					if !ok {
+						return nil, fmt.Errorf("core: no routing bits from party %d for tree %d node %d", nd.Owner, ti, id)
+					}
+					left = bitmapGet(bits, i)
+				}
+				if left {
+					id = nd.Left
+				} else {
+					id = nd.Right
+				}
+			}
+		}
+		out[i] = margin
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"testing"
+	"vf2boost/internal/dataset"
+)
+
+// TestFederatedPredictionProtocol: scoring through the fragment-only
+// prediction protocol must match the glued model's in-process prediction
+// exactly.
+func TestFederatedPredictionProtocol(t *testing.T) {
+	_, parts := twoPartyData(t, 300, 5, 4, 1, true, 81)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 3
+	m, _ := trainFed(t, parts, cfg)
+
+	// Glued in-process reference.
+	want, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fragment-only protocol over an in-memory transport.
+	aSide := chanTransport{ch: make(chan []byte, 8)}
+	bSide := chanTransport{ch: make(chan []byte, 8)}
+	aTr := pairTransport{send: bSide.Send, recv: aSide.Receive} // A sends to B, reads from B->A
+	bTr := pairTransport{send: aSide.Send, recv: bSide.Receive}
+
+	var wg sync.WaitGroup
+	var serveErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr = ServePredict(m.Parties[0], parts[0], aTr)
+	}()
+	got, err := PredictRemote(m.Parties[1], m.LearningRate, parts[1], []Transport{bTr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("remote prediction differs at row %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFederatedPredictionRowMismatch: the serving party must reject a
+// misaligned instance count.
+func TestFederatedPredictionRowMismatch(t *testing.T) {
+	_, parts := twoPartyData(t, 100, 3, 3, 1, true, 82)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 1
+	m, _ := trainFed(t, parts, cfg)
+
+	aSide := chanTransport{ch: make(chan []byte, 8)}
+	bSide := chanTransport{ch: make(chan []byte, 8)}
+	aTr := pairTransport{send: bSide.Send, recv: aSide.Receive}
+	bTr := pairTransport{send: aSide.Send, recv: bSide.Receive}
+
+	shrunk := parts[0].SubRows([]int{0, 1, 2})
+	done := make(chan error, 1)
+	go func() {
+		done <- ServePredict(m.Parties[0], shrunk, aTr)
+	}()
+	_, err := PredictRemote(m.Parties[1], m.LearningRate, parts[1], []Transport{bTr})
+	if err == nil {
+		t.Error("PredictRemote succeeded despite misaligned serving shard")
+	}
+	if serveErr := <-done; serveErr == nil {
+		t.Error("ServePredict accepted misaligned row count")
+	}
+}
+
+// TestFederatedPredictionMultiParty covers three parties.
+func TestFederatedPredictionMultiParty(t *testing.T) {
+	d, parts := threePartyData(t, 200, 83)
+	_ = d
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 2
+	m, _ := trainFed(t, parts, cfg)
+	want, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trsB := make([]Transport, 2)
+	var wg sync.WaitGroup
+	for pi := 0; pi < 2; pi++ {
+		aSide := chanTransport{ch: make(chan []byte, 8)}
+		bSide := chanTransport{ch: make(chan []byte, 8)}
+		aTr := pairTransport{send: bSide.Send, recv: aSide.Receive}
+		trsB[pi] = pairTransport{send: aSide.Send, recv: bSide.Receive}
+		wg.Add(1)
+		go func(pi int, tr Transport) {
+			defer wg.Done()
+			if err := ServePredict(m.Parties[pi], parts[pi], tr); err != nil {
+				t.Errorf("party %d serve: %v", pi, err)
+			}
+		}(pi, aTr)
+	}
+	got, err := PredictRemote(m.Parties[2], m.LearningRate, parts[2], trsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("multi-party remote prediction differs at row %d", i)
+		}
+	}
+}
+
+func threePartyData(t testing.TB, rows int, seed int64) (*dataset.Dataset, []*dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{Rows: rows, Cols: 12, Density: 1, Dense: true, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.VerticalSplit([]int{4, 4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p
+}

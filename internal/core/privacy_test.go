@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFragmentsContainOnlyOwnedSplits: a passive party's model fragment
+// must contain split payloads (feature, threshold) only for nodes it won;
+// Party B's fragment must carry features/thresholds only for its own
+// splits. This is the structural half of the privacy argument — the other
+// half (what crosses the wire) is fixed by the message definitions, which
+// give Feature/Bin only to the owning party.
+func TestFragmentsContainOnlyOwnedSplits(t *testing.T) {
+	_, parts := twoPartyData(t, 500, 8, 8, 1, true, 101)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 4
+	m, _ := trainFed(t, parts, cfg)
+
+	// Passive fragment: every non-root entry must be owned by party 0.
+	for ti, tree := range m.Parties[0].Trees {
+		for id, n := range tree.Nodes {
+			if id == tree.Root && n.Owner == OwnerLeaf {
+				continue // placeholder root of trees without A splits
+			}
+			if n.Owner != 0 {
+				t.Errorf("tree %d: passive fragment contains node %d owned by %d", ti, id, n.Owner)
+			}
+			if n.Owner == 0 && n.Threshold == 0 && n.Feature == 0 {
+				// A legitimate split on feature 0 can have threshold 0
+				// only if the cut is exactly 0; tolerate but sanity-check
+				// children exist.
+				if n.Left == 0 || n.Right == 0 {
+					t.Errorf("tree %d node %d: owned split without children", ti, id)
+				}
+			}
+		}
+	}
+
+	// B fragment: nodes owned by the passive party must have no feature
+	// payload (B must not learn A's thresholds).
+	for ti, tree := range m.Parties[1].Trees {
+		for id, n := range tree.Nodes {
+			if n.Owner == 0 {
+				if n.Feature != 0 || n.Threshold != 0 {
+					t.Errorf("tree %d: B's fragment leaks A's split payload at node %d", ti, id)
+				}
+			}
+		}
+	}
+}
+
+// TestPassiveFragmentHasNoLeafWeights: leaf weights derive from label
+// statistics and must stay with Party B.
+func TestPassiveFragmentHasNoLeafWeights(t *testing.T) {
+	_, parts := twoPartyData(t, 300, 6, 6, 1, true, 102)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 3
+	m, _ := trainFed(t, parts, cfg)
+	for ti, tree := range m.Parties[0].Trees {
+		for id, n := range tree.Nodes {
+			if n.Weight != 0 {
+				t.Errorf("tree %d: passive fragment carries a leaf weight at node %d", ti, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"vf2boost/internal/gbdt"
+)
+
+// buildTreeSequential grows one tree with the baseline VF-GBDT protocol:
+// every layer is a strict sequence of (build own histograms; wait for all
+// passive histograms; decrypt; decide; synchronize placements) — the
+// mutual-waiting pattern of Figure 5 (top).
+func (b *activeParty) buildTreeSequential(t int) (*FedTree, []leafResult, error) {
+	tree, root := b.startTree()
+	active := []*bNode{root}
+	var leaves []leafResult
+
+	for layer := 0; layer < b.cfg.MaxDepth && len(active) > 0; layer++ {
+		ownHists := b.buildOwnHistograms(active)
+
+		decisions := make([][]NodeDecision, len(b.links))
+		type pendingA struct {
+			node            *bNode
+			cand            candidate
+			leftID, rightID int32
+		}
+		var pending []pendingA
+		var next []*bNode
+
+		for k, nd := range active {
+			best := b.ownBest(ownHists[k], nd)
+			for pi := range b.links {
+				idle := time.Now()
+				nh, err := b.pumps[pi].histFor(t, nd.id)
+				addDur(&b.stats.bIdleTime, time.Since(idle))
+				if err != nil {
+					return nil, nil, err
+				}
+				c, err := b.passiveBest(pi, nh, nd)
+				if err != nil {
+					return nil, nil, err
+				}
+				if c.valid() && (!best.valid() || betterCandidate(c, best)) {
+					best = c
+				}
+			}
+
+			switch {
+			case !best.valid():
+				leaves = append(leaves, b.recordLeaf(tree, nd))
+				for pi := range decisions {
+					decisions[pi] = append(decisions[pi], NodeDecision{Node: nd.id, Action: ActionLeaf})
+				}
+			case best.party == len(b.links):
+				// Party B owns the split.
+				leftID, rightID := b.allocID(), b.allocID()
+				bits, left, right := b.placementBitmap(nd.insts, best.split.Feature, best.split.Bin)
+				b.recordSplitB(tree, nd, best, leftID, rightID)
+				for pi := range decisions {
+					decisions[pi] = append(decisions[pi], NodeDecision{
+						Node: nd.id, Action: ActionSplitB,
+						LeftID: leftID, RightID: rightID,
+						Placement: bits, Count: len(nd.insts),
+					})
+				}
+				next = append(next, b.childNodes(leftID, left, rightID, right)...)
+			default:
+				// A passive party owns the split: tell the owner now,
+				// relay the placement to the rest once it arrives.
+				leftID, rightID := b.allocID(), b.allocID()
+				b.recordSplitA(tree, nd, best, leftID, rightID)
+				decisions[best.party] = append(decisions[best.party], NodeDecision{
+					Node: nd.id, Action: ActionSplitA, Owner: best.party,
+					LeftID: leftID, RightID: rightID,
+					Feature: best.split.Feature, Bin: best.split.Bin,
+				})
+				pending = append(pending, pendingA{node: nd, cand: best, leftID: leftID, rightID: rightID})
+			}
+		}
+
+		for pi, l := range b.links {
+			if len(decisions[pi]) > 0 {
+				if err := l.send(MsgDecisions{Tree: t, Layer: layer, Nodes: decisions[pi]}); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+
+		for _, pa := range pending {
+			idle := time.Now()
+			pl, err := b.pumps[pa.cand.party].placementFor(t, pa.node.id)
+			addDur(&b.stats.bIdleTime, time.Since(idle))
+			if err != nil {
+				return nil, nil, err
+			}
+			left, right := applyPlacement(pa.node.insts, pl.Bits)
+			relay := NodeDecision{
+				Node: pa.node.id, Action: ActionSplitA, Owner: pa.cand.party,
+				LeftID: pa.leftID, RightID: pa.rightID,
+				Placement: pl.Bits, Count: len(pa.node.insts),
+			}
+			for pi, l := range b.links {
+				if pi == pa.cand.party {
+					continue
+				}
+				if err := l.send(MsgDecisions{Tree: t, Layer: layer, Nodes: []NodeDecision{relay}}); err != nil {
+					return nil, nil, err
+				}
+			}
+			next = append(next, b.childNodes(pa.leftID, left, pa.rightID, right)...)
+		}
+		active = next
+	}
+
+	for _, nd := range active {
+		leaves = append(leaves, b.recordLeaf(tree, nd))
+	}
+	return tree, leaves, nil
+}
+
+// startTree resets per-tree state and returns the root bookkeeping.
+func (b *activeParty) startTree() (*FedTree, *bNode) {
+	b.nextID = rootID
+	tree := NewFedTree(rootID)
+	n := b.data.Rows()
+	all := make([]int32, n)
+	var g0, h0 float64
+	for i := range all {
+		all[i] = int32(i)
+		g0 += b.grads[i]
+		h0 += b.hess[i]
+	}
+	return tree, &bNode{id: rootID, insts: all, g: g0, h: h0}
+}
+
+// recordLeaf finalizes a node as a leaf and returns its margin update.
+func (b *activeParty) recordLeaf(tree *FedTree, nd *bNode) leafResult {
+	w := gbdt.LeafWeight(nd.g, nd.h, b.cfg.Split.Lambda)
+	tree.Nodes[nd.id] = &FedNode{Owner: OwnerLeaf, Weight: w}
+	return leafResult{insts: nd.insts, weight: w}
+}
+
+// recordSplitB registers a Party-B-owned split in B's fragment (B keeps
+// the feature and threshold — they are its own data).
+func (b *activeParty) recordSplitB(tree *FedTree, nd *bNode, c candidate, leftID, rightID int32) {
+	tree.Nodes[nd.id] = &FedNode{
+		Owner:     b.model.Party,
+		Feature:   c.split.Feature,
+		Threshold: b.mapper.Threshold(int(c.split.Feature), int(c.split.Bin)),
+		Left:      leftID,
+		Right:     rightID,
+		Gain:      c.split.Gain,
+	}
+	b.stats.splitsByB.Add(1)
+}
+
+// recordSplitA registers a passive-owned split: B learns only the owner
+// and the children, never the feature or threshold.
+func (b *activeParty) recordSplitA(tree *FedTree, nd *bNode, c candidate, leftID, rightID int32) {
+	tree.Nodes[nd.id] = &FedNode{
+		Owner: c.party,
+		Left:  leftID,
+		Right: rightID,
+		Gain:  c.split.Gain,
+	}
+	b.stats.splitsByA.Add(1)
+}
+
+// childNodes wraps fresh child bookkeeping with exact gradient totals.
+func (b *activeParty) childNodes(leftID int32, left []int32, rightID int32, right []int32) []*bNode {
+	lg, lh := b.childStats(left)
+	rg, rh := b.childStats(right)
+	return []*bNode{
+		{id: leftID, insts: left, g: lg, h: lh},
+		{id: rightID, insts: right, g: rg, h: rh},
+	}
+}
+
+// parallelFor runs fn over [0, n) in contiguous chunks across workers.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

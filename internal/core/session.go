@@ -1,0 +1,271 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/he"
+	"vf2boost/internal/mq"
+	"vf2boost/internal/trace"
+)
+
+// Session wires one active and one or more passive parties through a
+// message broker and runs federated training in-process. The parties
+// exchange exactly the same wire messages whether the broker is local,
+// WAN-shaped, or fronted by the TCP gateway — the protocol engines cannot
+// tell the difference.
+type Session struct {
+	cfg    Config
+	parts  []*dataset.Dataset
+	stats  *Stats
+	shaper *mq.Shaper
+	broker *mq.Broker
+	dec    he.Decryptor
+	rec    *trace.Recorder
+
+	perTreeTime []time.Duration
+}
+
+// SessionOption customizes a session.
+type SessionOption func(*Session)
+
+// WithWAN routes all cross-party traffic through a shaped link
+// (bandwidth in Mbps, plus a fixed per-message latency), reproducing the
+// paper's 300 Mbps public network.
+func WithWAN(bandwidthMbps float64, latency time.Duration) SessionOption {
+	return func(s *Session) { s.shaper = mq.NewShaper(bandwidthMbps, latency) }
+}
+
+// WithDecryptor injects a pre-generated key pair, so benchmarks do not
+// pay key generation per run.
+func WithDecryptor(dec he.Decryptor) SessionOption {
+	return func(s *Session) { s.dec = dec }
+}
+
+// WithTrace records per-phase Gantt spans into the recorder — the
+// analysis instrument behind the paper's Figures 4 and 5.
+func WithTrace(r *trace.Recorder) SessionOption {
+	return func(s *Session) { s.rec = r }
+}
+
+// NewSession validates the per-party datasets (passive parties first, the
+// labeled Party B last) and prepares a session.
+func NewSession(parts []*dataset.Dataset, cfg Config, opts ...SessionOption) (*Session, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("core: need at least two parties, got %d", len(parts))
+	}
+	rows := parts[0].Rows()
+	for i, p := range parts {
+		if p.Rows() != rows {
+			return nil, fmt.Errorf("core: party %d has %d rows, want %d (align instances with PSI first)", i, p.Rows(), rows)
+		}
+		if i < len(parts)-1 && p.Labels != nil {
+			return nil, fmt.Errorf("core: passive party %d must not hold labels", i)
+		}
+	}
+	if parts[len(parts)-1].Labels == nil {
+		return nil, fmt.Errorf("core: the last party (Party B) must hold the labels")
+	}
+	s := &Session{cfg: cfg, parts: parts, stats: &Stats{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Stats returns the session's phase and protocol counters.
+func (s *Session) Stats() *Stats { return s.stats }
+
+// Shaper returns the WAN shaper, if any, for byte accounting.
+func (s *Session) Shaper() *mq.Shaper { return s.shaper }
+
+// Broker returns the broker for byte accounting after Train.
+func (s *Session) Broker() *mq.Broker { return s.broker }
+
+// PerTreeTimes returns the wall time of each completed boosting round.
+func (s *Session) PerTreeTimes() []time.Duration { return s.perTreeTime }
+
+// Train runs the full federated training and returns the glued model.
+func (s *Session) Train() (*FederatedModel, error) {
+	if s.dec == nil {
+		dec, err := newDecryptor(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.dec = dec
+	}
+
+	var brokerOpts []mq.Option
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, fmt.Errorf("core: drawing broker secret: %w", err)
+	}
+	brokerOpts = append(brokerOpts, mq.WithAuth(secret))
+	if s.shaper != nil {
+		brokerOpts = append(brokerOpts, mq.WithShaper(s.shaper))
+	}
+	s.broker = mq.NewBroker(brokerOpts...)
+	defer s.broker.Close()
+
+	numPassive := len(s.parts) - 1
+	bLinks := make([]*link, numPassive)
+	type result struct {
+		idx int
+		pm  *PartyModel
+		err error
+	}
+	results := make(chan result, numPassive)
+
+	for i := 0; i < numPassive; i++ {
+		b2a := fmt.Sprintf("b2a%d", i)
+		a2b := fmt.Sprintf("a%d2b", i)
+		bOut, err := s.broker.Producer(b2a, mq.Token(secret, b2a))
+		if err != nil {
+			return nil, err
+		}
+		bIn, err := s.broker.Consumer(a2b, mq.Token(secret, a2b))
+		if err != nil {
+			return nil, err
+		}
+		aOut, err := s.broker.Producer(a2b, mq.Token(secret, a2b))
+		if err != nil {
+			return nil, err
+		}
+		aIn, err := s.broker.Consumer(b2a, mq.Token(secret, b2a))
+		if err != nil {
+			return nil, err
+		}
+		bLinks[i] = &link{
+			out: pairTransport{send: bOut.Send, recv: bIn.Receive},
+			in:  pairTransport{send: nil, recv: bIn.Receive},
+		}
+		aLink := &link{
+			out: pairTransport{send: aOut.Send, recv: aIn.Receive},
+			in:  pairTransport{send: nil, recv: aIn.Receive},
+		}
+		party, err := newPassiveParty(i, s.parts[i], s.cfg, aLink, s.stats)
+		if err != nil {
+			return nil, err
+		}
+		party.rec = s.rec
+		go func(i int) {
+			pm, err := party.run()
+			results <- result{idx: i, pm: pm, err: err}
+		}(i)
+	}
+
+	active, err := newActiveParty(s.parts[len(s.parts)-1], s.cfg, s.dec, bLinks, s.stats)
+	if err != nil {
+		return nil, err
+	}
+	active.rec = s.rec
+	bModel, err := active.train()
+	if err != nil {
+		return nil, err
+	}
+	s.perTreeTime = active.perTreeTime
+
+	models := make([]*PartyModel, len(s.parts))
+	models[len(s.parts)-1] = bModel
+	for i := 0; i < numPassive; i++ {
+		r := <-results
+		if r.err != nil {
+			return nil, r.err
+		}
+		models[r.idx] = r.pm
+	}
+	// Pad passive fragments so every party indexes cfg.Trees trees.
+	for _, pm := range models {
+		for len(pm.Trees) < s.cfg.Trees {
+			pm.Trees = append(pm.Trees, NewFedTree(rootID))
+		}
+	}
+
+	splits := make([]int, len(s.parts))
+	splits[len(s.parts)-1] = int(s.stats.SplitsByB())
+	// Per-passive-party split counts come from their fragments.
+	for i := 0; i < numPassive; i++ {
+		n := 0
+		for _, t := range models[i].Trees {
+			for _, nd := range t.Nodes {
+				if nd.Owner == i {
+					n++
+				}
+			}
+		}
+		splits[i] = n
+	}
+
+	return &FederatedModel{
+		Parties:       models,
+		LearningRate:  s.cfg.LearningRate,
+		BaseScore:     0,
+		SplitsByParty: splits,
+	}, nil
+}
+
+// RunPassiveParty runs a single passive party over an arbitrary transport
+// (for example the mq TCP gateway), blocking until Party B shuts the
+// session down. It returns the party's private model fragment.
+func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport) (*PartyModel, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	p, err := newPassiveParty(index, data, cfg, &link{out: tr, in: tr}, &Stats{})
+	if err != nil {
+		return nil, err
+	}
+	return p.run()
+}
+
+// RunActiveParty runs Party B over arbitrary transports, one per passive
+// party, and returns B's model fragment plus the run statistics. In this
+// deployment each party keeps its own fragment; assemble a FederatedModel
+// only if the fragments are intentionally co-located.
+func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport) (*PartyModel, *Stats, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	dec, err := newDecryptor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	links := make([]*link, len(trs))
+	for i, tr := range trs {
+		links[i] = &link{out: tr, in: tr}
+	}
+	stats := &Stats{}
+	b, err := newActiveParty(data, cfg, dec, links, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := b.train()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pm, stats, nil
+}
+
+// newDecryptor builds the configured cryptosystem.
+func newDecryptor(cfg Config) (he.Decryptor, error) {
+	switch cfg.Scheme {
+	case SchemePaillier:
+		return he.NewPaillier(cfg.KeyBits, 0)
+	case SchemeMock:
+		return he.NewMock(max(cfg.KeyBits, 256)), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

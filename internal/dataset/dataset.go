@@ -1,0 +1,349 @@
+// Package dataset provides the training-data substrate for VF²Boost:
+// sparse (CSR) feature matrices with optional labels, LibSVM-format I/O,
+// vertical partitioning of feature columns across federated parties, and
+// deterministic synthetic generators shaped after the paper's evaluation
+// datasets (Table 3).
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset is an immutable row-major sparse matrix with optional labels.
+// Dense data is simply a CSR matrix whose rows are full. Entries that are
+// absent from a row are semantically zero.
+type Dataset struct {
+	rows, cols int
+	rowPtr     []int32
+	colIdx     []int32
+	values     []float64
+	// Labels holds one 0/1 (classification) or real (regression) target
+	// per row; nil for passive parties, which never see labels.
+	Labels []float64
+
+	// csc caches the column-major view, built lazily by Columns.
+	csc *cscView
+}
+
+type cscView struct {
+	colPtr []int32
+	rowIdx []int32
+	values []float64
+}
+
+// Builder assembles a Dataset row by row.
+type Builder struct {
+	cols   int
+	rowPtr []int32
+	colIdx []int32
+	values []float64
+	labels []float64
+}
+
+// NewBuilder starts a dataset with a fixed number of feature columns.
+func NewBuilder(cols int) *Builder {
+	return &Builder{cols: cols, rowPtr: []int32{0}}
+}
+
+// AddRow appends a row given its nonzero entries. Indices must be unique,
+// in-range and the pairs are sorted internally. label is appended to the
+// label vector; use AddRowUnlabeled for passive-party data.
+func (b *Builder) AddRow(indices []int32, values []float64, label float64) error {
+	if err := b.addFeatures(indices, values); err != nil {
+		return err
+	}
+	b.labels = append(b.labels, label)
+	return nil
+}
+
+// AddRowUnlabeled appends a feature-only row.
+func (b *Builder) AddRowUnlabeled(indices []int32, values []float64) error {
+	return b.addFeatures(indices, values)
+}
+
+func (b *Builder) addFeatures(indices []int32, values []float64) error {
+	if len(indices) != len(values) {
+		return fmt.Errorf("dataset: %d indices but %d values", len(indices), len(values))
+	}
+	type pair struct {
+		i int32
+		v float64
+	}
+	pairs := make([]pair, len(indices))
+	for k, idx := range indices {
+		if idx < 0 || int(idx) >= b.cols {
+			return fmt.Errorf("dataset: column %d out of range [0,%d)", idx, b.cols)
+		}
+		pairs[k] = pair{idx, values[k]}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].i < pairs[y].i })
+	for k := 1; k < len(pairs); k++ {
+		if pairs[k].i == pairs[k-1].i {
+			return fmt.Errorf("dataset: duplicate column %d in row", pairs[k].i)
+		}
+	}
+	for _, p := range pairs {
+		b.colIdx = append(b.colIdx, p.i)
+		b.values = append(b.values, p.v)
+	}
+	b.rowPtr = append(b.rowPtr, int32(len(b.colIdx)))
+	return nil
+}
+
+// Build finalizes the dataset. The builder must not be reused.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{
+		rows:   len(b.rowPtr) - 1,
+		cols:   b.cols,
+		rowPtr: b.rowPtr,
+		colIdx: b.colIdx,
+		values: b.values,
+	}
+	if len(b.labels) == d.rows {
+		d.Labels = b.labels
+	}
+	return d
+}
+
+// FromDense builds a dataset from a dense matrix; zero entries are still
+// stored so that density is exactly 100%, matching the paper's dense
+// datasets (susy, epsilon).
+func FromDense(m [][]float64, labels []float64) (*Dataset, error) {
+	if len(m) == 0 {
+		return nil, fmt.Errorf("dataset: empty matrix")
+	}
+	cols := len(m[0])
+	b := NewBuilder(cols)
+	idx := make([]int32, cols)
+	for j := range idx {
+		idx[j] = int32(j)
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want %d", i, len(row), cols)
+		}
+		if labels != nil {
+			if err := b.AddRow(idx, row, labels[i]); err != nil {
+				return nil, err
+			}
+		} else if err := b.AddRowUnlabeled(idx, row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Rows returns the number of instances N.
+func (d *Dataset) Rows() int { return d.rows }
+
+// Cols returns the number of feature columns D.
+func (d *Dataset) Cols() int { return d.cols }
+
+// NNZ returns the number of stored entries.
+func (d *Dataset) NNZ() int { return len(d.values) }
+
+// Density returns NNZ / (rows·cols).
+func (d *Dataset) Density() float64 {
+	if d.rows == 0 || d.cols == 0 {
+		return 0
+	}
+	return float64(len(d.values)) / (float64(d.rows) * float64(d.cols))
+}
+
+// Row returns the nonzero column indices and values of row i. The returned
+// slices alias internal storage and must not be modified.
+func (d *Dataset) Row(i int) ([]int32, []float64) {
+	lo, hi := d.rowPtr[i], d.rowPtr[i+1]
+	return d.colIdx[lo:hi], d.values[lo:hi]
+}
+
+// Get returns the value at (i, j), zero if absent.
+func (d *Dataset) Get(i, j int) float64 {
+	cols, vals := d.Row(i)
+	k := sort.Search(len(cols), func(x int) bool { return cols[x] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return vals[k]
+	}
+	return 0
+}
+
+// buildCSC materializes the column-major view.
+func (d *Dataset) buildCSC() *cscView {
+	if d.csc != nil {
+		return d.csc
+	}
+	colPtr := make([]int32, d.cols+1)
+	for _, j := range d.colIdx {
+		colPtr[j+1]++
+	}
+	for j := 0; j < d.cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	rowIdx := make([]int32, len(d.colIdx))
+	values := make([]float64, len(d.values))
+	next := append([]int32(nil), colPtr...)
+	for i := 0; i < d.rows; i++ {
+		lo, hi := d.rowPtr[i], d.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := d.colIdx[k]
+			p := next[j]
+			rowIdx[p] = int32(i)
+			values[p] = d.values[k]
+			next[j] = p + 1
+		}
+	}
+	d.csc = &cscView{colPtr: colPtr, rowIdx: rowIdx, values: values}
+	return d.csc
+}
+
+// Column returns the row indices and values of the stored entries of
+// column j, ordered by row. The slices alias internal storage.
+func (d *Dataset) Column(j int) ([]int32, []float64) {
+	c := d.buildCSC()
+	lo, hi := c.colPtr[j], c.colPtr[j+1]
+	return c.rowIdx[lo:hi], c.values[lo:hi]
+}
+
+// ColumnValues returns just the stored values of column j.
+func (d *Dataset) ColumnValues(j int) []float64 {
+	_, vals := d.Column(j)
+	return vals
+}
+
+// SubColumns projects the dataset onto the given columns (renumbered in
+// the given order). Labels are dropped unless keepLabels is set — the
+// vertical-FL invariant that only Party B holds labels.
+func (d *Dataset) SubColumns(cols []int, keepLabels bool) *Dataset {
+	remap := make(map[int32]int32, len(cols))
+	for newJ, oldJ := range cols {
+		remap[int32(oldJ)] = int32(newJ)
+	}
+	b := NewBuilder(len(cols))
+	idxBuf := make([]int32, 0, len(cols))
+	valBuf := make([]float64, 0, len(cols))
+	for i := 0; i < d.rows; i++ {
+		idxBuf, valBuf = idxBuf[:0], valBuf[:0]
+		ci, cv := d.Row(i)
+		for k, j := range ci {
+			if nj, ok := remap[j]; ok {
+				idxBuf = append(idxBuf, nj)
+				valBuf = append(valBuf, cv[k])
+			}
+		}
+		// addFeatures copies, so reusing buffers is safe.
+		if err := b.AddRowUnlabeled(idxBuf, valBuf); err != nil {
+			panic(err) // unreachable: indices already validated
+		}
+	}
+	out := b.Build()
+	if keepLabels && d.Labels != nil {
+		out.Labels = d.Labels
+	}
+	return out
+}
+
+// SubRows selects the given rows (in order), carrying labels along.
+func (d *Dataset) SubRows(rows []int) *Dataset {
+	b := NewBuilder(d.cols)
+	for _, i := range rows {
+		ci, cv := d.Row(i)
+		if err := b.AddRowUnlabeled(ci, cv); err != nil {
+			panic(err)
+		}
+	}
+	out := b.Build()
+	if d.Labels != nil {
+		labels := make([]float64, len(rows))
+		for k, i := range rows {
+			labels[k] = d.Labels[i]
+		}
+		out.Labels = labels
+	}
+	return out
+}
+
+// TrainValidSplit deterministically splits rows into train/valid with the
+// given train fraction, shuffled by seed.
+func (d *Dataset) TrainValidSplit(trainFrac float64, seed int64) (train, valid *Dataset) {
+	perm := shuffledIndices(d.rows, seed)
+	nTrain := int(trainFrac * float64(d.rows))
+	return d.SubRows(perm[:nTrain]), d.SubRows(perm[nTrain:])
+}
+
+// VerticalSplit partitions the feature columns into len(counts) contiguous
+// blocks of the given sizes; part labelParty keeps the labels (the others
+// get none). This is how one co-located dataset becomes the per-party
+// shards of a vertical FL experiment.
+func (d *Dataset) VerticalSplit(counts []int, labelParty int) ([]*Dataset, error) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != d.cols {
+		return nil, fmt.Errorf("dataset: vertical split counts sum to %d, want %d", total, d.cols)
+	}
+	parts := make([]*Dataset, len(counts))
+	start := 0
+	for p, c := range counts {
+		cols := make([]int, c)
+		for k := range cols {
+			cols[k] = start + k
+		}
+		parts[p] = d.SubColumns(cols, p == labelParty)
+		start += c
+	}
+	return parts, nil
+}
+
+// JoinColumns horizontally concatenates datasets with identical row counts
+// (the "virtually joined" table of vertical FL); labels are taken from the
+// first part that has them.
+func JoinColumns(parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: joining zero parts")
+	}
+	rows := parts[0].rows
+	cols := 0
+	var labels []float64
+	for _, p := range parts {
+		if p.rows != rows {
+			return nil, fmt.Errorf("dataset: join row mismatch %d vs %d", p.rows, rows)
+		}
+		cols += p.cols
+		if labels == nil && p.Labels != nil {
+			labels = p.Labels
+		}
+	}
+	b := NewBuilder(cols)
+	idxBuf := make([]int32, 0, 64)
+	valBuf := make([]float64, 0, 64)
+	for i := 0; i < rows; i++ {
+		idxBuf, valBuf = idxBuf[:0], valBuf[:0]
+		off := int32(0)
+		for _, p := range parts {
+			ci, cv := p.Row(i)
+			for k, j := range ci {
+				idxBuf = append(idxBuf, j+off)
+				valBuf = append(valBuf, cv[k])
+			}
+			off += int32(p.cols)
+		}
+		if err := b.AddRowUnlabeled(idxBuf, valBuf); err != nil {
+			return nil, err
+		}
+	}
+	out := b.Build()
+	out.Labels = labels
+	return out, nil
+}
+
+func shuffledIndices(n int, seed int64) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := newRNG(seed)
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadLibSVM parses the LibSVM text format ("label idx:val idx:val ...",
+// 1-based indices). cols <= 0 infers the column count from the data.
+func ReadLibSVM(r io.Reader, cols int) (*Dataset, error) {
+	type row struct {
+		idx   []int32
+		vals  []float64
+		label float64
+	}
+	var rows []row
+	maxCol := int32(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		// Normalize {-1,+1} labels to {0,1}.
+		if label == -1 {
+			label = 0
+		}
+		rw := row{label: label}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad entry %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+			}
+			j := int32(idx - 1)
+			if j+1 > maxCol {
+				maxCol = j + 1
+			}
+			rw.idx = append(rw.idx, j)
+			rw.vals = append(rw.vals, val)
+		}
+		rows = append(rows, rw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading libsvm: %w", err)
+	}
+	if cols <= 0 {
+		cols = int(maxCol)
+	}
+	if cols == 0 {
+		return nil, fmt.Errorf("dataset: no feature columns found")
+	}
+	b := NewBuilder(cols)
+	for i, rw := range rows {
+		if err := b.AddRow(rw.idx, rw.vals, rw.label); err != nil {
+			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteLibSVM writes the dataset in LibSVM format. Unlabeled datasets are
+// written with label 0.
+func WriteLibSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.Rows(); i++ {
+		label := 0.0
+		if d.Labels != nil {
+			label = d.Labels[i]
+		}
+		if _, err := fmt.Fprintf(bw, "%g", label); err != nil {
+			return err
+		}
+		cols, vals := d.Row(i)
+		for k, j := range cols {
+			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLibSVMFile reads a LibSVM file from disk.
+func LoadLibSVMFile(path string, cols int) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLibSVM(f, cols)
+}
+
+// SaveLibSVMFile writes a LibSVM file to disk.
+func SaveLibSVMFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteLibSVM(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

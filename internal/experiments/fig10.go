@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/metrics"
+)
+
+// Fig10Series is one curve of Figure 10: cumulative training time vs
+// validation logistic loss, one point per boosting round. Reference
+// systems (XGBoost co-located and Party-B-only) contribute a final loss
+// level rather than a curve, as in the paper's horizontal lines.
+type Fig10Series struct {
+	System string
+	Times  []float64 // cumulative seconds after each tree
+	Loss   []float64 // validation logloss after each tree
+	Final  float64   // final validation loss
+	AUC    float64   // final validation AUC
+}
+
+// Fig10Config parameterizes a convergence run on one of the small-scale
+// presets (census, a9a).
+type Fig10Config struct {
+	Preset  string
+	Scale   float64
+	Trees   int
+	KeyBits int
+	WANMbps float64
+	Seed    int64
+}
+
+// DefaultFig10 returns the scaled configuration for a preset.
+func DefaultFig10(preset string) Fig10Config {
+	return Fig10Config{Preset: preset, Scale: 10, Trees: 10, KeyBits: 512, WANMbps: 7, Seed: 3}
+}
+
+// Fig10 trains VF²Boost and VF-GBDT federated plus the two XGBoost-style
+// reference lines, and reconstructs the loss-vs-time curves.
+func Fig10(fc Fig10Config) ([]Fig10Series, error) {
+	joined, _, err := presetParts(fc.Preset, fc.Scale, fc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, valid := joined.TrainValidSplit(0.8, fc.Seed)
+	p, _ := dataset.PresetByName(fc.Preset)
+	_, counts := p.Options(fc.Scale, fc.Seed)
+	trainParts, err := train.VerticalSplit(counts, len(counts)-1)
+	if err != nil {
+		return nil, err
+	}
+	validParts, err := valid.VerticalSplit(counts, len(counts)-1)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig10Series
+	fedSeries := func(name string, cfg core.Config) error {
+		cfg.Trees = fc.Trees
+		cfg.KeyBits = fc.KeyBits
+		cfg.Workers = 1
+		r, err := runFed(trainParts, cfg, fc.WANMbps)
+		if err != nil {
+			return err
+		}
+		s := Fig10Series{System: name}
+		cum := 0.0
+		for k := 1; k <= fc.Trees; k++ {
+			cum += secs(r.PerTree[k-1])
+			margins, err := r.Model.PredictAllPrefix(validParts, k)
+			if err != nil {
+				return err
+			}
+			ll, err := metrics.LogLoss(margins, valid.Labels)
+			if err != nil {
+				return err
+			}
+			s.Times = append(s.Times, cum)
+			s.Loss = append(s.Loss, ll)
+		}
+		s.Final = s.Loss[len(s.Loss)-1]
+		finalMargins, err := r.Model.PredictAll(validParts)
+		if err != nil {
+			return err
+		}
+		if auc, err := metrics.AUC(finalMargins, valid.Labels); err == nil {
+			s.AUC = auc
+		}
+		out = append(out, s)
+		return nil
+	}
+
+	if err := fedSeries("VF2Boost", core.DefaultConfig()); err != nil {
+		return nil, err
+	}
+	if err := fedSeries("VF-GBDT", core.BaselineConfig()); err != nil {
+		return nil, err
+	}
+
+	// Reference lines: non-federated training on the co-located table and
+	// on Party B's shard alone.
+	localRef := func(name string, d *dataset.Dataset, vd *dataset.Dataset) error {
+		lp := gbdt.DefaultParams()
+		lp.NumTrees = fc.Trees
+		m, err := gbdt.Train(d, lp)
+		if err != nil {
+			return err
+		}
+		margins := m.PredictAll(vd)
+		ll, err := metrics.LogLoss(margins, vd.Labels)
+		if err != nil {
+			return err
+		}
+		s := Fig10Series{System: name, Final: ll}
+		if auc, err := metrics.AUC(margins, vd.Labels); err == nil {
+			s.AUC = auc
+		}
+		out = append(out, s)
+		return nil
+	}
+	if err := localRef("XGB (co-located)", train, valid); err != nil {
+		return nil, err
+	}
+	bTrain := trainParts[len(trainParts)-1]
+	bValid := validParts[len(validParts)-1]
+	if err := localRef("XGB (Party B only)", bTrain, bValid); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrintFig10 renders the curves as aligned columns plus the reference
+// levels.
+func PrintFig10(w io.Writer, fc Fig10Config, series []Fig10Series) {
+	fmt.Fprintf(w, "Figure 10 (%s, scale 1/%.0f): validation logloss vs cumulative time\n", fc.Preset, fc.Scale)
+	for _, s := range series {
+		if len(s.Times) == 0 {
+			fmt.Fprintf(w, "  %-20s final loss %.4f, AUC %.4f (reference line)\n", s.System, s.Final, s.AUC)
+			continue
+		}
+		fmt.Fprintf(w, "  %-20s final loss %.4f, AUC %.4f\n", s.System, s.Final, s.AUC)
+		fmt.Fprintf(w, "    t(s):  ")
+		for _, t := range s.Times {
+			fmt.Fprintf(w, "%8.2f", t)
+		}
+		fmt.Fprintf(w, "\n    loss:  ")
+		for _, l := range s.Loss {
+			fmt.Fprintf(w, "%8.4f", l)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/trace"
+)
+
+// GanttConfig parameterizes the schedule-comparison run behind Figures 4
+// and 5: the same one-tree workload under the sequential protocol and the
+// concurrent VF²Boost protocol, with every phase recorded as Gantt spans.
+type GanttConfig struct {
+	N       int
+	FeatA   int
+	FeatB   int
+	NNZ     int
+	KeyBits int
+	Depth   int
+	WANMbps float64
+	Seed    int64
+}
+
+// DefaultGantt returns the configuration used by cmd/experiments.
+func DefaultGantt() GanttConfig {
+	return GanttConfig{
+		N: 2000, FeatA: 60, FeatB: 60, NNZ: 40,
+		KeyBits: 512, Depth: 3, WANMbps: 7, Seed: 11,
+	}
+}
+
+// GanttResult holds the recorded spans of one protocol run.
+type GanttResult struct {
+	Protocol string
+	Spans    []trace.Span
+	WallSec  float64
+}
+
+// Gantt runs the workload under both protocols and returns their traces.
+func Gantt(gc GanttConfig) ([]GanttResult, error) {
+	_, parts, err := twoPartySparse(gc.N, gc.FeatA, gc.FeatB, gc.NNZ, gc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []GanttResult
+	run := func(name string, cfg core.Config) error {
+		cfg.Trees = 1
+		cfg.MaxDepth = gc.Depth
+		cfg.KeyBits = gc.KeyBits
+		cfg.Workers = 1
+		dec, err := decryptorFor(cfg.Scheme, cfg.KeyBits)
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder()
+		s, err := core.NewSession(parts, cfg,
+			core.WithDecryptor(dec), core.WithWAN(gc.WANMbps, 0), core.WithTrace(rec))
+		if err != nil {
+			return err
+		}
+		if _, err := s.Train(); err != nil {
+			return err
+		}
+		spans := rec.Spans()
+		wall := 0.0
+		for _, sp := range spans {
+			if sec := sp.End.Seconds(); sec > wall {
+				wall = sec
+			}
+		}
+		out = append(out, GanttResult{Protocol: name, Spans: spans, WallSec: wall})
+		return nil
+	}
+	if err := run("sequential (VF-GBDT, Fig 4/5 top)", core.BaselineConfig()); err != nil {
+		return nil, err
+	}
+	if err := run("concurrent (VF2Boost, Fig 4/5 bottom)", core.DefaultConfig()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrintGantt renders both traces as ASCII Gantt charts.
+func PrintGantt(w io.Writer, gc GanttConfig, results []GanttResult) {
+	fmt.Fprintf(w, "Figures 4/5: phase schedules (N=%d, %d/%d feats, S=%d, WAN %.0f Mbps)\n",
+		gc.N, gc.FeatA, gc.FeatB, gc.KeyBits, gc.WANMbps)
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s — %.2fs total\n", r.Protocol, r.WallSec)
+		fmt.Fprint(w, trace.ASCII(r.Spans, 72))
+		busy := trace.BusyTime(r.Spans)
+		for lane, d := range busy {
+			fmt.Fprintf(w, "  %-22s busy %6.2fs\n", lane, d.Seconds())
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/metrics"
+)
+
+// Table5Row is one dataset's speedups vs worker count (Table 5).
+type Table5Row struct {
+	Dataset  string
+	Workers  []int
+	Speedups []float64 // relative to Workers[0]
+}
+
+// Table5Config parameterizes the worker-scaling sweep. The paper scales
+// 4 -> 8 -> 16 workers across machines; a single host scales goroutine
+// workers over its cores instead, so meaningful speedups require a
+// multi-core host (on one core the sweep degenerates to ~1.0x, which the
+// harness reports honestly).
+type Table5Config struct {
+	Presets []string
+	Workers []int
+	Scale   float64
+	Trees   int
+	KeyBits int
+	Seed    int64
+}
+
+// DefaultTable5 returns the scaled sweep used by cmd/experiments.
+func DefaultTable5() Table5Config {
+	return Table5Config{
+		Presets: []string{"susy", "epsilon", "rcv1", "synthesis"},
+		Workers: []int{1, 2, 4},
+		Scale:   2000,
+		Trees:   2,
+		KeyBits: 512,
+		Seed:    5,
+	}
+}
+
+// Table5 measures training speedup as the per-party worker count grows.
+func Table5(tc Table5Config) ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range tc.Presets {
+		_, parts, err := presetParts(name, tc.Scale, tc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Dataset: name, Workers: tc.Workers}
+		var baseSec float64
+		for wi, workers := range tc.Workers {
+			cfg := core.DefaultConfig()
+			cfg.Trees = tc.Trees
+			cfg.KeyBits = tc.KeyBits
+			cfg.Workers = workers
+			r, err := runFed(parts, cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			sec := secs(r.Wall)
+			if wi == 0 {
+				baseSec = sec
+			}
+			row.Speedups = append(row.Speedups, baseSec/sec)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable5 renders the rows in the paper's layout.
+func PrintTable5(w io.Writer, tc Table5Config, rows []Table5Row) {
+	fmt.Fprintf(w, "Table 5: speedup vs workers (scaled by %d-worker speed); scale 1/%.0f\n",
+		tc.Workers[0], tc.Scale)
+	fmt.Fprintf(w, "  %-10s |", "dataset")
+	for _, wk := range tc.Workers {
+		fmt.Fprintf(w, " %6dw", wk)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s |", r.Dataset)
+		for _, s := range r.Speedups {
+			fmt.Fprintf(w, " %6.2fx", s)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table6Row is one party count's speedup and AUC (Table 6).
+type Table6Row struct {
+	Parties int
+	Speedup map[string]float64
+	AUC     map[string]float64
+}
+
+// Table6Config parameterizes the multi-party sweep: the features of each
+// dataset are divided evenly over the passive parties plus Party B, as in
+// the paper's protocol for Table 6.
+type Table6Config struct {
+	Presets []string
+	Parties []int
+	Scale   float64
+	Trees   int
+	KeyBits int
+	WANMbps float64
+	Seed    int64
+}
+
+// DefaultTable6 returns the scaled sweep used by cmd/experiments.
+func DefaultTable6() Table6Config {
+	return Table6Config{
+		Presets: []string{"epsilon", "rcv1"},
+		Parties: []int{2, 3, 4},
+		Scale:   2000,
+		Trees:   2,
+		KeyBits: 512,
+		WANMbps: 7,
+		Seed:    6,
+	}
+}
+
+// Table6 measures speed and AUC as the party count grows, plus the
+// Party-B-only AUC reference.
+func Table6(tc Table6Config) ([]Table6Row, []Table6Row, error) {
+	rows := make([]Table6Row, len(tc.Parties))
+	for i, np := range tc.Parties {
+		rows[i] = Table6Row{Parties: np, Speedup: map[string]float64{}, AUC: map[string]float64{}}
+	}
+	ref := Table6Row{Parties: 1, AUC: map[string]float64{}, Speedup: map[string]float64{}}
+
+	for _, name := range tc.Presets {
+		p, ok := dataset.PresetByName(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("experiments: unknown preset %q", name)
+		}
+		opts, _ := p.Options(tc.Scale, tc.Seed)
+		joined, err := dataset.Generate(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		train, valid := joined.TrainValidSplit(0.8, tc.Seed)
+
+		// The paper divides the features into four equal subsets; a run
+		// with k parties uses the first k subsets, so more parties means
+		// more total features (and higher AUC).
+		maxParties := tc.Parties[len(tc.Parties)-1]
+		subsets := evenSplit(joined.Cols(), maxParties)
+
+		var baseSec float64
+		for i, np := range tc.Parties {
+			counts := subsets[:np]
+			used := 0
+			for _, c := range counts {
+				used += c
+			}
+			cols := make([]int, used)
+			for j := range cols {
+				cols[j] = j
+			}
+			trainSub := train.SubColumns(cols, true)
+			validSub := valid.SubColumns(cols, true)
+			trainParts, err := trainSub.VerticalSplit(counts, np-1)
+			if err != nil {
+				return nil, nil, err
+			}
+			validParts, err := validSub.VerticalSplit(counts, np-1)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg := core.DefaultConfig()
+			cfg.Trees = tc.Trees
+			cfg.KeyBits = tc.KeyBits
+			cfg.Workers = 1
+			r, err := runFed(trainParts, cfg, tc.WANMbps)
+			if err != nil {
+				return nil, nil, err
+			}
+			sec := secs(r.Wall)
+			if i == 0 {
+				baseSec = sec
+			}
+			rows[i].Speedup[name] = baseSec / sec
+			if margins, err := r.Model.PredictAll(validParts); err == nil {
+				if auc, err := metrics.AUC(margins, valid.Labels); err == nil {
+					rows[i].AUC[name] = auc
+				}
+			}
+			if i == 0 {
+				// Party-B-only reference: train on B's shard alone.
+				bAUC, err := bOnlyAUC(trainParts[np-1], validParts[np-1], tc.Trees)
+				if err == nil {
+					ref.AUC[name] = bAUC
+				}
+			}
+		}
+	}
+	return rows, []Table6Row{ref}, nil
+}
+
+func evenSplit(cols, parties int) []int {
+	counts := make([]int, parties)
+	base := cols / parties
+	rem := cols % parties
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+func bOnlyAUC(train, valid *dataset.Dataset, trees int) (float64, error) {
+	lp := gbdt.DefaultParams()
+	lp.NumTrees = trees
+	m, err := gbdt.Train(train, lp)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.AUC(m.PredictAll(valid), valid.Labels)
+}
+
+// PrintTable6 renders the rows in the paper's layout.
+func PrintTable6(w io.Writer, tc Table6Config, rows, refs []Table6Row) {
+	fmt.Fprintf(w, "Table 6: speedup and AUC vs parties; scale 1/%.0f, T=%d\n", tc.Scale, tc.Trees)
+	fmt.Fprintf(w, "  %-12s |", "parties")
+	for _, name := range tc.Presets {
+		fmt.Fprintf(w, " %8s spd %8s auc |", name, name)
+	}
+	fmt.Fprintln(w)
+	for _, ref := range refs {
+		fmt.Fprintf(w, "  %-12s |", "Party B only")
+		for _, name := range tc.Presets {
+			fmt.Fprintf(w, " %12s %12.4f |", "-", ref.AUC[name])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12d |", r.Parties)
+		for _, name := range tc.Presets {
+			fmt.Fprintf(w, " %11.2fx %12.4f |", r.Speedup[name], r.AUC[name])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/gbdt"
+	"vf2boost/internal/metrics"
+)
+
+// Table4Row is one row of Table 4: the average per-tree training time of
+// the four systems on one large-scale dataset, with the AUC comparison
+// between federated, co-located, and Party-B-only training.
+type Table4Row struct {
+	Dataset  string
+	XGBSec   float64
+	MockSec  float64
+	GBDTSec  float64
+	VF2Sec   float64
+	VF2AUC   float64
+	ColocAUC float64
+	BOnlyAUC float64
+}
+
+// Table4Config parameterizes the end-to-end comparison.
+type Table4Config struct {
+	Presets []string
+	Scale   float64
+	Trees   int
+	// Depth and Bins shrink with the datasets: at laptop scale the
+	// paper's 7 layers × 20 bins would make histogram decryption (which
+	// scales with nodes × features × bins, not instances) dominate far
+	// beyond its share in the paper's regime.
+	Depth   int
+	Bins    int
+	KeyBits int
+	WANMbps float64
+	Seed    int64
+}
+
+// DefaultTable4 returns the scaled configuration used by cmd/experiments.
+func DefaultTable4() Table4Config {
+	return Table4Config{
+		Presets: []string{"susy", "epsilon", "rcv1", "synthesis", "industry"},
+		Scale:   1000,
+		Trees:   3,
+		Depth:   4,
+		Bins:    10,
+		KeyBits: 512,
+		WANMbps: 7,
+		Seed:    4,
+	}
+}
+
+// Table4 runs the end-to-end comparison on each preset.
+func Table4(tc Table4Config) ([]Table4Row, error) {
+	if tc.Depth <= 0 {
+		tc.Depth = 4
+	}
+	if tc.Bins <= 0 {
+		tc.Bins = 10
+	}
+	var rows []Table4Row
+	for _, name := range tc.Presets {
+		joined, _, err := presetParts(name, tc.Scale, tc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, valid := joined.TrainValidSplit(0.8, tc.Seed)
+		p, _ := dataset.PresetByName(name)
+		_, counts := p.Options(tc.Scale, tc.Seed)
+		trainParts, err := train.VerticalSplit(counts, len(counts)-1)
+		if err != nil {
+			return nil, err
+		}
+		validParts, err := valid.VerticalSplit(counts, len(counts)-1)
+		if err != nil {
+			return nil, err
+		}
+
+		row := Table4Row{Dataset: name}
+
+		// XGBoost-style non-federated baseline on the co-located table.
+		lp := gbdt.DefaultParams()
+		lp.NumTrees = tc.Trees
+		lp.MaxDepth = tc.Depth
+		lp.MaxBins = tc.Bins
+		start := time.Now()
+		localModel, err := gbdt.Train(train, lp)
+		if err != nil {
+			return nil, err
+		}
+		row.XGBSec = secs(time.Since(start)) / float64(tc.Trees)
+		if auc, err := metrics.AUC(localModel.PredictAll(valid), valid.Labels); err == nil {
+			row.ColocAUC = auc
+		}
+
+		// Party-B-only training.
+		bOnly, err := gbdt.Train(trainParts[len(trainParts)-1], lp)
+		if err != nil {
+			return nil, err
+		}
+		bShardValid := validParts[len(validParts)-1]
+		if auc, err := metrics.AUC(bOnly.PredictAll(bShardValid), bShardValid.Labels); err == nil {
+			row.BOnlyAUC = auc
+		}
+
+		fed := func(cfg core.Config) (float64, *core.FederatedModel, error) {
+			cfg.Trees = tc.Trees
+			cfg.MaxDepth = tc.Depth
+			cfg.MaxBins = tc.Bins
+			cfg.KeyBits = tc.KeyBits
+			cfg.Workers = 1
+			r, err := runFed(trainParts, cfg, tc.WANMbps)
+			if err != nil {
+				return 0, nil, err
+			}
+			return secs(r.Wall) / float64(tc.Trees), r.Model, nil
+		}
+		if row.MockSec, _, err = fed(core.MockConfig()); err != nil {
+			return nil, err
+		}
+		if row.GBDTSec, _, err = fed(core.BaselineConfig()); err != nil {
+			return nil, err
+		}
+		var vf2Model *core.FederatedModel
+		if row.VF2Sec, vf2Model, err = fed(core.DefaultConfig()); err != nil {
+			return nil, err
+		}
+		if margins, err := vf2Model.PredictAll(validParts); err == nil {
+			if auc, err := metrics.AUC(margins, valid.Labels); err == nil {
+				row.VF2AUC = auc
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable4 renders the rows in the paper's layout.
+func PrintTable4(w io.Writer, tc Table4Config, rows []Table4Row) {
+	fmt.Fprintf(w, "Table 4: average per-tree time (s) and AUC; scale 1/%.0f, S=%d, T=%d, depth %d, bins %d\n",
+		tc.Scale, tc.KeyBits, tc.Trees, tc.Depth, tc.Bins)
+	fmt.Fprintf(w, "  %-10s | %7s %9s %9s %9s | %8s %8s %8s\n",
+		"dataset", "XGB", "VF-MOCK", "VF-GBDT", "VF2Boost", "VF2 AUC", "coloc", "B-only")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s | %7.3f %9.3f %9.3f %9.3f | %8.3f %8.3f %8.3f\n",
+			r.Dataset, r.XGBSec, r.MockSec, r.GBDTSec, r.VF2Sec,
+			r.VF2AUC, r.ColocAUC, r.BOnlyAUC)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "  (expected shape: XGB << VF-MOCK << VF-GBDT, VF2Boost %s VF-GBDT, VF2 AUC ~ coloc > B-only)\n",
+			"faster than")
+	}
+}

@@ -1,0 +1,134 @@
+package fedlr
+
+import (
+	"math"
+	"testing"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/metrics"
+)
+
+func lrParts(t testing.TB, rows, colsA, colsB int, seed int64) (*dataset.Dataset, []*dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{
+		Rows: rows, Cols: colsA + colsB, Density: 1, Dense: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := d.VerticalSplit([]int{colsA, colsB}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, parts
+}
+
+func TestTrainValidation(t *testing.T) {
+	_, parts := lrParts(t, 60, 3, 3, 1)
+	cfg := DefaultConfig()
+	cfg.Scheme = "mock"
+	if _, _, err := Train(parts[:1], cfg); err == nil {
+		t.Error("single party accepted")
+	}
+	if _, _, err := Train([]*dataset.Dataset{parts[1], parts[1]}, cfg); err == nil {
+		t.Error("labeled party A accepted")
+	}
+	if _, _, err := Train([]*dataset.Dataset{parts[0], parts[0]}, cfg); err == nil {
+		t.Error("unlabeled party B accepted")
+	}
+	bad := cfg
+	bad.Epochs = 0
+	if _, _, err := Train(parts, bad); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	bad = cfg
+	bad.Scheme = "nope"
+	if _, _, err := Train(parts, bad); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestTrainLearnsMock(t *testing.T) {
+	joined, parts := lrParts(t, 1200, 5, 5, 2)
+	cfg := DefaultConfig()
+	cfg.Scheme = "mock"
+	cfg.Epochs = 6
+	m, st, err := Train(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := m.PredictAll(parts[0], parts[1])
+	auc, err := metrics.AUC(margins, joined.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Errorf("federated LR AUC = %g, want >= 0.8", auc)
+	}
+	if st.Encryptions == 0 || st.Decryptions == 0 || st.HAdds == 0 {
+		t.Errorf("stats not recorded: %+v", st)
+	}
+}
+
+func TestReorderedMatchesNaive(t *testing.T) {
+	joined, parts := lrParts(t, 400, 4, 4, 3)
+	_ = joined
+	cfgN := DefaultConfig()
+	cfgN.Scheme = "mock"
+	cfgN.Epochs = 2
+	cfgN.Reordered = false
+	cfgR := cfgN
+	cfgR.Reordered = true
+
+	mN, stN, err := Train(parts, cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mR, stR, err := Train(parts, cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range mN.WA {
+		if math.Abs(mN.WA[j]-mR.WA[j]) > 1e-9 {
+			t.Fatalf("weight A[%d] diverged: %g vs %g", j, mN.WA[j], mR.WA[j])
+		}
+	}
+	for j := range mN.WB {
+		if math.Abs(mN.WB[j]-mR.WB[j]) > 1e-9 {
+			t.Fatalf("weight B[%d] diverged", j)
+		}
+	}
+	// The whole point of the re-ordered reduction: far fewer scalings.
+	if stR.Scalings >= stN.Scalings {
+		t.Errorf("re-ordered used %d scalings, naive %d; no reduction", stR.Scalings, stN.Scalings)
+	}
+}
+
+func TestTrainLearnsPaillier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paillier LR is slow")
+	}
+	joined, parts := lrParts(t, 200, 3, 3, 4)
+	cfg := DefaultConfig()
+	cfg.KeyBits = 256
+	cfg.Epochs = 2
+	cfg.BatchSize = 64
+	m, _, err := Train(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := m.PredictAll(parts[0], parts[1])
+	auc, err := metrics.AUC(margins, joined.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("paillier LR AUC = %g", auc)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Error("Sigmoid(0) != 0.5")
+	}
+}

@@ -1,0 +1,92 @@
+package fedlr
+
+import (
+	"math"
+	"testing"
+
+	"vf2boost/internal/metrics"
+)
+
+// TestPackedMatchesUnpacked: packed and unpacked masked-gradient exchange
+// must train (near-)identical models — packing only changes the wire and
+// decryption layout, within fixed-point rounding.
+func TestPackedMatchesUnpacked(t *testing.T) {
+	joined, parts := lrParts(t, 500, 4, 4, 2)
+	base := DefaultConfig()
+	base.Scheme = "mock"
+	base.Epochs = 4
+	base.Packed = false
+	packed := base
+	packed.Packed = true
+
+	mU, stU, err := Train(parts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mP, stP, err := Train(parts, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range mU.WA {
+		if math.Abs(mU.WA[j]-mP.WA[j]) > 1e-6 {
+			t.Fatalf("WA[%d]: unpacked %g vs packed %g", j, mU.WA[j], mP.WA[j])
+		}
+	}
+	for j := range mU.WB {
+		if math.Abs(mU.WB[j]-mP.WB[j]) > 1e-6 {
+			t.Fatalf("WB[%d] diverged", j)
+		}
+	}
+	// The point of packing: far fewer decryptions.
+	if stP.Decryptions >= stU.Decryptions {
+		t.Errorf("packed used %d decryptions, unpacked %d; no reduction",
+			stP.Decryptions, stU.Decryptions)
+	}
+	// And the model still learns.
+	auc, err := metrics.AUC(mP.PredictAll(parts[0], parts[1]), joined.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("packed LR AUC = %g", auc)
+	}
+}
+
+// TestPackedRejectsOversizedBatch: the slot-width validation must fail
+// loudly when the bound cannot fit the plaintext space.
+func TestPackedRejectsOversizedBatch(t *testing.T) {
+	_, parts := lrParts(t, 300, 3, 3, 8)
+	cfg := DefaultConfig()
+	cfg.Scheme = "mock"
+	cfg.Epochs = 1
+	cfg.Packed = true
+	cfg.BatchSize = 300
+	cfg.GradClip = 1e130 // absurd bound forces slot overflow at S=512
+	if _, _, err := Train(parts, cfg); err == nil {
+		t.Error("oversized packed slots accepted")
+	}
+}
+
+// TestPackedPaillier runs the packed exchange under real Paillier keys.
+func TestPackedPaillier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paillier LR is slow")
+	}
+	joined, parts := lrParts(t, 150, 3, 3, 9)
+	cfg := DefaultConfig()
+	cfg.KeyBits = 256
+	cfg.Epochs = 1
+	cfg.BatchSize = 50
+	cfg.Packed = true
+	m, _, err := Train(parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := metrics.AUC(m.PredictAll(parts[0], parts[1]), joined.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.6 {
+		t.Errorf("packed paillier LR AUC = %g", auc)
+	}
+}

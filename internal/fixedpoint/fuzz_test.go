@@ -1,0 +1,54 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"vf2boost/internal/he"
+)
+
+// FuzzEncodeDecode checks encode/decode never panics and round-trips any
+// finite float within relative precision.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1.5)
+	f.Add(-math.MaxFloat64)
+	f.Add(math.SmallestNonzeroFloat64)
+	f.Add(1e300)
+	f.Fuzz(func(t *testing.T, v float64) {
+		c := NewCodec(he.NewMock(2048), WithSeed(1))
+		n, err := c.Encode(v)
+		if err != nil {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e300 {
+				t.Fatalf("finite %g rejected: %v", v, err)
+			}
+			return
+		}
+		got := c.Decode(n)
+		if math.Abs(v) < 1e200 && math.Abs(got-v) > 1e-6*math.Max(1, math.Abs(v)) {
+			t.Fatalf("round trip %g -> %g", v, got)
+		}
+	})
+}
+
+// FuzzUnpack checks Unpack never panics and inverts manual packing.
+func FuzzUnpack(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0)>>1, uint64(7), uint64(9))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		const bits = 63
+		mask := (uint64(1) << bits) - 1
+		a, b, c = a&mask, b&mask, c&mask
+		packed := new(big.Int).SetUint64(c)
+		packed.Lsh(packed, bits)
+		packed.Add(packed, new(big.Int).SetUint64(b))
+		packed.Lsh(packed, bits)
+		packed.Add(packed, new(big.Int).SetUint64(a))
+		got := Unpack(packed, bits, 3)
+		if got[0].Uint64() != a || got[1].Uint64() != b || got[2].Uint64() != c {
+			t.Fatalf("unpack (%d,%d,%d) -> (%v,%v,%v)", a, b, c, got[0], got[1], got[2])
+		}
+	})
+}

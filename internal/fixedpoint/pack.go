@@ -1,0 +1,66 @@
+package fixedpoint
+
+import (
+	"fmt"
+	"math/big"
+
+	"vf2boost/internal/he"
+)
+
+// DefaultPackBits is the paper's M = 64: each packed slot holds a
+// non-negative value < 2^64, and with S = 2048 a single ciphertext packs
+// 2047/64 = 31 histogram bins (the paper rounds this to "32 bins").
+const DefaultPackBits = 64
+
+// PackCapacity returns how many M-bit non-negative values fit losslessly
+// in one ciphertext of the scheme: t·M must stay below the plaintext
+// modulus, so t = (S-1)/M.
+func PackCapacity(s he.Scheme, packBits int) int {
+	t := (s.Bits() - 1) / packBits
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Pack combines up to PackCapacity ciphertexts of non-negative M-bit
+// plaintexts into one ciphertext holding
+//
+//	V̄ = V_1 + 2^M·(V_2 + 2^M·(V_3 + ···))
+//
+// using t-1 SMul and t-1 HAdd operations (Step 3 of Figure 9). The first
+// input lands in the least significant slot. It is the caller's
+// responsibility that every plaintext is in [0, 2^M); histogram packing
+// guarantees this by shifting bins into the positive range first.
+func (c *Codec) Pack(cts []he.Ciphertext, packBits int) (he.Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, fmt.Errorf("fixedpoint: packing zero ciphertexts")
+	}
+	if max := PackCapacity(c.scheme, packBits); len(cts) > max {
+		return nil, fmt.Errorf("fixedpoint: packing %d ciphertexts exceeds capacity %d at M=%d, S=%d",
+			len(cts), max, packBits, c.scheme.Bits())
+	}
+	shift := new(big.Int).Lsh(big.NewInt(1), uint(packBits))
+	acc := cts[len(cts)-1]
+	for i := len(cts) - 2; i >= 0; i-- {
+		acc = c.scheme.MulScalar(acc, shift)
+		c.stats.addSMul(1)
+		acc = c.scheme.Add(acc, cts[i])
+		c.stats.addHAdd(1)
+	}
+	return acc, nil
+}
+
+// Unpack slices a decrypted packed plaintext back into t M-bit values,
+// least significant slot first (Step 5 of Figure 9).
+func Unpack(packed *big.Int, packBits, t int) []*big.Int {
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(packBits))
+	mask.Sub(mask, big.NewInt(1))
+	out := make([]*big.Int, t)
+	rest := new(big.Int).Set(packed)
+	for i := 0; i < t; i++ {
+		out[i] = new(big.Int).And(rest, mask)
+		rest.Rsh(rest, uint(packBits))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package fixedpoint
+
+// ReorderedSum implements the re-ordered histogram accumulation of
+// Section 5.1: instead of accumulating ciphertexts into a single
+// accumulator (which scales the accumulator every time a higher exponent
+// arrives, O(N·(E-1)/E) scalings in expectation), it keeps one workspace
+// per exponent value. Each incoming ciphertext lands in its own exponent's
+// workspace with a plain HAdd; Merge then combines the E workspaces with
+// at most E-1 scalings.
+//
+// A ReorderedSum is not safe for concurrent use; shard accumulation across
+// goroutines and Merge the shards.
+type ReorderedSum struct {
+	codec *Codec
+	// slots[i] accumulates ciphertexts with exponent baseExp+i.
+	slots []EncNum
+	used  []bool
+	n     int
+}
+
+// NewReorderedSum allocates workspaces for every exponent the codec can
+// emit.
+func NewReorderedSum(c *Codec) *ReorderedSum {
+	return &ReorderedSum{
+		codec: c,
+		slots: make([]EncNum, c.expSpread),
+		used:  make([]bool, c.expSpread),
+	}
+}
+
+// Add accumulates e into the workspace matching its exponent. It never
+// performs a scaling. Exponents outside the codec's range fall back to a
+// scaled add into the highest workspace (this does not happen for
+// codec-encoded inputs, but keeps the type total).
+func (r *ReorderedSum) Add(e EncNum) {
+	i := e.Exp - r.codec.baseExp
+	if i < 0 || i >= len(r.slots) {
+		i = len(r.slots) - 1
+		e = r.codec.ScaleEnc(e, r.codec.baseExp+i)
+	}
+	if !r.used[i] {
+		r.slots[i] = EncNum{Exp: e.Exp, Ct: r.codec.scheme.EncryptZero()}
+		r.used[i] = true
+	}
+	r.codec.stats.addHAdd(1)
+	r.slots[i].Ct = r.codec.scheme.AddInto(r.slots[i].Ct, e.Ct)
+	r.n++
+}
+
+// Len reports how many ciphertexts have been accumulated.
+func (r *ReorderedSum) Len() int { return r.n }
+
+// Merge combines all workspaces into a single encrypted sum at the highest
+// occupied exponent, spending at most E-1 scalings. An empty sum returns
+// an encrypted zero.
+func (r *ReorderedSum) Merge() EncNum {
+	acc := EncNum{}
+	seeded := false
+	for i := len(r.slots) - 1; i >= 0; i-- {
+		if !r.used[i] {
+			continue
+		}
+		if !seeded {
+			acc = r.slots[i]
+			seeded = true
+			continue
+		}
+		scaled := r.codec.ScaleEnc(r.slots[i], acc.Exp)
+		r.codec.stats.addHAdd(1)
+		acc.Ct = r.codec.scheme.AddInto(acc.Ct, scaled.Ct)
+	}
+	if !seeded {
+		return r.codec.EncryptZero()
+	}
+	return acc
+}
+
+// Reset clears the accumulator for reuse.
+func (r *ReorderedSum) Reset() {
+	for i := range r.used {
+		r.used[i] = false
+	}
+	r.n = 0
+}

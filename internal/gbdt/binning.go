@@ -1,0 +1,112 @@
+package gbdt
+
+import (
+	"fmt"
+	"sort"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/quantile"
+)
+
+// sketchThreshold is the column size above which cut proposal switches
+// from exact sorting to the GK sketch.
+const sketchThreshold = 1 << 15
+
+// BinMapper holds the per-feature candidate split values ("cuts"). Bin k
+// of feature j contains stored values v with cuts[k-1] < v <= cuts[k];
+// values above the last cut land in the final bin. Instances with no
+// stored entry for a feature ("missing", which includes sparse zeros)
+// always route to the left child — see the package comment of
+// internal/core for why this convention is shared across engines.
+type BinMapper struct {
+	// Cuts[j] is strictly increasing; len(Cuts[j])+1 bins exist.
+	Cuts [][]float64
+	// MaxBins is the configured s.
+	MaxBins int
+}
+
+// NewBinMapper proposes up to maxBins-1 cuts per feature from the stored
+// values of each column, using exact quantiles for small columns and a GK
+// sketch for large ones.
+func NewBinMapper(d *dataset.Dataset, maxBins int) (*BinMapper, error) {
+	if maxBins < 2 || maxBins > 256 {
+		return nil, fmt.Errorf("gbdt: maxBins %d out of [2,256]", maxBins)
+	}
+	cuts := make([][]float64, d.Cols())
+	for j := 0; j < d.Cols(); j++ {
+		vals := d.ColumnValues(j)
+		switch {
+		case len(vals) == 0:
+			cuts[j] = nil
+		case len(vals) <= sketchThreshold:
+			cuts[j] = quantile.Exact(vals, maxBins)
+		default:
+			sk := quantile.MustNew(0.5 / float64(maxBins))
+			for _, v := range vals {
+				sk.Add(v)
+			}
+			cuts[j] = sk.Quantiles(maxBins)
+		}
+	}
+	return &BinMapper{Cuts: cuts, MaxBins: maxBins}, nil
+}
+
+// NumBins returns the bin count of feature j (at least 1).
+func (m *BinMapper) NumBins(j int) int { return len(m.Cuts[j]) + 1 }
+
+// Bin maps a stored value of feature j to its bin index.
+func (m *BinMapper) Bin(j int, v float64) int {
+	return sort.SearchFloat64s(m.Cuts[j], v)
+}
+
+// Threshold returns the split value of candidate bin k of feature j:
+// instances with v <= Threshold go left.
+func (m *BinMapper) Threshold(j, k int) float64 { return m.Cuts[j][k] }
+
+// BinnedMatrix is the CSR matrix of (feature, bin) pairs that histogram
+// construction sweeps over; it is built once per party and reused for
+// every tree.
+type BinnedMatrix struct {
+	rows   int
+	rowPtr []int32
+	cols   []int32
+	bins   []uint8
+	mapper *BinMapper
+}
+
+// NewBinnedMatrix discretizes every stored entry of d through the mapper.
+func NewBinnedMatrix(d *dataset.Dataset, m *BinMapper) *BinnedMatrix {
+	bm := &BinnedMatrix{
+		rows:   d.Rows(),
+		rowPtr: make([]int32, 0, d.Rows()+1),
+		cols:   make([]int32, 0, d.NNZ()),
+		bins:   make([]uint8, 0, d.NNZ()),
+		mapper: m,
+	}
+	bm.rowPtr = append(bm.rowPtr, 0)
+	for i := 0; i < d.Rows(); i++ {
+		cols, vals := d.Row(i)
+		for k, j := range cols {
+			bm.cols = append(bm.cols, j)
+			bm.bins = append(bm.bins, uint8(m.Bin(int(j), vals[k])))
+		}
+		bm.rowPtr = append(bm.rowPtr, int32(len(bm.cols)))
+	}
+	return bm
+}
+
+// Rows returns the instance count.
+func (bm *BinnedMatrix) Rows() int { return bm.rows }
+
+// Mapper returns the bin mapper used to build the matrix.
+func (bm *BinnedMatrix) Mapper() *BinMapper { return bm.mapper }
+
+// Row returns the stored (feature, bin) pairs of row i; the slices alias
+// internal storage.
+func (bm *BinnedMatrix) Row(i int) ([]int32, []uint8) {
+	lo, hi := bm.rowPtr[i], bm.rowPtr[i+1]
+	return bm.cols[lo:hi], bm.bins[lo:hi]
+}
+
+// NNZ returns the stored entry count.
+func (bm *BinnedMatrix) NNZ() int { return len(bm.cols) }

@@ -1,0 +1,449 @@
+package gbdt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/metrics"
+)
+
+func genData(t testing.TB, rows, cols int, density float64, dense bool, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{
+		Rows: rows, Cols: cols, Density: density, Dense: dense, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBinMapperBasics(t *testing.T) {
+	d := genData(t, 500, 8, 1, true, 1)
+	m, err := NewBinMapper(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d.Cols(); j++ {
+		nb := m.NumBins(j)
+		if nb < 2 || nb > 20 {
+			t.Errorf("feature %d has %d bins", j, nb)
+		}
+		cuts := m.Cuts[j]
+		for k := 1; k < len(cuts); k++ {
+			if cuts[k] <= cuts[k-1] {
+				t.Fatalf("feature %d cuts not increasing", j)
+			}
+		}
+		// Binning must be monotone and consistent with Threshold.
+		vals := d.ColumnValues(j)
+		for _, v := range vals[:10] {
+			b := m.Bin(j, v)
+			if b < len(cuts) && v > m.Threshold(j, b) {
+				t.Fatalf("value %g placed in bin %d above its threshold", v, b)
+			}
+			if b > 0 && v <= m.Threshold(j, b-1) {
+				t.Fatalf("value %g placed in bin %d but belongs below", v, b)
+			}
+		}
+	}
+}
+
+func TestBinMapperValidation(t *testing.T) {
+	d := genData(t, 10, 2, 1, true, 1)
+	for _, bad := range []int{1, 0, 257} {
+		if _, err := NewBinMapper(d, bad); err == nil {
+			t.Errorf("NewBinMapper(%d) accepted", bad)
+		}
+	}
+}
+
+func TestBinMapperEmptyColumn(t *testing.T) {
+	b := dataset.NewBuilder(3)
+	if err := b.AddRow([]int32{0}, []float64{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRow([]int32{0}, []float64{2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	m, err := NewBinMapper(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBins(1) != 1 || m.NumBins(2) != 1 {
+		t.Error("empty columns should have a single bin")
+	}
+}
+
+func TestHistogramAccumulateAndMergeSub(t *testing.T) {
+	d := genData(t, 200, 5, 0.5, false, 2)
+	m, _ := NewBinMapper(d, 10)
+	bm := NewBinnedMatrix(d, m)
+	grads := make([]float64, d.Rows())
+	hess := make([]float64, d.Rows())
+	for i := range grads {
+		grads[i] = float64(i%7) - 3
+		hess[i] = 0.25
+	}
+	all := make([]int32, d.Rows())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	full := NewHistogram(m)
+	full.Accumulate(bm, all, grads, hess)
+
+	// Split instances in half; merged halves must equal the full sweep.
+	h1, h2 := NewHistogram(m), NewHistogram(m)
+	h1.Accumulate(bm, all[:100], grads, hess)
+	h2.Accumulate(bm, all[100:], grads, hess)
+	merged := NewHistogram(m)
+	merged.Merge(h1)
+	merged.Merge(h2)
+	for i := range full.G {
+		if math.Abs(full.G[i]-merged.G[i]) > 1e-9 || full.Count[i] != merged.Count[i] {
+			t.Fatalf("merge mismatch at bin %d", i)
+		}
+	}
+
+	// Histogram subtraction identity: full - h1 == h2.
+	fullCopy := NewHistogram(m)
+	fullCopy.Merge(full)
+	fullCopy.Sub(h1)
+	for i := range fullCopy.G {
+		if math.Abs(fullCopy.G[i]-h2.G[i]) > 1e-9 {
+			t.Fatalf("subtraction identity broken at bin %d", i)
+		}
+	}
+
+	full.Reset()
+	for i := range full.G {
+		if full.G[i] != 0 || full.Count[i] != 0 {
+			t.Fatal("Reset left residue")
+		}
+	}
+}
+
+func TestSplitGainMatchesHandComputation(t *testing.T) {
+	// One feature, two bins; all mass stored.
+	g := []float64{-4, 2}
+	h := []float64{2, 2}
+	p := SplitParams{Lambda: 1}
+	s := BestSplitForFeature(0, g, h, -2, 4, p)
+	if !s.Valid() {
+		t.Fatal("no split found")
+	}
+	want := 0.5 * (16.0/3 + 4.0/3 - 4.0/5)
+	if math.Abs(s.Gain-want) > 1e-12 {
+		t.Errorf("gain = %g, want %g", s.Gain, want)
+	}
+	if s.GL != -4 || s.HL != 2 {
+		t.Errorf("left stats (%g,%g)", s.GL, s.HL)
+	}
+}
+
+func TestSplitMissingGoesLeft(t *testing.T) {
+	// Node totals include mass not present in the bins: that mass must be
+	// counted on the left side.
+	g := []float64{1, 1}
+	h := []float64{1, 1}
+	p := SplitParams{Lambda: 1}
+	s := BestSplitForFeature(0, g, h, 12, 3, p) // missing g=10, h=1
+	if !s.Valid() {
+		t.Fatal("no split")
+	}
+	if s.GL != 11 || s.HL != 2 {
+		t.Errorf("left stats (%g,%g), want (11,2) including missing mass", s.GL, s.HL)
+	}
+}
+
+func TestSplitRespectsMinChildHess(t *testing.T) {
+	g := []float64{-4, 2}
+	h := []float64{0.1, 2}
+	s := BestSplitForFeature(0, g, h, -2, 2.1, SplitParams{Lambda: 1, MinChildHess: 0.5})
+	if s.Valid() {
+		t.Error("split accepted despite tiny left hessian")
+	}
+}
+
+func TestSplitGammaPenalty(t *testing.T) {
+	g := []float64{-1, 1}
+	h := []float64{2, 2}
+	if s := BestSplitForFeature(0, g, h, 0, 4, SplitParams{Lambda: 1, Gamma: 100}); s.Valid() {
+		t.Error("split accepted despite prohibitive gamma")
+	}
+}
+
+func TestBetterIsDeterministicTotalOrder(t *testing.T) {
+	a := Split{Feature: 1, Bin: 2, Gain: 5}
+	b := Split{Feature: 0, Bin: 7, Gain: 5}
+	if Better(a, b) || !Better(b, a) {
+		t.Error("tie must break toward lower feature index")
+	}
+	c := Split{Feature: 0, Bin: 3, Gain: 5}
+	if !Better(c, b) {
+		t.Error("tie must break toward lower bin")
+	}
+	d := Split{Feature: 9, Bin: 9, Gain: 6}
+	if !Better(d, c) {
+		t.Error("higher gain must win")
+	}
+}
+
+func TestTrainImprovesLoss(t *testing.T) {
+	d := genData(t, 2000, 10, 1, true, 3)
+	p := DefaultParams()
+	p.NumTrees = 10
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := m.PredictAll(d)
+	ll, err := metrics.LogLoss(margins, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll >= math.Ln2 {
+		t.Errorf("training loss %g did not improve over trivial ln2", ll)
+	}
+	auc, err := metrics.AUC(margins, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Errorf("training AUC %g too low for separable synthetic data", auc)
+	}
+}
+
+func TestTrainSparsePositiveFeatures(t *testing.T) {
+	d := genData(t, 1500, 40, 0.15, false, 4)
+	p := DefaultParams()
+	p.NumTrees = 8
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := m.PredictAll(d)
+	auc, err := metrics.AUC(margins, d.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("sparse AUC %g too low", auc)
+	}
+}
+
+func TestTrainGeneralizes(t *testing.T) {
+	d := genData(t, 4000, 10, 1, true, 5)
+	train, valid := d.TrainValidSplit(0.8, 1)
+	p := DefaultParams()
+	m, err := Train(train, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := metrics.AUC(m.PredictAll(valid), valid.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Errorf("validation AUC = %g", auc)
+	}
+}
+
+func TestTrainRespectsDepthLimit(t *testing.T) {
+	d := genData(t, 1000, 6, 1, true, 6)
+	p := DefaultParams()
+	p.NumTrees = 3
+	p.MaxDepth = 2
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range m.Trees {
+		if depth := tr.Depth(); depth > 2 {
+			t.Errorf("tree depth %d exceeds limit 2", depth)
+		}
+		if leaves := tr.NumLeaves(); leaves > 4 {
+			t.Errorf("tree has %d leaves, max 4 at depth 2", leaves)
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	d := genData(t, 800, 8, 1, true, 7)
+	p := DefaultParams()
+	p.NumTrees = 4
+	m1, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Rows(); i += 37 {
+		if m1.PredictMargin(d, i) != m2.PredictMargin(d, i) {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	d := genData(t, 1200, 12, 0.4, false, 8)
+	p := DefaultParams()
+	p.NumTrees = 3
+	p.Workers = 1
+	m1, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 8
+	m8, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Rows(); i += 17 {
+		a, b := m1.PredictMargin(d, i), m8.PredictMargin(d, i)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("worker count changed predictions: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	d := genData(t, 50, 4, 1, true, 9)
+	bad := DefaultParams()
+	bad.NumTrees = 0
+	if _, err := Train(d, bad); err == nil {
+		t.Error("NumTrees=0 accepted")
+	}
+	bad = DefaultParams()
+	bad.MaxDepth = 0
+	if _, err := Train(d, bad); err == nil {
+		t.Error("MaxDepth=0 accepted")
+	}
+	bad = DefaultParams()
+	bad.LearningRate = 0
+	if _, err := Train(d, bad); err == nil {
+		t.Error("LearningRate=0 accepted")
+	}
+	unlabeled := d.SubColumns([]int{0, 1}, false)
+	if _, err := Train(unlabeled, DefaultParams()); err == nil {
+		t.Error("unlabeled dataset accepted")
+	}
+}
+
+func TestOnTreeDoneCallback(t *testing.T) {
+	d := genData(t, 300, 5, 1, true, 10)
+	p := DefaultParams()
+	p.NumTrees = 5
+	calls := 0
+	p.OnTreeDone = func(tr int, m *Model) {
+		if tr != calls {
+			t.Errorf("callback tree index %d, want %d", tr, calls)
+		}
+		if len(m.Trees) != tr+1 {
+			t.Errorf("model has %d trees at round %d", len(m.Trees), tr)
+		}
+		calls++
+	}
+	if _, err := Train(d, p); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("callback called %d times, want 5", calls)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	d := genData(t, 400, 6, 1, true, 11)
+	p := DefaultParams()
+	p.NumTrees = 3
+	m, err := Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Rows(); i += 29 {
+		if m.PredictMargin(d, i) != back.PredictMargin(d, i) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	if _, err := Load(bytes.NewBufferString("{}")); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"version":99,"model":{"trees":[{}]}}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestGoesLeftMissing(t *testing.T) {
+	b := dataset.NewBuilder(2)
+	if err := b.AddRow([]int32{0}, []float64{5}, 1); err != nil { // feature 1 missing
+		t.Fatal(err)
+	}
+	d := b.Build()
+	m, _ := NewBinMapper(d, 4)
+	bm := NewBinnedMatrix(d, m)
+	if !GoesLeft(bm, 0, 1, 0) {
+		t.Error("missing feature must route left")
+	}
+}
+
+func TestTreeDepthAndLeaves(t *testing.T) {
+	tr := NewTree()
+	if tr.Depth() != 0 || tr.NumLeaves() != 1 {
+		t.Fatal("fresh tree shape wrong")
+	}
+	l, r := tr.AddSplit(0, 0, 1.5, 0.7)
+	tr.SetLeaf(l, -0.1)
+	tr.SetLeaf(r, 0.2)
+	if tr.Depth() != 1 || tr.NumLeaves() != 2 {
+		t.Errorf("depth=%d leaves=%d", tr.Depth(), tr.NumLeaves())
+	}
+}
+
+func BenchmarkHistogramBuild(b *testing.B) {
+	d := genData(b, 20000, 50, 0.2, false, 1)
+	m, _ := NewBinMapper(d, 20)
+	bm := NewBinnedMatrix(d, m)
+	grads := make([]float64, d.Rows())
+	hess := make([]float64, d.Rows())
+	for i := range grads {
+		grads[i] = 0.3
+		hess[i] = 0.25
+	}
+	all := make([]int32, d.Rows())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHistogram(m)
+		h.Accumulate(bm, all, grads, hess)
+	}
+}
+
+func BenchmarkTrainOneTree(b *testing.B) {
+	d := genData(b, 10000, 30, 0.3, false, 2)
+	p := DefaultParams()
+	p.NumTrees = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(d, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

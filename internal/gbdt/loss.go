@@ -1,0 +1,63 @@
+// Package gbdt implements a histogram-based gradient boosting decision
+// tree trainer in the style of XGBoost's approximate algorithm: features
+// are discretized into s quantile bins, per-node gradient histograms are
+// accumulated in one sweep per tree layer, and splits maximize the
+// regularized gain of Equation 1 of the VF²Boost paper.
+//
+// The package serves two roles in the reproduction: it is the paper's
+// non-federated "XGBoost" baseline, and it supplies the split-finding and
+// binning machinery that the federated engine (internal/core) shares, so
+// federated and co-located training take identical split decisions.
+package gbdt
+
+import "math"
+
+// Loss is a twice-differentiable training objective.
+type Loss interface {
+	// Name identifies the loss ("logistic", "squared").
+	Name() string
+	// GradHess returns the first and second derivative of the loss at
+	// the raw prediction (margin) for one instance.
+	GradHess(label, margin float64) (g, h float64)
+	// HessianBound returns an upper bound on |g| (Bound in Section 5.2);
+	// gradients of the logistic loss lie in [-1, 1], hessians in [0,
+	// 1/4]. The bound drives the histogram-packing shift.
+	GradBound() float64
+}
+
+// LogisticLoss is the binary cross-entropy on raw margins, the paper's
+// loss for all classification experiments.
+type LogisticLoss struct{}
+
+func (LogisticLoss) Name() string { return "logistic" }
+
+func (LogisticLoss) GradHess(label, margin float64) (float64, float64) {
+	p := 1 / (1 + math.Exp(-margin))
+	return p - label, math.Max(p*(1-p), 1e-16)
+}
+
+func (LogisticLoss) GradBound() float64 { return 1 }
+
+// SquaredLoss is 0.5·(y-ŷ)² for regression tasks.
+type SquaredLoss struct{}
+
+func (SquaredLoss) Name() string { return "squared" }
+
+func (SquaredLoss) GradHess(label, margin float64) (float64, float64) {
+	return margin - label, 1
+}
+
+// GradBound for squared loss depends on the label range; a generous
+// constant suits the normalized targets used in the examples.
+func (SquaredLoss) GradBound() float64 { return 64 }
+
+// LossByName resolves a loss by name; it returns nil for unknown names.
+func LossByName(name string) Loss {
+	switch name {
+	case "logistic":
+		return LogisticLoss{}
+	case "squared":
+		return SquaredLoss{}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package gbdt
+
+// SplitParams are the regularization knobs of the split-gain formula.
+type SplitParams struct {
+	// Lambda is the L2 leaf-weight regularizer λ.
+	Lambda float64
+	// Gamma is the per-split complexity penalty γ.
+	Gamma float64
+	// MinChildHess rejects splits whose left or right hessian sum falls
+	// below this value (a child-weight constraint).
+	MinChildHess float64
+	// MinSplitGain rejects splits whose gain does not exceed this value;
+	// 0 keeps any strictly positive gain.
+	MinSplitGain float64
+}
+
+// Split describes one candidate split of a node.
+type Split struct {
+	// Feature is the feature index in the histogram that produced the
+	// split (party-local in federated training; global otherwise).
+	Feature int32
+	// Bin is the candidate bin index k; instances with stored values in
+	// bins <= k, plus all missing instances, go left.
+	Bin int32
+	// Gain is the regularized loss reduction.
+	Gain float64
+	// GL and HL are the left-child gradient/hessian sums (including
+	// missing mass), used to derive the right child by subtraction.
+	GL, HL float64
+}
+
+// Valid reports whether the split is usable (a found split).
+func (s Split) Valid() bool { return s.Bin >= 0 }
+
+// NoSplit is the sentinel returned when no candidate improves the loss.
+var NoSplit = Split{Bin: -1, Feature: -1}
+
+// Better imposes the deterministic total order used to pick the best
+// split: higher gain wins; ties break toward the lower feature index, then
+// the lower bin. Both the local trainer and the federated scheduler use
+// this exact rule, which is what makes co-located and federated training
+// produce the same trees.
+func Better(a, b Split) bool {
+	if a.Gain != b.Gain {
+		return a.Gain > b.Gain
+	}
+	if a.Feature != b.Feature {
+		return a.Feature < b.Feature
+	}
+	return a.Bin < b.Bin
+}
+
+// leafObjective is G²/(H+λ), the unscaled loss contribution of a leaf.
+func leafObjective(g, h, lambda float64) float64 {
+	return g * g / (h + lambda)
+}
+
+// LeafWeight is the optimal leaf weight ω* = -G/(H+λ) of Equation 1.
+func LeafWeight(g, h, lambda float64) float64 {
+	return -g / (h + lambda)
+}
+
+// SplitGain computes the gain of a (GL, HL) left partition of a node with
+// totals (G, H).
+func SplitGain(gl, hl, g, h float64, p SplitParams) float64 {
+	gr, hr := g-gl, h-hl
+	return 0.5*(leafObjective(gl, hl, p.Lambda)+leafObjective(gr, hr, p.Lambda)-leafObjective(g, h, p.Lambda)) - p.Gamma
+}
+
+// BestSplitForFeature scans the bins of one feature given the node totals.
+// gBins/hBins hold the stored-entry sums per bin; missing mass is added to
+// the left side of every candidate.
+func BestSplitForFeature(feature int32, gBins, hBins []float64, nodeG, nodeH float64, p SplitParams) Split {
+	if len(gBins) < 2 {
+		return NoSplit
+	}
+	var storedG, storedH float64
+	for i := range gBins {
+		storedG += gBins[i]
+		storedH += hBins[i]
+	}
+	missG, missH := nodeG-storedG, nodeH-storedH
+
+	best := NoSplit
+	gl, hl := missG, missH
+	for k := 0; k < len(gBins)-1; k++ {
+		gl += gBins[k]
+		hl += hBins[k]
+		hr := nodeH - hl
+		if hl < p.MinChildHess || hr < p.MinChildHess {
+			continue
+		}
+		gain := SplitGain(gl, hl, nodeG, nodeH, p)
+		if gain <= p.MinSplitGain {
+			continue
+		}
+		cand := Split{Feature: feature, Bin: int32(k), Gain: gain, GL: gl, HL: hl}
+		if !best.Valid() || Better(cand, best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// BestSplit scans every feature of the histogram and returns the best
+// split under the deterministic order, or NoSplit.
+func BestSplit(h *Histogram, nodeG, nodeH float64, p SplitParams) Split {
+	best := NoSplit
+	for j := 0; j < h.NumFeatures(); j++ {
+		gBins, hBins := h.FeatureSlice(j)
+		cand := BestSplitForFeature(int32(j), gBins, hBins, nodeG, nodeH, p)
+		if cand.Valid() && (!best.Valid() || Better(cand, best)) {
+			best = cand
+		}
+	}
+	return best
+}

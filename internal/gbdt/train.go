@@ -1,0 +1,339 @@
+package gbdt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vf2boost/internal/dataset"
+)
+
+// Params configures training. DefaultParams matches the paper's protocol:
+// T=20 trees, η=0.1, L=7 tree layers (6 split levels), s=20 bins.
+type Params struct {
+	// NumTrees is T.
+	NumTrees int
+	// LearningRate is η.
+	LearningRate float64
+	// MaxDepth is the number of split levels; a tree has MaxDepth+1
+	// layers of nodes.
+	MaxDepth int
+	// MaxBins is s, the histogram bins per feature.
+	MaxBins int
+	// Split holds the regularization parameters.
+	Split SplitParams
+	// Loss is the training objective (defaults to logistic).
+	Loss Loss
+	// Workers bounds histogram-build parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+	// BaseScore is the initial raw margin of every instance.
+	BaseScore float64
+	// OnTreeDone, if set, is called after each boosting round with the
+	// model built so far (used by the loss-vs-time harness of Figure 10).
+	OnTreeDone func(tree int, m *Model)
+}
+
+// DefaultParams returns the paper's hyper-parameters.
+func DefaultParams() Params {
+	return Params{
+		NumTrees:     20,
+		LearningRate: 0.1,
+		MaxDepth:     6,
+		MaxBins:      20,
+		Split:        SplitParams{Lambda: 1},
+		Loss:         LogisticLoss{},
+	}
+}
+
+func (p *Params) normalize() error {
+	if p.NumTrees <= 0 {
+		return fmt.Errorf("gbdt: NumTrees must be positive, got %d", p.NumTrees)
+	}
+	if p.LearningRate <= 0 {
+		return fmt.Errorf("gbdt: LearningRate must be positive, got %g", p.LearningRate)
+	}
+	if p.MaxDepth < 1 || p.MaxDepth > 30 {
+		return fmt.Errorf("gbdt: MaxDepth %d out of [1,30]", p.MaxDepth)
+	}
+	if p.MaxBins < 2 || p.MaxBins > 256 {
+		return fmt.Errorf("gbdt: MaxBins %d out of [2,256]", p.MaxBins)
+	}
+	if p.Loss == nil {
+		p.Loss = LogisticLoss{}
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Model is a trained GBDT ensemble.
+type Model struct {
+	Trees        []*Tree `json:"trees"`
+	LearningRate float64 `json:"learning_rate"`
+	BaseScore    float64 `json:"base_score"`
+	LossName     string  `json:"loss"`
+	NumFeatures  int     `json:"num_features"`
+}
+
+// PredictMargin returns the raw margin of row i.
+func (m *Model) PredictMargin(d *dataset.Dataset, i int) float64 {
+	s := m.BaseScore
+	for _, t := range m.Trees {
+		s += m.LearningRate * t.Predict(d, i)
+	}
+	return s
+}
+
+// PredictAll returns raw margins for every row.
+func (m *Model) PredictAll(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.Rows())
+	parallelRows(d.Rows(), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.PredictMargin(d, i)
+		}
+	})
+	return out
+}
+
+// nodeWork is the per-node state during layer-wise growth.
+type nodeWork struct {
+	id    int32
+	insts []int32
+	g, h  float64
+}
+
+// Train fits a GBDT model on a labeled dataset.
+func Train(d *dataset.Dataset, p Params) (*Model, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	if d.Labels == nil {
+		return nil, fmt.Errorf("gbdt: dataset has no labels")
+	}
+	mapper, err := NewBinMapper(d, p.MaxBins)
+	if err != nil {
+		return nil, err
+	}
+	bm := NewBinnedMatrix(d, mapper)
+	return trainBinned(d, bm, p)
+}
+
+func trainBinned(d *dataset.Dataset, bm *BinnedMatrix, p Params) (*Model, error) {
+	n := d.Rows()
+	margins := make([]float64, n)
+	for i := range margins {
+		margins[i] = p.BaseScore
+	}
+	grads := make([]float64, n)
+	hess := make([]float64, n)
+	model := &Model{
+		LearningRate: p.LearningRate,
+		BaseScore:    p.BaseScore,
+		LossName:     p.Loss.Name(),
+		NumFeatures:  d.Cols(),
+	}
+
+	for t := 0; t < p.NumTrees; t++ {
+		for i := 0; i < n; i++ {
+			grads[i], hess[i] = p.Loss.GradHess(d.Labels[i], margins[i])
+		}
+		tree := growTree(bm, grads, hess, p)
+		model.Trees = append(model.Trees, tree)
+		// Update margins through the binned routing (identical to the
+		// structure used at training time).
+		updateMargins(margins, tree, d, p.LearningRate, p.Workers)
+		if p.OnTreeDone != nil {
+			p.OnTreeDone(t, model)
+		}
+	}
+	return model, nil
+}
+
+// growTree grows one tree layer-by-layer.
+func growTree(bm *BinnedMatrix, grads, hess []float64, p Params) *Tree {
+	tree := NewTree()
+	all := make([]int32, bm.Rows())
+	var g0, h0 float64
+	for i := range all {
+		all[i] = int32(i)
+		g0 += grads[i]
+		h0 += hess[i]
+	}
+	active := []*nodeWork{{id: 0, insts: all, g: g0, h: h0}}
+
+	for depth := 0; depth < p.MaxDepth && len(active) > 0; depth++ {
+		hists := buildLayerHistograms(bm, active, grads, hess, p.Workers)
+		var next []*nodeWork
+		for k, nw := range active {
+			split := BestSplit(hists[k], nw.g, nw.h, p.Split)
+			if !split.Valid() {
+				tree.SetLeaf(nw.id, LeafWeight(nw.g, nw.h, p.Split.Lambda))
+				continue
+			}
+			threshold := bm.Mapper().Threshold(int(split.Feature), int(split.Bin))
+			leftID, rightID := tree.AddSplit(nw.id, split.Feature, threshold, split.Gain)
+			left, right := partition(bm, nw.insts, split.Feature, split.Bin)
+			next = append(next,
+				&nodeWork{id: leftID, insts: left, g: split.GL, h: split.HL},
+				&nodeWork{id: rightID, insts: right, g: nw.g - split.GL, h: nw.h - split.HL},
+			)
+		}
+		active = next
+	}
+	// Remaining active nodes at the depth limit become leaves.
+	for _, nw := range active {
+		tree.SetLeaf(nw.id, LeafWeight(nw.g, nw.h, p.Split.Lambda))
+	}
+	return tree
+}
+
+// partition splits a node's instances: stored bin <= k or missing → left.
+func partition(bm *BinnedMatrix, insts []int32, feature int32, bin int32) (left, right []int32) {
+	for _, i := range insts {
+		if GoesLeft(bm, i, feature, bin) {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// GoesLeft reports whether instance i routes to the left child of a split
+// on (feature, bin): stored values in bins <= bin go left, missing goes
+// left.
+func GoesLeft(bm *BinnedMatrix, i, feature, bin int32) bool {
+	cols, bins := bm.Row(int(i))
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cols[mid] < feature {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == feature {
+		return int32(bins[lo]) <= bin
+	}
+	return true // missing
+}
+
+// BuildHistograms builds one histogram per instance list, parallelizing
+// across nodes when there are many and across instance shards when there
+// are few. It is shared with the federated engine, where Party B builds
+// its plaintext histograms with exactly the local trainer's code.
+func BuildHistograms(bm *BinnedMatrix, lists [][]int32, grads, hess []float64, workers int) []*Histogram {
+	nodes := make([]*nodeWork, len(lists))
+	for k, l := range lists {
+		nodes[k] = &nodeWork{insts: l}
+	}
+	return buildLayerHistograms(bm, nodes, grads, hess, workers)
+}
+
+// buildLayerHistograms builds one histogram per active node, parallelizing
+// across nodes when the layer is wide and across instance shards when it
+// is narrow (the root).
+func buildLayerHistograms(bm *BinnedMatrix, active []*nodeWork, grads, hess []float64, workers int) []*Histogram {
+	hists := make([]*Histogram, len(active))
+	if len(active) >= workers {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for k, nw := range active {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(k int, nw *nodeWork) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				h := NewHistogram(bm.Mapper())
+				h.Accumulate(bm, nw.insts, grads, hess)
+				hists[k] = h
+			}(k, nw)
+		}
+		wg.Wait()
+		return hists
+	}
+	for k, nw := range active {
+		hists[k] = shardedHistogram(bm, nw.insts, grads, hess, workers)
+	}
+	return hists
+}
+
+// shardedHistogram accumulates one node's histogram with instance-level
+// parallelism.
+func shardedHistogram(bm *BinnedMatrix, insts []int32, grads, hess []float64, workers int) *Histogram {
+	if workers <= 1 || len(insts) < 1024 {
+		h := NewHistogram(bm.Mapper())
+		h.Accumulate(bm, insts, grads, hess)
+		return h
+	}
+	parts := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	chunk := (len(insts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(insts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(insts) {
+			hi = len(insts)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := NewHistogram(bm.Mapper())
+			h.Accumulate(bm, insts[lo:hi], grads, hess)
+			parts[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc *Histogram
+	for _, ph := range parts {
+		if ph == nil {
+			continue
+		}
+		if acc == nil {
+			acc = ph
+		} else {
+			acc.Merge(ph)
+		}
+	}
+	return acc
+}
+
+func updateMargins(margins []float64, tree *Tree, d *dataset.Dataset, eta float64, workers int) {
+	parallelRows(len(margins), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			margins[i] += eta * tree.Predict(d, i)
+		}
+	})
+}
+
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package gbdt
+
+import (
+	"sort"
+
+	"vf2boost/internal/dataset"
+)
+
+// Node is one decision-tree node. Internal nodes route instances by
+// "stored value <= Threshold (or missing) → left"; leaves carry the raw
+// prediction weight ω* (the trainer applies the learning rate η when
+// summing tree outputs).
+type Node struct {
+	// Feature is the split feature; -1 marks a leaf.
+	Feature int32 `json:"feature"`
+	// Threshold is the split value for internal nodes.
+	Threshold float64 `json:"threshold"`
+	// Left and Right are child indexes into Tree.Nodes; 0 is never a
+	// child (the root), so 0 doubles as "none" on leaves.
+	Left  int32 `json:"left"`
+	Right int32 `json:"right"`
+	// Weight is the leaf value ω*.
+	Weight float64 `json:"weight"`
+	// Gain records the split gain for model inspection.
+	Gain float64 `json:"gain,omitempty"`
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature < 0 }
+
+// Tree is a single decision tree stored as a node arena rooted at index 0.
+type Tree struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// NewTree returns a tree with a single (leaf) root.
+func NewTree() *Tree {
+	return &Tree{Nodes: []Node{{Feature: -1}}}
+}
+
+// AddSplit turns node id into an internal node and appends two leaf
+// children, returning their ids.
+func (t *Tree) AddSplit(id int32, feature int32, threshold, gain float64) (left, right int32) {
+	left = int32(len(t.Nodes))
+	right = left + 1
+	t.Nodes = append(t.Nodes, Node{Feature: -1}, Node{Feature: -1})
+	n := &t.Nodes[id]
+	n.Feature = feature
+	n.Threshold = threshold
+	n.Gain = gain
+	n.Left = left
+	n.Right = right
+	return left, right
+}
+
+// SetLeaf marks node id as a leaf with the given weight.
+func (t *Tree) SetLeaf(id int32, weight float64) {
+	n := &t.Nodes[id]
+	n.Feature = -1
+	n.Weight = weight
+	n.Left, n.Right = 0, 0
+}
+
+// NumLeaves counts the leaves.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			c++
+		}
+	}
+	return c
+}
+
+// Depth returns the maximum root-to-leaf depth (a root-only tree has
+// depth 0).
+func (t *Tree) Depth() int {
+	var walk func(id int32, d int) int
+	walk = func(id int32, d int) int {
+		n := &t.Nodes[id]
+		if n.IsLeaf() {
+			return d
+		}
+		l := walk(n.Left, d+1)
+		r := walk(n.Right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(0, 0)
+}
+
+// Predict routes row i of d through the tree and returns the leaf weight.
+// Missing features route left.
+func (t *Tree) Predict(d *dataset.Dataset, i int) float64 {
+	cols, vals := d.Row(i)
+	id := int32(0)
+	for {
+		n := &t.Nodes[id]
+		if n.IsLeaf() {
+			return n.Weight
+		}
+		v, ok := lookup(cols, vals, n.Feature)
+		if !ok || v <= n.Threshold {
+			id = n.Left
+		} else {
+			id = n.Right
+		}
+	}
+}
+
+// lookup binary-searches a sorted sparse row for a feature.
+func lookup(cols []int32, vals []float64, feature int32) (float64, bool) {
+	k := sort.Search(len(cols), func(x int) bool { return cols[x] >= feature })
+	if k < len(cols) && cols[k] == feature {
+		return vals[k], true
+	}
+	return 0, false
+}

@@ -1,0 +1,160 @@
+package he
+
+import (
+	"math/big"
+	"testing"
+)
+
+// schemes under test: every Scheme must satisfy the same contract so the
+// protocol code can swap them freely.
+func testSchemes(t *testing.T) map[string]Decryptor {
+	t.Helper()
+	p, err := NewPaillier(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return map[string]Decryptor{
+		"paillier": p,
+		"mock":     NewMock(256),
+	}
+}
+
+func TestSchemeContract(t *testing.T) {
+	for name, s := range testSchemes(t) {
+		t.Run(name, func(t *testing.T) {
+			if s.Name() == "" {
+				t.Error("empty scheme name")
+			}
+			if s.Bits() < 256 {
+				t.Errorf("Bits = %d, want >= 256", s.Bits())
+			}
+			if s.CiphertextBytes() <= 0 {
+				t.Error("CiphertextBytes must be positive")
+			}
+
+			a, err := s.Encrypt(big.NewInt(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Encrypt(big.NewInt(25))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sum, err := s.Decrypt(s.Add(a, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Int64() != 42 {
+				t.Errorf("Add: %v, want 42", sum)
+			}
+
+			diff, err := s.Decrypt(s.Sub(b, a))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff.Int64() != 8 {
+				t.Errorf("Sub: %v, want 8", diff)
+			}
+
+			prod, err := s.Decrypt(s.MulScalar(a, big.NewInt(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prod.Int64() != 51 {
+				t.Errorf("MulScalar: %v, want 51", prod)
+			}
+
+			zero, err := s.Decrypt(s.EncryptZero())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if zero.Sign() != 0 {
+				t.Errorf("EncryptZero decrypts to %v", zero)
+			}
+
+			acc := s.EncryptZero()
+			for i := 1; i <= 5; i++ {
+				ct, err := s.Encrypt(big.NewInt(int64(i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				acc = s.AddInto(acc, ct)
+			}
+			accV, err := s.Decrypt(acc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if accV.Int64() != 15 {
+				t.Errorf("AddInto chain: %v, want 15", accV)
+			}
+
+			wire := s.Marshal(b)
+			back, err := s.Unmarshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := s.Decrypt(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int64() != 25 {
+				t.Errorf("Marshal round trip: %v, want 25", v)
+			}
+		})
+	}
+}
+
+func TestSignedHelper(t *testing.T) {
+	m := NewMock(64)
+	neg := new(big.Int).Sub(m.N(), big.NewInt(7))
+	if got := Signed(m, neg); got.Int64() != -7 {
+		t.Errorf("Signed(N-7) = %v, want -7", got)
+	}
+	if got := Signed(m, big.NewInt(7)); got.Int64() != 7 {
+		t.Errorf("Signed(7) = %v, want 7", got)
+	}
+}
+
+func TestMockRejectsOutOfRange(t *testing.T) {
+	m := NewMock(64)
+	if _, err := m.Encrypt(big.NewInt(-1)); err == nil {
+		t.Error("Encrypt(-1) succeeded")
+	}
+	if _, err := m.Encrypt(m.N()); err == nil {
+		t.Error("Encrypt(N) succeeded")
+	}
+}
+
+func TestPaillierUnmarshalEmpty(t *testing.T) {
+	p, err := NewPaillier(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Unmarshal(nil); err == nil {
+		t.Error("Unmarshal(nil) succeeded, want error")
+	}
+}
+
+func TestPaillierPooledEncryption(t *testing.T) {
+	p, err := NewPaillier(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		ct, err := p.Encrypt(big.NewInt(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int64() != int64(i) {
+			t.Errorf("pooled encrypt %d decrypts to %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package he
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"vf2boost/internal/paillier"
+)
+
+// paillierCt wraps a Paillier ciphertext to satisfy he.Ciphertext.
+type paillierCt struct {
+	ct paillier.Ciphertext
+}
+
+func (paillierCt) isCiphertext() {}
+
+// PaillierScheme adapts internal/paillier to the Scheme interface. When a
+// pool is configured, encryption consumes precomputed obfuscators.
+type PaillierScheme struct {
+	pk   *paillier.PublicKey
+	pool *paillier.ObfuscatorPool
+}
+
+// PaillierDecryptor is the Scheme plus the private key; only Party B holds
+// one.
+type PaillierDecryptor struct {
+	PaillierScheme
+	priv *paillier.PrivateKey
+}
+
+// NewPaillier generates a fresh S-bit key pair and returns the decryptor
+// side. poolWorkers > 0 starts an obfuscator pool with that many
+// background workers (0 disables pooling, so each Encrypt pays the full
+// r^n exponentiation — this is the VF-GBDT baseline configuration).
+func NewPaillier(bits, poolWorkers int) (*PaillierDecryptor, error) {
+	priv, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, err
+	}
+	return NewPaillierFromKey(priv, poolWorkers), nil
+}
+
+// NewPaillierPublic wraps a public key for a passive party, which can
+// encrypt and operate homomorphically but never decrypt.
+func NewPaillierPublic(pk *paillier.PublicKey) *PaillierScheme {
+	return &PaillierScheme{pk: pk}
+}
+
+// NewPaillierFromKey wraps an existing private key.
+func NewPaillierFromKey(priv *paillier.PrivateKey, poolWorkers int) *PaillierDecryptor {
+	d := &PaillierDecryptor{
+		PaillierScheme: PaillierScheme{pk: priv.Public()},
+		priv:           priv,
+	}
+	if poolWorkers > 0 {
+		d.pool = paillier.NewObfuscatorPool(priv.Public(), poolWorkers, 8*poolWorkers, nil)
+	}
+	return d
+}
+
+// PublicScheme returns the encrypt-only view that is shared with passive
+// parties.
+func (d *PaillierDecryptor) PublicScheme() *PaillierScheme { return &d.PaillierScheme }
+
+// Close releases the obfuscator pool, if any.
+func (d *PaillierDecryptor) Close() {
+	if d.pool != nil {
+		d.pool.Close()
+		d.pool = nil
+	}
+}
+
+func (s *PaillierScheme) Name() string { return "paillier" }
+func (s *PaillierScheme) N() *big.Int  { return s.pk.N }
+func (s *PaillierScheme) Bits() int    { return s.pk.Bits() }
+
+func (s *PaillierScheme) Encrypt(m *big.Int) (Ciphertext, error) {
+	if s.pool != nil {
+		rn, err := s.pool.Next()
+		if err != nil {
+			return nil, err
+		}
+		return paillierCt{s.pk.EncryptWithObfuscator(m, rn)}, nil
+	}
+	ct, err := s.pk.Encrypt(rand.Reader, m)
+	if err != nil {
+		return nil, err
+	}
+	return paillierCt{ct}, nil
+}
+
+func (s *PaillierScheme) EncryptZero() Ciphertext {
+	return paillierCt{s.pk.EncryptZero()}
+}
+
+func (s *PaillierScheme) Add(a, b Ciphertext) Ciphertext {
+	return paillierCt{s.pk.Add(a.(paillierCt).ct, b.(paillierCt).ct)}
+}
+
+func (s *PaillierScheme) AddInto(dst, b Ciphertext) Ciphertext {
+	d := dst.(paillierCt)
+	s.pk.AddInto(&d.ct, b.(paillierCt).ct)
+	return d
+}
+
+func (s *PaillierScheme) Sub(a, b Ciphertext) Ciphertext {
+	return paillierCt{s.pk.Sub(a.(paillierCt).ct, b.(paillierCt).ct)}
+}
+
+func (s *PaillierScheme) MulScalar(a Ciphertext, k *big.Int) Ciphertext {
+	return paillierCt{s.pk.MulScalar(a.(paillierCt).ct, k)}
+}
+
+func (s *PaillierScheme) Marshal(ct Ciphertext) []byte {
+	return ct.(paillierCt).ct.Bytes()
+}
+
+func (s *PaillierScheme) Unmarshal(b []byte) (Ciphertext, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("he: empty paillier ciphertext")
+	}
+	return paillierCt{paillier.CiphertextFromBytes(b)}, nil
+}
+
+func (s *PaillierScheme) CiphertextBytes() int { return 2 * s.pk.Bits() / 8 }
+
+func (d *PaillierDecryptor) Decrypt(ct Ciphertext) (*big.Int, error) {
+	return d.priv.Decrypt(ct.(paillierCt).ct)
+}
+
+var (
+	_ Scheme    = (*PaillierScheme)(nil)
+	_ Decryptor = (*PaillierDecryptor)(nil)
+)

@@ -1,0 +1,125 @@
+// Package metrics implements the evaluation metrics used in the paper's
+// experiments: AUC, logistic loss, RMSE and classification accuracy.
+// Predictions are raw margins (ŷ before the sigmoid) unless noted.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Sigmoid is the logistic link δ(x) = 1/(1+e^{ -x}).
+func Sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// AUC computes the area under the ROC curve from raw scores (any monotone
+// transform of probabilities gives the same AUC). Labels must be 0 or 1.
+// Ties are handled by the rank-statistic formulation.
+func AUC(scores, labels []float64) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, errors.New("metrics: scores and labels length mismatch")
+	}
+	n := len(scores)
+	if n == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Average ranks over ties, then AUC = (sumRanks(pos) - P(P+1)/2)/(P·N).
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	var pos, sumPos float64
+	for i, y := range labels {
+		if y == 1 {
+			pos++
+			sumPos += ranks[i]
+		} else if y != 0 {
+			return 0, errors.New("metrics: AUC labels must be 0 or 1")
+		}
+	}
+	neg := float64(n) - pos
+	if pos == 0 || neg == 0 {
+		return 0, errors.New("metrics: AUC undefined with a single class")
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg), nil
+}
+
+// LogLoss computes the mean logistic loss from raw margins.
+func LogLoss(margins, labels []float64) (float64, error) {
+	if len(margins) != len(labels) {
+		return 0, errors.New("metrics: margins and labels length mismatch")
+	}
+	if len(margins) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	var sum float64
+	for i, m := range margins {
+		// Numerically stable: log(1+e^m) - y·m.
+		sum += stableLog1pExp(m) - labels[i]*m
+	}
+	return sum / float64(len(margins)), nil
+}
+
+func stableLog1pExp(x float64) float64 {
+	if x > 35 {
+		return x
+	}
+	if x < -35 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// RMSE computes the root mean squared error of raw predictions.
+func RMSE(preds, labels []float64) (float64, error) {
+	if len(preds) != len(labels) {
+		return 0, errors.New("metrics: preds and labels length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	var sum float64
+	for i := range preds {
+		d := preds[i] - labels[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(preds))), nil
+}
+
+// Accuracy computes 0/1 accuracy thresholding margins at 0 (probability
+// 0.5).
+func Accuracy(margins, labels []float64) (float64, error) {
+	if len(margins) != len(labels) {
+		return 0, errors.New("metrics: margins and labels length mismatch")
+	}
+	if len(margins) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	correct := 0
+	for i, m := range margins {
+		pred := 0.0
+		if m > 0 {
+			pred = 1
+		}
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(margins)), nil
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectAndReversed(t *testing.T) {
+	labels := []float64{0, 0, 1, 1}
+	if auc, err := AUC([]float64{0.1, 0.2, 0.8, 0.9}, labels); err != nil || auc != 1 {
+		t.Errorf("perfect AUC = %g, %v", auc, err)
+	}
+	if auc, err := AUC([]float64{0.9, 0.8, 0.2, 0.1}, labels); err != nil || auc != 0 {
+		t.Errorf("reversed AUC = %g, %v", auc, err)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = float64(rng.Intn(2))
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC = %g, want ~0.5", auc)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores identical -> AUC must be exactly 0.5.
+	auc, err := AUC([]float64{3, 3, 3, 3}, []float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Errorf("all-tied AUC = %g, want 0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []float64{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AUC(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := AUC([]float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("single-class input accepted")
+	}
+	if _, err := AUC([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("non-binary label accepted")
+	}
+}
+
+func TestAUCInvariantToMonotoneTransform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		pos := false
+		negSeen := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = float64(rng.Intn(2))
+			if labels[i] == 1 {
+				pos = true
+			} else {
+				negSeen = true
+			}
+		}
+		if !pos || !negSeen {
+			return true
+		}
+		a1, err1 := AUC(scores, labels)
+		trans := make([]float64, n)
+		for i, s := range scores {
+			trans[i] = Sigmoid(s)*10 + 3
+		}
+		a2, err2 := AUC(trans, labels)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Margin 0 -> p=0.5 -> loss = ln 2 regardless of label.
+	ll, err := LogLoss([]float64{0, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ll-math.Ln2) > 1e-12 {
+		t.Errorf("LogLoss at margin 0 = %g, want ln2", ll)
+	}
+	// Confident correct predictions approach 0 loss.
+	ll2, _ := LogLoss([]float64{50, -50}, []float64{1, 0})
+	if ll2 > 1e-10 {
+		t.Errorf("confident correct loss = %g", ll2)
+	}
+	// Extreme margins must not produce NaN/Inf.
+	ll3, _ := LogLoss([]float64{1000, -1000}, []float64{0, 1})
+	if math.IsNaN(ll3) || math.IsInf(ll3, 0) {
+		t.Errorf("extreme-margin loss = %g", ll3)
+	}
+	if _, err := LogLoss(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LogLoss([]float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("zero-error RMSE = %g, %v", got, err)
+	}
+	got, _ = RMSE([]float64{0, 0}, []float64{3, 4})
+	if math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %g", got)
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]float64{2, -2, 1, -1}, []float64{1, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.5 {
+		t.Errorf("Accuracy = %g, want 0.5", acc)
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if Sigmoid(0) != 0.5 {
+		t.Error("Sigmoid(0) != 0.5")
+	}
+	if s := Sigmoid(100); s <= 0.999 {
+		t.Errorf("Sigmoid(100) = %g", s)
+	}
+	if s := Sigmoid(-100); s >= 0.001 {
+		t.Errorf("Sigmoid(-100) = %g", s)
+	}
+}

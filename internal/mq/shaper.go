@@ -1,0 +1,78 @@
+package mq
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shaper models the constrained public network between data centers as a
+// single serialized link: each transmission occupies the link for
+// size/bandwidth seconds (plus a fixed per-message latency), and
+// concurrent senders queue behind each other — exactly the congestion
+// behaviour that motivates the blaster-style encryption scheme (Section
+// 4.1 "the message queue would be congested due to the bulk of
+// transmission").
+//
+// A zero bandwidth means an unconstrained link (only latency applies);
+// both zero disables shaping entirely.
+type Shaper struct {
+	bandwidth float64 // bytes per second
+	latency   time.Duration
+
+	mu       sync.Mutex
+	nextFree time.Time
+
+	bytes atomic.Int64
+	waits atomic.Int64 // cumulative nanoseconds spent blocked
+}
+
+// NewShaper builds a shaper; bandwidthMbps <= 0 means unlimited.
+func NewShaper(bandwidthMbps float64, latency time.Duration) *Shaper {
+	bps := 0.0
+	if bandwidthMbps > 0 {
+		bps = bandwidthMbps * 1e6 / 8
+	}
+	return &Shaper{bandwidth: bps, latency: latency}
+}
+
+// Transmit blocks the caller for the transmission slot of n bytes and the
+// propagation latency, then returns. It also accounts the bytes.
+func (s *Shaper) Transmit(n int) {
+	s.bytes.Add(int64(n))
+	if s.bandwidth <= 0 && s.latency <= 0 {
+		return
+	}
+	var wait time.Duration
+	if s.bandwidth > 0 {
+		tx := time.Duration(float64(n) / s.bandwidth * float64(time.Second))
+		s.mu.Lock()
+		now := time.Now()
+		start := s.nextFree
+		if start.Before(now) {
+			start = now
+		}
+		s.nextFree = start.Add(tx)
+		done := s.nextFree
+		s.mu.Unlock()
+		wait = time.Until(done)
+	}
+	wait += s.latency
+	if wait > 0 {
+		s.waits.Add(int64(wait))
+		time.Sleep(wait)
+	}
+}
+
+// Bytes returns the total bytes transmitted through the shaper.
+func (s *Shaper) Bytes() int64 { return s.bytes.Load() }
+
+// BlockedTime returns the cumulative time senders spent waiting on the
+// link, a proxy for the paper's CipherComm lane in the Gantt charts.
+func (s *Shaper) BlockedTime() time.Duration { return time.Duration(s.waits.Load()) }
+
+// Reset zeroes the byte and wait counters (the link state is kept).
+func (s *Shaper) Reset() {
+	s.bytes.Store(0)
+	s.waits.Store(0)
+}

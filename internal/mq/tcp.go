@@ -1,0 +1,279 @@
+package mq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// The TCP gateway lets parties in separate processes attach to a broker
+// running on a gateway machine, the deployment shape of Section 3.1 where
+// "message queues on several gateway machines route the cross-party
+// communication". The wire protocol is a one-line JSON handshake followed
+// by length-prefixed frames:
+//
+//	handshake: {"topic": "...", "token": "...", "role": "producer"}\n
+//	reply:     "ok\n" or "err <reason>\n"
+//	frame:     8-byte big-endian ID | 4-byte big-endian length | payload
+
+type handshake struct {
+	Topic string `json:"topic"`
+	Token string `json:"token"`
+	Role  string `json:"role"`
+}
+
+// maxFrame bounds a single payload (64 MiB) to fail fast on corruption.
+const maxFrame = 64 << 20
+
+// Gateway serves broker access over TCP.
+type Gateway struct {
+	broker *Broker
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewGateway wraps a broker.
+func NewGateway(b *Broker) *Gateway {
+	return &Gateway{broker: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve runs in the background until Close.
+func (g *Gateway) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mq: gateway listen: %w", err)
+	}
+	g.lis = lis
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.lis.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			conn.Close()
+			return
+		}
+		g.conns[conn] = struct{}{}
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer func() {
+				g.mu.Lock()
+				delete(g.conns, conn)
+				g.mu.Unlock()
+				conn.Close()
+			}()
+			g.handle(conn)
+		}()
+	}
+}
+
+func (g *Gateway) handle(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	var hs handshake
+	if err := json.Unmarshal([]byte(strings.TrimSpace(line)), &hs); err != nil {
+		fmt.Fprintf(conn, "err bad handshake\n")
+		return
+	}
+	switch hs.Role {
+	case "producer":
+		p, err := g.broker.Producer(hs.Topic, hs.Token)
+		if err != nil {
+			fmt.Fprintf(conn, "err %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "ok\n")
+		for {
+			id, payload, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			if err := p.SendWithID(id, payload); err != nil {
+				return
+			}
+		}
+	case "consumer":
+		c, err := g.broker.Consumer(hs.Topic, hs.Token)
+		if err != nil {
+			fmt.Fprintf(conn, "err %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "ok\n")
+		// Consumer clients never send after the handshake, so a read on
+		// the connection only returns when the client disconnects (or the
+		// gateway closes the socket); either way, detach the broker
+		// consumer so the Receive loop below unblocks.
+		go func() {
+			io.Copy(io.Discard, br)
+			c.Close()
+		}()
+		bw := bufio.NewWriter(conn)
+		seq := uint64(0)
+		for {
+			payload, err := c.Receive()
+			if err != nil {
+				return
+			}
+			seq++
+			if err := writeFrame(bw, seq, payload); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	default:
+		fmt.Fprintf(conn, "err unknown role %q\n", hs.Role)
+	}
+}
+
+// Close stops the gateway and severs all client connections.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if g.lis != nil {
+		g.lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+}
+
+func readFrame(r io.Reader) (uint64, []byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	id := binary.BigEndian.Uint64(hdr[:8])
+	n := binary.BigEndian.Uint32(hdr[8:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return id, payload, nil
+}
+
+func writeFrame(w io.Writer, id uint64, payload []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[:8], id)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func dial(addr, topic, token, role string) (net.Conn, *bufio.Reader, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mq: dial gateway: %w", err)
+	}
+	hs, _ := json.Marshal(handshake{Topic: topic, Token: token, Role: role})
+	if _, err := conn.Write(append(hs, '\n')); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReader(conn)
+	reply, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	reply = strings.TrimSpace(reply)
+	if reply != "ok" {
+		conn.Close()
+		return nil, nil, fmt.Errorf("mq: gateway rejected %s: %s", role, reply)
+	}
+	return conn, br, nil
+}
+
+// RemoteProducer publishes to a topic over TCP.
+type RemoteProducer struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	mu   sync.Mutex
+	seq  uint64
+}
+
+// DialProducer attaches a producer to a remote gateway.
+func DialProducer(addr, topic, token string) (*RemoteProducer, error) {
+	conn, _, err := dial(addr, topic, token, "producer")
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteProducer{conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// Send publishes one payload.
+func (p *RemoteProducer) Send(payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if err := writeFrame(p.bw, p.seq, payload); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Close severs the connection.
+func (p *RemoteProducer) Close() error { return p.conn.Close() }
+
+// RemoteConsumer receives from a topic over TCP.
+type RemoteConsumer struct {
+	conn net.Conn
+	br   *bufio.Reader
+	mu   sync.Mutex
+}
+
+// DialConsumer attaches a consumer to a remote gateway.
+func DialConsumer(addr, topic, token string) (*RemoteConsumer, error) {
+	conn, br, err := dial(addr, topic, token, "consumer")
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteConsumer{conn: conn, br: br}, nil
+}
+
+// Receive blocks for the next payload.
+func (c *RemoteConsumer) Receive() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, payload, err := readFrame(c.br)
+	return payload, err
+}
+
+// Close severs the connection.
+func (c *RemoteConsumer) Close() error { return c.conn.Close() }

@@ -1,0 +1,100 @@
+package paillier
+
+import (
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(i) for i in [0, n) across `workers` goroutines,
+// assigning contiguous ranges so each goroutine touches adjacent memory.
+// workers <= 0 selects GOMAXPROCS.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// EncryptBatch encrypts every plaintext in ms with `workers` goroutines.
+// Each worker draws its obfuscators from random (which must be safe for
+// concurrent use, as crypto/rand.Reader is).
+func (pk *PublicKey) EncryptBatch(random io.Reader, ms []*big.Int, workers int) ([]Ciphertext, error) {
+	out := make([]Ciphertext, len(ms))
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(len(ms), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ct, err := pk.Encrypt(random, ms[i])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = ct
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// DecryptBatch decrypts every ciphertext in cts with `workers` goroutines.
+func (priv *PrivateKey) DecryptBatch(cts []Ciphertext, workers int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(len(cts), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m, err := priv.Decrypt(cts[i])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = m
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Sum homomorphically adds all ciphertexts in cts; it returns EncryptZero
+// for an empty slice.
+func (pk *PublicKey) Sum(cts []Ciphertext) Ciphertext {
+	acc := pk.EncryptZero()
+	for _, ct := range cts {
+		pk.AddInto(&acc, ct)
+	}
+	return acc
+}

@@ -1,0 +1,312 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem (Paillier, EUROCRYPT 1999) on top of math/big.
+//
+// The implementation follows the optimizations that are standard for
+// GBDT-style federated learning workloads:
+//
+//   - encryption uses the g = n+1 shortcut, so g^m mod n² is computed as
+//     (1 + m·n) mod n² with one multiplication instead of a modular
+//     exponentiation; the remaining cost is the obfuscation term r^n mod n²,
+//     which can be precomputed with an ObfuscatorPool;
+//   - decryption uses the Chinese Remainder Theorem, replacing one
+//     exponentiation modulo n² with two half-size exponentiations modulo
+//     p² and q²;
+//   - homomorphic addition (HAdd) is a single modular multiplication and
+//     scalar multiplication (SMul) a modular exponentiation, exactly the
+//     cost model of Section 5 of the VF²Boost paper.
+//
+// All operations on PublicKey and PrivateKey are safe for concurrent use.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey holds the public parameters of a Paillier key pair. The
+// generator is fixed to g = n+1, which is the common choice and admits the
+// fast encryption path.
+type PublicKey struct {
+	// N is the S-bit modulus n = p·q.
+	N *big.Int
+	// NSquared is n², the ciphertext modulus.
+	NSquared *big.Int
+	// halfN is n/2, used to decide the sign of decoded values.
+	halfN *big.Int
+}
+
+// PrivateKey holds the factorization of n and the CRT precomputation used
+// for fast decryption.
+type PrivateKey struct {
+	PublicKey
+	p, q     *big.Int
+	pSquared *big.Int
+	qSquared *big.Int
+	pOrder   *big.Int // p-1
+	qOrder   *big.Int // q-1
+	hp       *big.Int // (L_p(g^{p-1} mod p²))^{-1} mod p
+	hq       *big.Int // (L_q(g^{q-1} mod q²))^{-1} mod q
+	pInvQ    *big.Int // p^{-1} mod q
+}
+
+// Ciphertext is a Paillier ciphertext: an element of Z*_{n²}. The zero
+// value is not a valid ciphertext; use PublicKey.Encrypt or
+// PublicKey.EncryptZero.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Clone returns a deep copy of the ciphertext.
+func (ct Ciphertext) Clone() Ciphertext {
+	return Ciphertext{C: new(big.Int).Set(ct.C)}
+}
+
+// Bytes returns the big-endian encoding of the ciphertext.
+func (ct Ciphertext) Bytes() []byte { return ct.C.Bytes() }
+
+// CiphertextFromBytes reconstructs a ciphertext from Bytes output.
+func CiphertextFromBytes(b []byte) Ciphertext {
+	return Ciphertext{C: new(big.Int).SetBytes(b)}
+}
+
+// GenerateKey generates a Paillier key pair with an S-bit modulus, reading
+// randomness from random (crypto/rand.Reader in production). bits must be
+// at least 64 and even.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 || bits%2 != 0 {
+		return nil, fmt.Errorf("paillier: invalid modulus size %d (need even, >= 64)", bits)
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		// gcd(n, (p-1)(q-1)) must be 1; with equal-size primes this
+		// only fails if p | q-1 or q | p-1, which is vanishingly rare,
+		// but check anyway.
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		if new(big.Int).GCD(nil, nil, n, phi).Cmp(one) != 0 {
+			continue
+		}
+		return newPrivateKey(p, q), nil
+	}
+}
+
+func newPrivateKey(p, q *big.Int) *PrivateKey {
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+	priv := &PrivateKey{
+		PublicKey: PublicKey{
+			N:        n,
+			NSquared: n2,
+			halfN:    new(big.Int).Rsh(n, 1),
+		},
+		p:        p,
+		q:        q,
+		pSquared: new(big.Int).Mul(p, p),
+		qSquared: new(big.Int).Mul(q, q),
+		pOrder:   new(big.Int).Sub(p, one),
+		qOrder:   new(big.Int).Sub(q, one),
+		pInvQ:    new(big.Int).ModInverse(p, q),
+	}
+	// hp = L_p(g^{p-1} mod p²)^{-1} mod p with g = n+1.
+	// g^{p-1} mod p² = (1+n)^{p-1} = 1 + (p-1)·n mod p², so
+	// L_p(...) = ((p-1)·n mod p²) / p ... computed directly below.
+	g := new(big.Int).Add(n, one)
+	gp := new(big.Int).Exp(g, priv.pOrder, priv.pSquared)
+	priv.hp = new(big.Int).ModInverse(lFunc(gp, p), p)
+	gq := new(big.Int).Exp(g, priv.qOrder, priv.qSquared)
+	priv.hq = new(big.Int).ModInverse(lFunc(gq, q), q)
+	return priv
+}
+
+// lFunc computes L_d(x) = (x-1)/d.
+func lFunc(x, d *big.Int) *big.Int {
+	r := new(big.Int).Sub(x, one)
+	return r.Div(r, d)
+}
+
+// Public returns the public half of the key.
+func (priv *PrivateKey) Public() *PublicKey { return &priv.PublicKey }
+
+// NewPublicKey reconstructs a public key from its modulus, as shared with
+// passive parties at session setup.
+func NewPublicKey(n *big.Int) *PublicKey {
+	return &PublicKey{
+		N:        n,
+		NSquared: new(big.Int).Mul(n, n),
+		halfN:    new(big.Int).Rsh(n, 1),
+	}
+}
+
+// randomUnit draws r uniformly from Z*_n.
+func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Obfuscator computes a fresh obfuscation term r^n mod n². This is the
+// expensive part of encryption; ObfuscatorPool amortizes it.
+func (pk *PublicKey) Obfuscator(random io.Reader) (*big.Int, error) {
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, fmt.Errorf("paillier: drawing obfuscation randomness: %w", err)
+	}
+	return r.Exp(r, pk.N, pk.NSquared), nil
+}
+
+// Encrypt encrypts the plaintext m, which must lie in [0, n). It draws a
+// fresh obfuscator from random.
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (Ciphertext, error) {
+	rn, err := pk.Obfuscator(random)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return pk.EncryptWithObfuscator(m, rn), nil
+}
+
+// EncryptWithObfuscator encrypts m using a precomputed obfuscation term
+// rn = r^n mod n². The obfuscator must not be reused across messages.
+//
+// With g = n+1, g^m mod n² = 1 + m·n mod n², so the ciphertext is
+// (1 + m·n)·rn mod n².
+func (pk *PublicKey) EncryptWithObfuscator(m, rn *big.Int) Ciphertext {
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.NSquared)
+	gm.Mul(gm, rn)
+	gm.Mod(gm, pk.NSquared)
+	return Ciphertext{C: gm}
+}
+
+// EncryptInt64 encrypts a (possibly negative) int64 by wrapping negatives
+// around the modulus, matching the signed convention of DecryptInt64.
+func (pk *PublicKey) EncryptInt64(random io.Reader, v int64) (Ciphertext, error) {
+	m := big.NewInt(v)
+	if v < 0 {
+		m.Add(m, pk.N)
+	}
+	return pk.Encrypt(random, m)
+}
+
+// Add returns the homomorphic sum of two ciphertexts: Dec(Add(a,b)) =
+// Dec(a) + Dec(b) mod n. This is the HAdd operation of the paper.
+func (pk *PublicKey) Add(a, b Ciphertext) Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.NSquared)
+	return Ciphertext{C: c}
+}
+
+// AddInto accumulates b into dst in place, avoiding an allocation per
+// addition: dst = dst·b mod n². dst must hold a valid ciphertext.
+func (pk *PublicKey) AddInto(dst *Ciphertext, b Ciphertext) {
+	dst.C.Mul(dst.C, b.C)
+	dst.C.Mod(dst.C, pk.NSquared)
+}
+
+// Sub returns the homomorphic difference a - b, computed by multiplying a
+// with the modular inverse of b.
+func (pk *PublicKey) Sub(a, b Ciphertext) Ciphertext {
+	inv := new(big.Int).ModInverse(b.C, pk.NSquared)
+	inv.Mul(inv, a.C)
+	inv.Mod(inv, pk.NSquared)
+	return Ciphertext{C: inv}
+}
+
+// MulScalar returns the ciphertext of k·m given the ciphertext of m: the
+// SMul operation. Negative k is reduced modulo n first.
+func (pk *PublicKey) MulScalar(ct Ciphertext, k *big.Int) Ciphertext {
+	e := k
+	if k.Sign() < 0 {
+		e = new(big.Int).Mod(k, pk.N)
+	}
+	return Ciphertext{C: new(big.Int).Exp(ct.C, e, pk.NSquared)}
+}
+
+// EncryptZero returns a deterministic, non-obfuscated encryption of zero
+// (the identity element for Add). It is used to initialize histogram bins;
+// bins that are about to be accumulated with obfuscated ciphertexts do not
+// need their own obfuscation.
+func (pk *PublicKey) EncryptZero() Ciphertext {
+	return Ciphertext{C: big.NewInt(1)}
+}
+
+// Decrypt recovers the plaintext in [0, n) using CRT acceleration.
+func (priv *PrivateKey) Decrypt(ct Ciphertext) (*big.Int, error) {
+	if ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(priv.NSquared) >= 0 {
+		return nil, errors.New("paillier: ciphertext out of range")
+	}
+	// mp = L_p(c^{p-1} mod p²)·hp mod p
+	cp := new(big.Int).Exp(ct.C, priv.pOrder, priv.pSquared)
+	mp := lFunc(cp, priv.p)
+	mp.Mul(mp, priv.hp)
+	mp.Mod(mp, priv.p)
+	// mq = L_q(c^{q-1} mod q²)·hq mod q
+	cq := new(big.Int).Exp(ct.C, priv.qOrder, priv.qSquared)
+	mq := lFunc(cq, priv.q)
+	mq.Mul(mq, priv.hq)
+	mq.Mod(mq, priv.q)
+	// CRT combine: m = mp + p·((mq - mp)·p^{-1} mod q)
+	u := new(big.Int).Sub(mq, mp)
+	u.Mul(u, priv.pInvQ)
+	u.Mod(u, priv.q)
+	u.Mul(u, priv.p)
+	u.Add(u, mp)
+	return u, nil
+}
+
+// DecryptInt64 decrypts and interprets plaintexts in the upper half of
+// [0, n) as negative numbers, the inverse of EncryptInt64.
+func (priv *PrivateKey) DecryptInt64(ct Ciphertext) (int64, error) {
+	m, err := priv.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if m.Cmp(priv.halfN) > 0 {
+		m.Sub(m, priv.N)
+	}
+	if !m.IsInt64() {
+		return 0, errors.New("paillier: plaintext does not fit in int64")
+	}
+	return m.Int64(), nil
+}
+
+// Signed maps a plaintext in [0, n) to its signed representative in
+// (-n/2, n/2], which is how negative encoded values are recovered.
+func (pk *PublicKey) Signed(m *big.Int) *big.Int {
+	if m.Cmp(pk.halfN) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return m
+}
+
+// Bits returns the modulus size S in bits.
+func (pk *PublicKey) Bits() int { return pk.N.BitLen() }

@@ -1,0 +1,82 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// ObfuscatorPool precomputes obfuscation terms r^n mod n² in background
+// goroutines so that the encryption hot path is reduced to two modular
+// multiplications. This mirrors the "high-performance library" component of
+// VF²Boost: the expensive exponentiations are produced off the critical
+// path while the producer is otherwise idle.
+type ObfuscatorPool struct {
+	pk     *PublicKey
+	out    chan poolItem
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	random io.Reader
+}
+
+type poolItem struct {
+	rn  *big.Int
+	err error
+}
+
+// NewObfuscatorPool starts `workers` goroutines that keep up to `buffer`
+// precomputed obfuscators ready. Close the pool with Close when done.
+// If random is nil, crypto/rand.Reader is used; workers <= 0 selects
+// GOMAXPROCS workers.
+func NewObfuscatorPool(pk *PublicKey, workers, buffer int, random io.Reader) *ObfuscatorPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if buffer <= 0 {
+		buffer = 4 * workers
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	p := &ObfuscatorPool{
+		pk:     pk,
+		out:    make(chan poolItem, buffer),
+		stop:   make(chan struct{}),
+		random: random,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *ObfuscatorPool) worker() {
+	defer p.wg.Done()
+	for {
+		rn, err := p.pk.Obfuscator(p.random)
+		select {
+		case p.out <- poolItem{rn: rn, err: err}:
+			if err != nil {
+				return
+			}
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Next returns a fresh obfuscation term, blocking until one is available.
+func (p *ObfuscatorPool) Next() (*big.Int, error) {
+	item := <-p.out
+	return item.rn, item.err
+}
+
+// Close stops the background workers. Pending precomputed terms are
+// discarded.
+func (p *ObfuscatorPool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}

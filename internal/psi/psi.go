@@ -1,0 +1,159 @@
+// Package psi implements a Diffie–Hellman-style private set intersection,
+// the preprocessing step the paper uses to align instance IDs between
+// parties before vertical federated training ("we preprocess the datasets
+// via the private set intersection technique to align the instances",
+// Section 6.1).
+//
+// The protocol is the classic DDH PSI: with a group of prime order q and a
+// hash H into the group,
+//
+//  1. each party holds a random secret exponent;
+//  2. Party A sends {H(x)^a} for its IDs, in its own order;
+//  3. Party B returns {H(x)^{ab}} in the same order, along with {H(y)^b}
+//     for its IDs;
+//  4. Party A computes {H(y)^{ba}} and matches it against the returned
+//     set, learning which of its positions intersect — and nothing else.
+//
+// Under the DDH assumption neither party learns IDs outside the
+// intersection. The group is the 1536-bit MODP safe-prime group of RFC
+// 3526; H(id) squares a SHA-256-derived element to land in the prime-order
+// subgroup.
+package psi
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// rfc3526Group5 is the 1536-bit MODP prime of RFC 3526, a safe prime
+// p = 2q+1.
+const rfc3526Group5Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+
+// Group is a prime-order subgroup of Z_p* with p = 2q+1.
+type Group struct {
+	P *big.Int // safe prime
+	Q *big.Int // (p-1)/2, the subgroup order
+}
+
+// DefaultGroup returns the RFC 3526 1536-bit group.
+func DefaultGroup() *Group {
+	p, ok := new(big.Int).SetString(rfc3526Group5Hex, 16)
+	if !ok {
+		panic("psi: bad embedded prime")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	return &Group{P: p, Q: q}
+}
+
+// hashToGroup maps an ID to the quadratic-residue subgroup by squaring a
+// hash-derived element.
+func (g *Group) hashToGroup(id string) *big.Int {
+	h := sha256.Sum256([]byte(id))
+	// Extend to the modulus width with counter-mode hashing.
+	buf := make([]byte, 0, (g.P.BitLen()+7)/8)
+	ctr := byte(0)
+	for len(buf) < cap(buf) {
+		block := sha256.Sum256(append(h[:], ctr))
+		buf = append(buf, block[:]...)
+		ctr++
+	}
+	e := new(big.Int).SetBytes(buf[:cap(buf)])
+	e.Mod(e, g.P)
+	if e.Sign() == 0 {
+		e.SetInt64(4) // 4 = 2² is a QR
+		return e
+	}
+	return e.Mul(e, e).Mod(e, g.P)
+}
+
+// Party holds one side's ephemeral PSI secret.
+type Party struct {
+	group  *Group
+	secret *big.Int
+}
+
+// NewParty draws a fresh secret exponent in [1, q).
+func NewParty(g *Group) (*Party, error) {
+	s, err := rand.Int(rand.Reader, new(big.Int).Sub(g.Q, big.NewInt(1)))
+	if err != nil {
+		return nil, fmt.Errorf("psi: drawing secret: %w", err)
+	}
+	s.Add(s, big.NewInt(1))
+	return &Party{group: g, secret: s}, nil
+}
+
+// Blind computes H(id)^secret for each ID, preserving order.
+func (p *Party) Blind(ids []string) []*big.Int {
+	out := make([]*big.Int, len(ids))
+	for i, id := range ids {
+		out[i] = new(big.Int).Exp(p.group.hashToGroup(id), p.secret, p.group.P)
+	}
+	return out
+}
+
+// Exponentiate raises received blinded elements to this party's secret,
+// preserving order.
+func (p *Party) Exponentiate(elems []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(elems))
+	for i, e := range elems {
+		out[i] = new(big.Int).Exp(e, p.secret, p.group.P)
+	}
+	return out
+}
+
+// Intersect runs the full two-party protocol in process and returns, for
+// each party, the positions of its IDs that lie in the intersection —
+// exactly the alignment information vertical FL needs, in matching order.
+func Intersect(g *Group, idsA, idsB []string) (posA, posB []int, err error) {
+	a, err := NewParty(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := NewParty(g)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// A -> B: {H(x)^a}; B -> A: {H(x)^ab} (same order) and {H(y)^b}.
+	blindA := a.Blind(idsA)
+	doubleA := b.Exponentiate(blindA)
+	blindB := b.Blind(idsB)
+	// A computes {H(y)^ba} and matches.
+	doubleB := a.Exponentiate(blindB)
+
+	index := make(map[string]int, len(doubleB))
+	for j, e := range doubleB {
+		index[string(e.Bytes())] = j
+	}
+	for i, e := range doubleA {
+		if j, ok := index[string(e.Bytes())]; ok {
+			posA = append(posA, i)
+			posB = append(posB, j)
+		}
+	}
+	return posA, posB, nil
+}
+
+// Align applies Intersect to two ID lists and returns the common IDs in
+// Party A's order (the order both parties will use for row alignment).
+func Align(idsA, idsB []string) (common []string, posA, posB []int, err error) {
+	g := DefaultGroup()
+	posA, posB, err = Intersect(g, idsA, idsB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	common = make([]string, len(posA))
+	for k, i := range posA {
+		common[k] = idsA[i]
+	}
+	return common, posA, posB, nil
+}

@@ -1,0 +1,118 @@
+package psi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDefaultGroupIsSafePrime(t *testing.T) {
+	g := DefaultGroup()
+	if !g.P.ProbablyPrime(20) {
+		t.Fatal("P not prime")
+	}
+	if !g.Q.ProbablyPrime(20) {
+		t.Fatal("Q not prime")
+	}
+	if g.P.BitLen() != 1536 {
+		t.Errorf("P has %d bits, want 1536", g.P.BitLen())
+	}
+}
+
+func TestHashToGroupDeterministicAndInSubgroup(t *testing.T) {
+	g := DefaultGroup()
+	h1 := g.hashToGroup("user-42")
+	h2 := g.hashToGroup("user-42")
+	if h1.Cmp(h2) != 0 {
+		t.Fatal("hash not deterministic")
+	}
+	if h1.Cmp(g.hashToGroup("user-43")) == 0 {
+		t.Fatal("distinct ids collided")
+	}
+	// Element of the order-q subgroup: h^q == 1 mod p.
+	one := h1.Exp(h1, g.Q, g.P)
+	if one.Int64() != 1 {
+		t.Error("hash output outside the prime-order subgroup")
+	}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	idsA := []string{"u1", "u2", "u3", "u4", "u5"}
+	idsB := []string{"u9", "u3", "u5", "u0", "u1"}
+	common, posA, posB, err := Align(idsA, idsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"u1": true, "u3": true, "u5": true}
+	if len(common) != 3 {
+		t.Fatalf("intersection = %v", common)
+	}
+	for k, id := range common {
+		if !want[id] {
+			t.Errorf("unexpected id %q", id)
+		}
+		if idsA[posA[k]] != id || idsB[posB[k]] != id {
+			t.Errorf("position mapping broken for %q", id)
+		}
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	common, posA, posB, err := Align([]string{"a", "b"}, []string{"c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common) != 0 || len(posA) != 0 || len(posB) != 0 {
+		t.Errorf("disjoint sets intersected: %v", common)
+	}
+	common, _, _, err = Align(nil, []string{"c"})
+	if err != nil || len(common) != 0 {
+		t.Errorf("nil set: %v %v", common, err)
+	}
+}
+
+func TestIntersectLarger(t *testing.T) {
+	var idsA, idsB []string
+	for i := 0; i < 200; i++ {
+		idsA = append(idsA, fmt.Sprintf("id-%04d", i))
+	}
+	for i := 100; i < 300; i++ {
+		idsB = append(idsB, fmt.Sprintf("id-%04d", i))
+	}
+	common, posA, posB, err := Align(idsA, idsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(common) != 100 {
+		t.Fatalf("intersection size %d, want 100", len(common))
+	}
+	for k := range common {
+		if idsA[posA[k]] != idsB[posB[k]] {
+			t.Fatal("alignment broken")
+		}
+	}
+}
+
+func TestBlindHidesIDs(t *testing.T) {
+	// Two parties blinding the same ID produce different elements
+	// (secrets differ), so blinded sets leak nothing directly comparable.
+	g := DefaultGroup()
+	a, err := NewParty(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParty(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := a.Blind([]string{"alice"})
+	bb := b.Blind([]string{"alice"})
+	if ba[0].Cmp(bb[0]) == 0 {
+		t.Error("two parties' blinds of the same ID are equal; secrets not applied")
+	}
+	// But commutativity must hold: (H^a)^b == (H^b)^a.
+	ab := b.Exponentiate(ba)
+	baB := a.Exponentiate(bb)
+	if ab[0].Cmp(baB[0]) != 0 {
+		t.Error("exponentiation does not commute")
+	}
+}

@@ -1,0 +1,182 @@
+// Package trace records per-phase execution spans during federated
+// training and renders them as Gantt charts — the methodology of Section
+// 4 of the VF²Boost paper ("we analyze the schedule of different
+// procedures in training a decision tree via Gantt charts", Figures 4 and
+// 5). A Recorder collects labeled spans on named lanes; ASCII renders the
+// lanes against a common time axis, and CSV exports them for external
+// plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Lane identifies one row of the chart (one actor/phase combination, e.g.
+// "B:Encrypt" or "A0:BuildHist").
+type Lane string
+
+// Span is one recorded interval on a lane.
+type Span struct {
+	Lane  Lane
+	Label string
+	Start time.Duration // offset from the recorder's origin
+	End   time.Duration
+}
+
+// Recorder collects spans. It is safe for concurrent use. A nil *Recorder
+// is valid and records nothing, so instrumentation sites need no checks.
+type Recorder struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewRecorder starts a recorder with its origin at now.
+func NewRecorder() *Recorder {
+	return &Recorder{t0: time.Now()}
+}
+
+// Span opens an interval on a lane; the returned func closes it.
+//
+//	defer r.Span("B:Encrypt", "tree 3")()
+func (r *Recorder) Span(lane Lane, label string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Since(r.t0)
+	return func() {
+		end := time.Since(r.t0)
+		r.mu.Lock()
+		r.spans = append(r.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+		r.mu.Unlock()
+	}
+}
+
+// Add records a fully-formed span (for adapters that already measured).
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, ordered by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset discards recorded spans and moves the origin to now.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.t0 = time.Now()
+	r.mu.Unlock()
+}
+
+// ASCII renders the spans as a fixed-width Gantt chart: one row per lane
+// (in first-appearance order), '#' cells where the lane is busy. width is
+// the number of time buckets (minimum 10).
+func ASCII(spans []Span, width int) string {
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	var total time.Duration
+	var laneOrder []Lane
+	seen := map[Lane]bool{}
+	for _, s := range spans {
+		if s.End > total {
+			total = s.End
+		}
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			laneOrder = append(laneOrder, s.Lane)
+		}
+	}
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	nameW := 0
+	for _, l := range laneOrder {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+
+	rows := make(map[Lane][]byte, len(laneOrder))
+	for _, l := range laneOrder {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[l] = row
+	}
+	bucket := func(d time.Duration) int {
+		i := int(int64(d) * int64(width) / int64(total))
+		if i >= width {
+			i = width - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	for _, s := range spans {
+		row := rows[s.Lane]
+		lo, hi := bucket(s.Start), bucket(s.End)
+		for i := lo; i <= hi; i++ {
+			row[i] = '#'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  0%s%v\n", nameW, "", strings.Repeat(" ", width-len(fmt.Sprint(total.Round(time.Millisecond)))), total.Round(time.Millisecond))
+	for _, l := range laneOrder {
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, l, rows[l])
+	}
+	return b.String()
+}
+
+// CSV writes the spans as "lane,label,start_ms,end_ms" rows.
+func CSV(w io.Writer, spans []Span) error {
+	if _, err := fmt.Fprintln(w, "lane,label,start_ms,end_ms"); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.3f,%.3f\n",
+			s.Lane, strings.ReplaceAll(s.Label, ",", ";"),
+			float64(s.Start)/1e6, float64(s.End)/1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BusyTime sums the busy duration per lane (overlaps within a lane count
+// once per span; the protocol's lanes do not self-overlap).
+func BusyTime(spans []Span) map[Lane]time.Duration {
+	out := map[Lane]time.Duration{}
+	for _, s := range spans {
+		out[s.Lane] += s.End - s.Start
+	}
+	return out
+}

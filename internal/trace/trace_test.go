@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span("B:Encrypt", "tree 0")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Lane != "B:Encrypt" || s.Label != "tree 0" {
+		t.Errorf("span = %+v", s)
+	}
+	if s.End <= s.Start {
+		t.Error("span has no duration")
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Span("x", "y")() // must not panic
+	r.Add(Span{})
+	r.Reset()
+	if r.Spans() != nil {
+		t.Error("nil recorder returned spans")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	spans := []Span{
+		{Lane: "B:Encrypt", Start: 0, End: 40 * time.Millisecond},
+		{Lane: "A:BuildHist", Start: 30 * time.Millisecond, End: 100 * time.Millisecond},
+		{Lane: "B:Decrypt", Start: 90 * time.Millisecond, End: 120 * time.Millisecond},
+	}
+	out := ASCII(spans, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 lanes
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	// Lane order = first appearance.
+	if !strings.Contains(lines[1], "B:Encrypt") || !strings.Contains(lines[2], "A:BuildHist") {
+		t.Errorf("lane order wrong:\n%s", out)
+	}
+	// The encrypt lane must be busy at the start and idle at the end.
+	encRow := lines[1][strings.Index(lines[1], " "):]
+	if !strings.Contains(encRow, "#") {
+		t.Error("no busy cells in encrypt lane")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(lines[1]), ".") {
+		t.Errorf("encrypt lane busy to the end:\n%s", out)
+	}
+	if got := ASCII(nil, 40); !strings.Contains(got, "no spans") {
+		t.Error("empty chart not handled")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	spans := []Span{{Lane: "L", Label: "a,b", Start: time.Millisecond, End: 2 * time.Millisecond}}
+	var buf bytes.Buffer
+	if err := CSV(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lane,label,start_ms,end_ms") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "L,a;b,1.000,2.000") {
+		t.Errorf("bad row: %s", out)
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	spans := []Span{
+		{Lane: "L", Start: 0, End: 10 * time.Millisecond},
+		{Lane: "L", Start: 20 * time.Millisecond, End: 25 * time.Millisecond},
+		{Lane: "M", Start: 0, End: time.Millisecond},
+	}
+	busy := BusyTime(spans)
+	if busy["L"] != 15*time.Millisecond || busy["M"] != time.Millisecond {
+		t.Errorf("busy = %v", busy)
+	}
+}
