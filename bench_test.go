@@ -18,13 +18,16 @@ import (
 	"math/big"
 	mrand "math/rand"
 	"testing"
+	"time"
 
 	"vf2boost/internal/core"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
+	"vf2boost/internal/mq"
 	"vf2boost/internal/paillier"
+	"vf2boost/internal/serve"
 )
 
 const benchKeyBits = 256
@@ -331,6 +334,107 @@ func BenchmarkTable5Workers(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				benchTrain(b, parts, cfg)
 			}
+		})
+	}
+}
+
+// --- Online scoring throughput -----------------------------------------
+
+// serveBenchTransport adapts a gateway producer/consumer pair to
+// core.Transport for the serving benchmarks.
+type serveBenchTransport struct {
+	prod *mq.RemoteProducer
+	cons *mq.RemoteConsumer
+}
+
+func (t serveBenchTransport) Send(b []byte) error      { return t.prod.Send(b) }
+func (t serveBenchTransport) Receive() ([]byte, error) { return t.cons.Receive() }
+
+func serveBenchDial(b *testing.B, addr, sendTopic, recvTopic string) core.Transport {
+	b.Helper()
+	prod, err := mq.DialProducer(addr, sendTopic, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons, err := mq.DialConsumer(addr, recvTopic, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return serveBenchTransport{prod: prod, cons: cons}
+}
+
+// BenchmarkScoreBatch measures online federated scoring throughput
+// (requests/sec) per micro-batch size over an in-process TCP gateway —
+// the knob that trades one WAN round-trip against N requests.
+func BenchmarkScoreBatch(b *testing.B) {
+	parts := benchParts(b, 600, 10, 10, 20, 9)
+	cfg := core.MockConfig()
+	cfg.Trees = 5
+	cfg.MaxDepth = 4
+	cfg.MaxBins = 8
+	cfg.Workers = 1
+	sess, err := core.NewSession(parts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := sess.Train()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	broker := mq.NewBroker()
+	defer broker.Close()
+	gw := mq.NewGateway(broker)
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+
+	wreg := serve.NewRegistry()
+	if err := wreg.Publish(serve.Model{Version: 1, Fragment: m.Parties[0]}); err != nil {
+		b.Fatal(err)
+	}
+	worker := serve.NewPassiveWorker(0, parts[0], wreg)
+	go worker.Run(serveBenchDial(b, addr, "sa02b", "sb2a0"))
+
+	breg := serve.NewRegistry()
+	err = breg.Publish(serve.Model{
+		Version: 1, Fragment: m.Parties[1],
+		LearningRate: m.LearningRate, BaseScore: m.BaseScore,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Data:     parts[1],
+		Registry: breg,
+		Workers:  []core.Transport{serveBenchDial(b, addr, "sb2a0", "sa02b")},
+		Session:  "bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Open(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := parts[1].Rows()
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			rows := make([]int32, size)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for k := range rows {
+					rows[k] = int32((i*size + k) % n)
+				}
+				if _, _, err := srv.ScoreRows(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/time.Since(start).Seconds(), "req/s")
 		})
 	}
 }

@@ -6,17 +6,25 @@
 //	vf2boost gateway -addr :7001 -secret s                 # message-queue gateway
 //	vf2boost party   -role b -gateway host:7001 ...        # one training party per process
 //	vf2boost predict -role a|b ...                         # fragment-only federated scoring
+//	vf2boost serve   -addr :8080 -peers 1 ...              # Party B online scoring server
+//	vf2boost sidecar -index 0 ...                          # passive-party scoring sidecar
 //	vf2boost inspect -model fedmodel.json -trees           # human-readable model dump
 //
 // The gateway/party mode mirrors the paper's deployment: each enterprise
 // runs its own process (or host), and the only connectivity between them
-// is the authenticated message queue on the gateway machines.
+// is the authenticated message queue on the gateway machines. serve and
+// sidecar keep that shape for online inference: persistent scoring
+// sessions over the gateway, micro-batched so one WAN round-trip serves
+// many HTTP requests.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,6 +36,7 @@ import (
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/metrics"
 	"vf2boost/internal/mq"
+	"vf2boost/internal/serve"
 )
 
 func main() {
@@ -46,6 +55,10 @@ func main() {
 		cmdParty(os.Args[2:])
 	case "predict":
 		cmdPredict(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "sidecar":
+		cmdSidecar(os.Args[2:])
 	case "inspect":
 		cmdInspect(os.Args[2:])
 	default:
@@ -54,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vf2boost <local|sim|gateway|party|predict|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: vf2boost <local|sim|gateway|party|predict|serve|sidecar|inspect> [flags]")
 	os.Exit(2)
 }
 
@@ -361,6 +374,127 @@ func cmdPredict(args []string) {
 	default:
 		log.Fatal("predict: -role must be a or b")
 	}
+}
+
+// buildServeRegistry publishes the comma-separated fragment files as
+// versions 1..N (the last one current). All versions share the scalar
+// scoring parameters, which only Party B's registry uses.
+func buildServeRegistry(models string, eta, base float64) *serve.Registry {
+	reg := serve.NewRegistry()
+	version := uint64(0)
+	for _, path := range strings.Split(models, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		version++
+		pm := loadFragmentFile(path)
+		if err := reg.Publish(serve.Model{Version: version, Fragment: pm, LearningRate: eta, BaseScore: base}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if version == 0 {
+		log.Fatal("-models lists no fragment files")
+	}
+	return reg
+}
+
+// cmdSidecar runs a passive party's online scoring sidecar: it holds the
+// party's feature shard and fragment registry and answers scoring rounds
+// on one persistent session until Party B closes it.
+func cmdSidecar(args []string) {
+	fs := flag.NewFlagSet("sidecar", flag.ExitOnError)
+	index := fs.Int("index", 0, "passive party index")
+	gateway := fs.String("gateway", "127.0.0.1:7001", "gateway address")
+	secret := fs.String("secret", "", "shared token secret")
+	data := fs.String("data", "", "this party's LibSVM shard of the scoring universe")
+	models := fs.String("models", "", "comma-separated fragment files, published as versions 1..N")
+	fs.Parse(args)
+	if *data == "" || *models == "" {
+		log.Fatal("sidecar: -data and -models are required")
+	}
+	d := loadData(*data)
+	d.Labels = nil
+	reg := buildServeRegistry(*models, 0, 0)
+	w := serve.NewPassiveWorker(*index, d, reg)
+	tr := dialParty(*gateway, *secret,
+		fmt.Sprintf("sa%d2b", *index), fmt.Sprintf("sb2a%d", *index))
+	fmt.Printf("sidecar %d up: %d rows, model versions %v\n", *index, d.Rows(), reg.Versions())
+	if err := w.Run(tr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sidecar %d: session closed after %d rounds (%d round errors)\n",
+		*index, w.Rounds(), w.RoundErrors())
+}
+
+// cmdServe runs Party B's online scoring server: persistent sessions to
+// every passive sidecar, a micro-batcher coalescing HTTP requests into
+// federated rounds, and graceful shutdown that drains in-flight batches.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	peers := fs.Int("peers", 1, "number of passive sidecars")
+	gateway := fs.String("gateway", "127.0.0.1:7001", "gateway address")
+	secret := fs.String("secret", "", "shared token secret")
+	data := fs.String("data", "", "Party B's LibSVM shard of the scoring universe")
+	models := fs.String("models", "", "comma-separated fragment files, published as versions 1..N")
+	eta := fs.Float64("eta", 0.1, "learning rate the models were trained with")
+	base := fs.Float64("base", 0, "base score added to every margin")
+	maxBatch := fs.Int("max-batch", 64, "flush a micro-batch at this many requests")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "flush a partial micro-batch after this wait")
+	session := fs.String("session", "vf2boost-serve", "session label sent to sidecars")
+	fs.Parse(args)
+	if *data == "" || *models == "" {
+		log.Fatal("serve: -data and -models are required")
+	}
+	d := loadData(*data)
+	reg := buildServeRegistry(*models, *eta, *base)
+	trs := make([]core.Transport, *peers)
+	for i := 0; i < *peers; i++ {
+		trs[i] = dialParty(*gateway, *secret,
+			fmt.Sprintf("sb2a%d", i), fmt.Sprintf("sa%d2b", i))
+	}
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Data:     d,
+		Registry: reg,
+		Workers:  trs,
+		Batch:    serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
+		Session:  *session,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Open(); err != nil {
+		log.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("serving on http://%s (model v%d, %d sidecars, batch<=%d, wait<=%v)\n",
+		lis.Addr(), reg.CurrentVersion(), *peers, *maxBatch, *maxWait)
+	go func() {
+		if err := hs.Serve(lis); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("serve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("serve: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("serve: session close: %v", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("serve: %d requests in %d batches (%d errors); latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		m.Requests(), m.Batches(), m.Errors(),
+		m.Latency().Quantile(0.50), m.Latency().Quantile(0.95), m.Latency().Quantile(0.99))
 }
 
 // cmdInspect prints a federated model (or fragment) in human-readable

@@ -174,11 +174,27 @@ type Transport interface {
 	Receive() ([]byte, error)
 }
 
-// link is a typed bidirectional channel between two parties.
-type link struct {
+// Link is the typed bidirectional channel between two parties: a
+// Transport wrapped with the gob envelope codec every engine speaks. It is
+// exported so subsystems outside core (internal/serve's online scoring
+// sessions) can exchange protocol messages without re-implementing the
+// framing.
+type Link struct {
 	out Transport
 	in  Transport
 }
+
+// NewLink wraps a bidirectional transport.
+func NewLink(tr Transport) *Link { return &Link{out: tr, in: tr} }
+
+// Send gob-encodes and transmits one protocol message.
+func (l *Link) Send(m any) error { return l.send(m) }
+
+// Recv blocks for the next protocol message.
+func (l *Link) Recv() (any, error) { return l.recv() }
+
+// link is the package-internal name for Link, predating its export.
+type link = Link
 
 func (l *link) send(m any) error {
 	var buf bytes.Buffer

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/gob"
 	"fmt"
-	"sort"
 
 	"vf2boost/internal/dataset"
 )
@@ -58,32 +57,52 @@ func ServePredict(fragment *PartyModel, data *dataset.Dataset, tr Transport) err
 	if !ok {
 		return fmt.Errorf("core: expected MsgPredictStart, got %T", msg)
 	}
+	return servePredictRound(l, fragment, data, start)
+}
+
+// servePredictRound answers one MsgPredictStart. A row mismatch is
+// reported to the querying party (so it never hangs) and returned as an
+// error for the caller to decide whether the session survives.
+func servePredictRound(l *link, fragment *PartyModel, data *dataset.Dataset, start MsgPredictStart) error {
 	if start.Rows != data.Rows() {
 		err := fmt.Errorf("core: predict rows %d, shard has %d", start.Rows, data.Rows())
 		// Tell the querying party before failing, so it does not hang.
 		_ = l.send(MsgPredictPlacements{Party: fragment.Party, Last: true, Error: err.Error()})
 		return err
 	}
-	out := MsgPredictPlacements{Party: fragment.Party, Last: true}
-	for ti, tree := range fragment.Trees {
-		ids := make([]int32, 0, len(tree.Nodes))
-		for id := range tree.Nodes {
-			ids = append(ids, id)
+	nodes, err := ScorePlacements(fragment, data, nil)
+	if err != nil {
+		_ = l.send(MsgPredictPlacements{Party: fragment.Party, Last: true, Error: err.Error()})
+		return err
+	}
+	return l.send(MsgPredictPlacements{Party: fragment.Party, Nodes: nodes, Last: true})
+}
+
+// ServePredictLoop serves repeated MsgPredictStart rounds on one session:
+// it answers every round (including per-round errors, which keep the
+// session alive) until the transport closes or a MsgShutdown arrives, both
+// of which end the loop cleanly. ServePredict remains the single-round
+// special case for existing callers.
+func ServePredictLoop(fragment *PartyModel, data *dataset.Dataset, tr Transport) error {
+	l := &link{out: tr, in: tr}
+	for {
+		msg, err := l.recv()
+		if err != nil {
+			// Transport gone: the peer disconnected, which is the normal
+			// way a prediction session ends.
+			return nil
 		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			n := tree.Nodes[id]
-			if n.Owner != fragment.Party {
-				continue
-			}
-			bits := make([]bool, data.Rows())
-			for i := 0; i < data.Rows(); i++ {
-				bits[i] = goesLeftRaw(data, i, n.Feature, n.Threshold)
-			}
-			out.Nodes = append(out.Nodes, PredictNodeBits{Tree: ti, Node: id, Bits: packBitmap(bits)})
+		switch m := msg.(type) {
+		case MsgPredictStart:
+			// Per-round errors were already reported to the peer; the
+			// session stays up for the next round.
+			_ = servePredictRound(l, fragment, data, m)
+		case MsgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("core: expected MsgPredictStart, got %T", msg)
 		}
 	}
-	return l.send(out)
 }
 
 // PredictRemote scores aligned instances from Party B's side: bData is
@@ -93,12 +112,7 @@ func ServePredict(fragment *PartyModel, data *dataset.Dataset, tr Transport) err
 func PredictRemote(bFragment *PartyModel, learningRate float64, bData *dataset.Dataset, trs []Transport) ([]float64, error) {
 	n := bData.Rows()
 	// Collect passive routing bitmaps.
-	type key struct {
-		party int
-		tree  int
-		node  int32
-	}
-	routes := make(map[key][]byte)
+	routes := make(map[RouteKey][]byte)
 	for pi, tr := range trs {
 		l := &link{out: tr, in: tr}
 		if err := l.send(MsgPredictStart{Rows: n}); err != nil {
@@ -116,45 +130,8 @@ func PredictRemote(bFragment *PartyModel, learningRate float64, bData *dataset.D
 			return nil, fmt.Errorf("core: party %d cannot serve prediction: %s", pi, pl.Error)
 		}
 		for _, nb := range pl.Nodes {
-			routes[key{party: pi, tree: nb.Tree, node: nb.Node}] = nb.Bits
+			routes[RouteKey{Party: pi, Tree: nb.Tree, Node: nb.Node}] = nb.Bits
 		}
 	}
-
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		margin := 0.0
-		for ti, tree := range bFragment.Trees {
-			id := tree.Root
-			for hop := 0; ; hop++ {
-				if hop > 64 {
-					return nil, fmt.Errorf("core: prediction traversal of tree %d did not terminate", ti)
-				}
-				nd, ok := tree.Nodes[id]
-				if !ok {
-					return nil, fmt.Errorf("core: tree %d missing node %d", ti, id)
-				}
-				if nd.Owner == OwnerLeaf {
-					margin += learningRate * nd.Weight
-					break
-				}
-				var left bool
-				if nd.Owner == bFragment.Party {
-					left = goesLeftRaw(bData, i, nd.Feature, nd.Threshold)
-				} else {
-					bits, ok := routes[key{party: nd.Owner, tree: ti, node: id}]
-					if !ok {
-						return nil, fmt.Errorf("core: no routing bits from party %d for tree %d node %d", nd.Owner, ti, id)
-					}
-					left = bitmapGet(bits, i)
-				}
-				if left {
-					id = nd.Left
-				} else {
-					id = nd.Right
-				}
-			}
-		}
-		out[i] = margin
-	}
-	return out, nil
+	return RouteMargins(bFragment, learningRate, 0, bData, nil, routes)
 }

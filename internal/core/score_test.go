@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestScorePlacementsRouteMargins: the micro-batch helpers must reproduce
+// the glued model's margins on an arbitrary row subset, including
+// duplicated and out-of-order rows.
+func TestScorePlacementsRouteMargins(t *testing.T) {
+	_, parts := twoPartyData(t, 200, 5, 4, 1, true, 84)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 3
+	m, _ := trainFed(t, parts, cfg)
+	want, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := []int32{17, 3, 3, 199, 0, 42}
+	nodes, err := ScorePlacements(m.Parties[0], parts[0], rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := make(map[RouteKey][]byte)
+	for _, nb := range nodes {
+		routes[RouteKey{Party: 0, Tree: nb.Tree, Node: nb.Node}] = nb.Bits
+	}
+	got, err := RouteMargins(m.Parties[1], m.LearningRate, m.BaseScore, parts[1], rows, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range rows {
+		if math.Abs(got[k]-want[r]) > 1e-12 {
+			t.Errorf("row %d margin %g, want %g", r, got[k], want[r])
+		}
+	}
+
+	// Out-of-range rows are rejected on both sides.
+	if _, err := ScorePlacements(m.Parties[0], parts[0], []int32{10_000}); err == nil {
+		t.Error("ScorePlacements accepted an out-of-range row")
+	}
+	if _, err := RouteMargins(m.Parties[1], m.LearningRate, 0, parts[1], []int32{-1}, routes); err == nil {
+		t.Error("RouteMargins accepted a negative row")
+	}
+}
+
+// TestServePredictLoop: one session must serve repeated prediction rounds
+// — including a per-round error that keeps the session alive — and end
+// cleanly on MsgShutdown.
+func TestServePredictLoop(t *testing.T) {
+	_, parts := twoPartyData(t, 150, 5, 4, 1, true, 85)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 2
+	m, _ := trainFed(t, parts, cfg)
+	want, err := m.PredictAll(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aSide := chanTransport{ch: make(chan []byte, 8)}
+	bSide := chanTransport{ch: make(chan []byte, 8)}
+	aTr := pairTransport{send: bSide.Send, recv: aSide.Receive}
+	bTr := pairTransport{send: aSide.Send, recv: bSide.Receive}
+
+	var wg sync.WaitGroup
+	var loopErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		loopErr = ServePredictLoop(m.Parties[0], parts[0], aTr)
+	}()
+
+	// Three rounds on one session.
+	for round := 0; round < 3; round++ {
+		got, err := PredictRemote(m.Parties[1], m.LearningRate, parts[1], []Transport{bTr})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("round %d differs at row %d", round, i)
+			}
+		}
+	}
+
+	// A misaligned round errors at B but must not kill the session.
+	l := &link{out: bTr, in: bTr}
+	if err := l.send(MsgPredictStart{Rows: 9999}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := l.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl := msg.(MsgPredictPlacements); pl.Error == "" {
+		t.Fatal("misaligned round was not answered with a structured error")
+	}
+
+	// The session still serves after the error round.
+	if _, err := PredictRemote(m.Parties[1], m.LearningRate, parts[1], []Transport{bTr}); err != nil {
+		t.Fatalf("round after error: %v", err)
+	}
+
+	// Clean shutdown.
+	if err := l.send(MsgShutdown{}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if loopErr != nil {
+		t.Fatalf("loop exited with %v", loopErr)
+	}
+}

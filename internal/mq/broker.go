@@ -154,6 +154,38 @@ func (b *Broker) MessagesSent() int64 { return b.msgsSent.Load() }
 // by the effectively-once filter.
 func (b *Broker) DuplicatesSuppressed() int64 { return b.dupsSeen.Load() }
 
+// TopicDepth returns the number of messages currently queued on a topic
+// (published but not yet consumed) — the backpressure gauge of an online
+// serving deployment. An unknown topic has depth 0.
+func (b *Broker) TopicDepth(name string) int {
+	b.mu.Lock()
+	t, ok := b.topics[name]
+	b.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.queue)
+}
+
+// TopicDepths snapshots the queue depth of every topic the broker knows.
+func (b *Broker) TopicDepths() map[string]int {
+	b.mu.Lock()
+	topics := make(map[string]*topic, len(b.topics))
+	for name, t := range b.topics {
+		topics[name] = t
+	}
+	b.mu.Unlock()
+	out := make(map[string]int, len(topics))
+	for name, t := range topics {
+		t.mu.Lock()
+		out[name] = len(t.queue)
+		t.mu.Unlock()
+	}
+	return out
+}
+
 // Producer publishes messages to one topic.
 type Producer struct {
 	broker *Broker

@@ -351,3 +351,46 @@ func TestTCPLargePayload(t *testing.T) {
 		t.Error("large payload corrupted")
 	}
 }
+
+// TestTopicDepth: the queue-depth gauge must track publishes and consumes,
+// the backpressure signal the serving layer surfaces in /metricsz.
+func TestTopicDepth(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if d := b.TopicDepth("nope"); d != 0 {
+		t.Fatalf("unknown topic depth = %d", d)
+	}
+	p, err := b.Producer("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := b.TopicDepth("t"); d != 3 {
+		t.Fatalf("depth after 3 sends = %d", d)
+	}
+	c, err := b.Consumer("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.TopicDepth("t"); d != 2 {
+		t.Fatalf("depth after 1 receive = %d", d)
+	}
+	depths := b.TopicDepths()
+	if depths["t"] != 2 || len(depths) != 1 {
+		t.Fatalf("TopicDepths = %v", depths)
+	}
+	// Duplicate suppression must not inflate the gauge.
+	if err := p.SendWithID(1, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.TopicDepth("t"); d != 2 {
+		t.Fatalf("depth after suppressed duplicate = %d", d)
+	}
+}

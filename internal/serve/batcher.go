@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BatcherConfig bounds how long a request may wait for company.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch as soon as this many requests are pending
+	// (default 64).
+	MaxBatch int
+	// MaxWait flushes a non-empty batch this long after its first request
+	// arrived, bounding tail latency under light load (default 2ms).
+	MaxWait time.Duration
+}
+
+func (c *BatcherConfig) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+}
+
+// BatchScorer scores one micro-batch of shard rows in a single federated
+// round and reports the model version the round was pinned to.
+type BatchScorer func(rows []int32) ([]float64, uint64, error)
+
+// Batcher coalesces single-instance scoring requests into micro-batches:
+// one WAN round-trip serves up to MaxBatch requests. A batch flushes when
+// it is full, when the oldest request has waited MaxWait, or when the
+// batcher shuts down (drain, not drop).
+type Batcher struct {
+	cfg   BatcherConfig
+	score BatchScorer
+
+	mu     sync.Mutex
+	buf    []pendingScore
+	timer  *time.Timer
+	gen    uint64 // flush generation; invalidates stale deadline timers
+	closed bool
+	wg     sync.WaitGroup // in-flight flushes
+}
+
+type pendingScore struct {
+	row int32
+	ch  chan scoreResult
+}
+
+type scoreResult struct {
+	margin  float64
+	version uint64
+	err     error
+}
+
+// NewBatcher creates a batcher over a batch scorer.
+func NewBatcher(cfg BatcherConfig, score BatchScorer) *Batcher {
+	cfg.defaults()
+	return &Batcher{cfg: cfg, score: score}
+}
+
+// Score enqueues one row and blocks until its batch is scored, the context
+// is done, or the batcher closes. It returns the margin and the model
+// version the batch was pinned to.
+func (b *Batcher) Score(ctx context.Context, row int32) (float64, uint64, error) {
+	ch := make(chan scoreResult, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, 0, ErrClosed
+	}
+	b.buf = append(b.buf, pendingScore{row: row, ch: ch})
+	if len(b.buf) >= b.cfg.MaxBatch {
+		batch := b.take()
+		b.wg.Add(1)
+		b.mu.Unlock()
+		go b.run(batch)
+	} else {
+		if len(b.buf) == 1 {
+			gen := b.gen
+			b.timer = time.AfterFunc(b.cfg.MaxWait, func() { b.deadline(gen) })
+		}
+		b.mu.Unlock()
+	}
+	select {
+	case r := <-ch:
+		return r.margin, r.version, r.err
+	case <-ctx.Done():
+		// The batch may still score this row; the waiter just stops
+		// listening (ch is buffered so the flush never blocks on it).
+		return 0, 0, ctx.Err()
+	}
+}
+
+// take detaches the pending batch. Callers hold b.mu.
+func (b *Batcher) take() []pendingScore {
+	batch := b.buf
+	b.buf = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadline fires when the oldest pending request has waited MaxWait.
+func (b *Batcher) deadline(gen uint64) {
+	b.mu.Lock()
+	if b.closed || gen != b.gen || len(b.buf) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
+	b.wg.Add(1)
+	b.mu.Unlock()
+	b.run(batch)
+}
+
+// run scores one detached batch and fans the results back out.
+func (b *Batcher) run(batch []pendingScore) {
+	defer b.wg.Done()
+	rows := make([]int32, len(batch))
+	for i, p := range batch {
+		rows[i] = p.row
+	}
+	margins, version, err := b.score(rows)
+	if err == nil && len(margins) != len(batch) {
+		err = fmt.Errorf("serve: scorer returned %d margins for %d rows", len(margins), len(batch))
+	}
+	for i, p := range batch {
+		if err != nil {
+			p.ch <- scoreResult{err: err}
+		} else {
+			p.ch <- scoreResult{margin: margins[i], version: version}
+		}
+	}
+}
+
+// Close drains: the pending batch (if any) is flushed, in-flight flushes
+// complete, and subsequent Score calls fail with ErrClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	batch := b.take()
+	if len(batch) > 0 {
+		b.wg.Add(1)
+		b.mu.Unlock()
+		b.run(batch)
+	} else {
+		b.mu.Unlock()
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingScorer counts flushes and records batch sizes; margin = row*2.
+type recordingScorer struct {
+	mu      sync.Mutex
+	batches [][]int32
+	version uint64
+	err     error
+}
+
+func (s *recordingScorer) score(rows []int32) ([]float64, uint64, error) {
+	s.mu.Lock()
+	s.batches = append(s.batches, append([]int32(nil), rows...))
+	s.mu.Unlock()
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = float64(r) * 2
+	}
+	return out, s.version, nil
+}
+
+func (s *recordingScorer) flushes() [][]int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]int32(nil), s.batches...)
+}
+
+// scoreN fires n concurrent Score calls for rows 0..n-1 and verifies every
+// margin.
+func scoreN(t *testing.T, b *Batcher, n int, wantVersion uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(row int32) {
+			defer wg.Done()
+			margin, version, err := b.Score(context.Background(), row)
+			if err != nil || margin != float64(row)*2 || version != wantVersion {
+				failed.Add(1)
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	if failed.Load() > 0 {
+		t.Fatalf("%d of %d scores wrong", failed.Load(), n)
+	}
+}
+
+// TestBatcherFlushBySize: a full batch flushes immediately, without
+// waiting for the deadline.
+func TestBatcherFlushBySize(t *testing.T) {
+	sc := &recordingScorer{version: 7}
+	b := NewBatcher(BatcherConfig{MaxBatch: 4, MaxWait: time.Hour}, sc.score)
+	defer b.Close()
+	start := time.Now()
+	scoreN(t, b, 8, 7)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("size-triggered flush took %v; deadline timer must not be involved", elapsed)
+	}
+	for _, batch := range sc.flushes() {
+		if len(batch) > 4 {
+			t.Errorf("batch of %d exceeds MaxBatch 4", len(batch))
+		}
+	}
+	if n := len(sc.flushes()); n < 2 {
+		t.Errorf("8 requests over MaxBatch 4 flushed %d times", n)
+	}
+}
+
+// TestBatcherFlushByDeadline: a partial batch flushes once MaxWait
+// elapses.
+func TestBatcherFlushByDeadline(t *testing.T) {
+	sc := &recordingScorer{version: 1}
+	b := NewBatcher(BatcherConfig{MaxBatch: 1000, MaxWait: 20 * time.Millisecond}, sc.score)
+	defer b.Close()
+	scoreN(t, b, 3, 1)
+	flushes := sc.flushes()
+	if len(flushes) != 1 {
+		t.Fatalf("expected one deadline flush, got %d", len(flushes))
+	}
+	if len(flushes[0]) != 3 {
+		t.Errorf("deadline flush carried %d rows, want 3", len(flushes[0]))
+	}
+}
+
+// TestBatcherShutdownDrain: Close flushes the pending batch instead of
+// dropping it, and later Scores fail with ErrClosed.
+func TestBatcherShutdownDrain(t *testing.T) {
+	sc := &recordingScorer{version: 3}
+	b := NewBatcher(BatcherConfig{MaxBatch: 1000, MaxWait: time.Hour}, sc.score)
+
+	const n = 3
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(row int32) {
+			defer wg.Done()
+			margin, version, err := b.Score(context.Background(), row)
+			if err != nil || margin != float64(row)*2 || version != 3 {
+				failed.Add(1)
+			}
+		}(int32(i))
+	}
+	// Wait until all three are enqueued (none can flush: MaxBatch 1000,
+	// MaxWait 1h), then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		pending := len(b.buf)
+		b.mu.Unlock()
+		if pending == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests pending", pending, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	wg.Wait()
+	if failed.Load() > 0 {
+		t.Fatalf("%d drained scores wrong", failed.Load())
+	}
+	flushes := sc.flushes()
+	if len(flushes) != 1 || len(flushes[0]) != n {
+		t.Errorf("drain produced %d flushes %v, want one of %d rows", len(flushes), flushes, n)
+	}
+	if _, _, err := b.Score(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Score after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherErrorFansOut: a failed round fails every waiter in it.
+func TestBatcherErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	sc := &recordingScorer{err: boom}
+	b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Hour}, sc.score)
+	defer b.Close()
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(row int32) {
+			defer wg.Done()
+			if _, _, err := b.Score(context.Background(), row); errors.Is(err, boom) {
+				errs.Add(1)
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	if errs.Load() != 2 {
+		t.Errorf("%d of 2 waiters saw the round error", errs.Load())
+	}
+}
+
+// TestBatcherContextCancel: an abandoned waiter unblocks on its context
+// without wedging the flush.
+func TestBatcherContextCancel(t *testing.T) {
+	sc := &recordingScorer{}
+	b := NewBatcher(BatcherConfig{MaxBatch: 1000, MaxWait: time.Hour}, sc.score)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Score(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Score = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Score did not unblock on context cancellation")
+	}
+	b.Close() // must still drain the abandoned row without blocking
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with approximate quantiles: cheap
+// enough for the request hot path (one lock, one binary search) and
+// accurate to within a bucket's width, which geometric bounds keep
+// proportional to the value.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1, last is the overflow bucket
+	total  int64
+	sum    float64
+}
+
+// NewHistogram creates a histogram over ascending bucket upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// geometricBounds returns upper bounds lo, lo*factor, ... up to hi.
+func geometricBounds(lo, hi, factor float64) []float64 {
+	var out []float64
+	for v := lo; v <= hi; v *= factor {
+		out = append(out, v)
+	}
+	return out
+}
+
+// LatencyBounds is the default request-latency bucket layout in
+// milliseconds: 50µs to ~100s, doubling.
+func LatencyBounds() []float64 { return geometricBounds(0.05, 110_000, 2) }
+
+// SizeBounds is the default batch-size bucket layout: 1 to 4096, doubling.
+func SizeBounds() []float64 { return geometricBounds(1, 4096, 2) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the covering bucket. Values in the overflow bucket report the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(h.total)
+	cum, lower := 0.0, 0.0
+	for i, c := range h.counts {
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		if float64(c) > 0 && cum+float64(c) >= rank {
+			if math.IsInf(upper, 1) {
+				return lower
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum += float64(c)
+		lower = upper
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Metrics instruments the serving path: request and batch counters plus
+// latency and batch-size histograms, rendered by /metricsz.
+type Metrics struct {
+	start     time.Time
+	requests  atomic.Int64
+	batches   atomic.Int64
+	errors    atomic.Int64
+	latency   *Histogram // per-request latency, milliseconds
+	batchSize *Histogram // federated rounds by batch size
+}
+
+// NewMetrics creates zeroed metrics with the default bucket layouts.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:     time.Now(),
+		latency:   NewHistogram(LatencyBounds()),
+		batchSize: NewHistogram(SizeBounds()),
+	}
+}
+
+// ObserveRequest records one request's end-to-end latency and outcome.
+func (m *Metrics) ObserveRequest(d time.Duration, err error) {
+	m.requests.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveBatch records one federated round's batch size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.batches.Add(1)
+	m.batchSize.Observe(float64(size))
+}
+
+// Requests returns the total requests observed.
+func (m *Metrics) Requests() int64 { return m.requests.Load() }
+
+// Batches returns the total federated rounds issued.
+func (m *Metrics) Batches() int64 { return m.batches.Load() }
+
+// Errors returns the total failed requests.
+func (m *Metrics) Errors() int64 { return m.errors.Load() }
+
+// QPS returns requests per second since the metrics were created.
+func (m *Metrics) QPS() float64 {
+	secs := time.Since(m.start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.requests.Load()) / secs
+}
+
+// Latency returns the request-latency histogram (milliseconds).
+func (m *Metrics) Latency() *Histogram { return m.latency }
+
+// BatchSize returns the batch-size histogram.
+func (m *Metrics) BatchSize() *Histogram { return m.batchSize }
+
+// Uptime returns the time since the metrics were created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"testing"
+
+	"vf2boost/internal/core"
+)
+
+func frag(party int) *core.PartyModel {
+	return &core.PartyModel{Party: party, Trees: []*core.FedTree{core.NewFedTree(1)}}
+}
+
+func TestRegistryPublishAndPin(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Current(); ok {
+		t.Fatal("empty registry reported a current model")
+	}
+	if err := r.Publish(Model{Version: 0, Fragment: frag(0)}); err == nil {
+		t.Error("version 0 accepted")
+	}
+	if err := r.Publish(Model{Version: 1}); err == nil {
+		t.Error("nil fragment accepted")
+	}
+	if err := r.Publish(Model{Version: 1, Fragment: frag(0), LearningRate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish(Model{Version: 1, Fragment: frag(0)}); err == nil {
+		t.Error("duplicate version accepted")
+	}
+	cur, ok := r.Current()
+	if !ok || cur.Version != 1 {
+		t.Fatalf("current = %v, %v", cur.Version, ok)
+	}
+
+	// Hot swap: v2 becomes current, v1 stays resolvable (pinning).
+	if err := r.Publish(Model{Version: 2, Fragment: frag(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.CurrentVersion(); v != 2 {
+		t.Fatalf("current version = %d after swap", v)
+	}
+	if _, ok := r.Get(1); !ok {
+		t.Error("pinned version 1 no longer resolvable after swap")
+	}
+	if got := r.Versions(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Versions() = %v", got)
+	}
+
+	// Retire: old versions yes, current no.
+	if err := r.Retire(2); err == nil {
+		t.Error("retiring the current version was allowed")
+	}
+	if err := r.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(1); ok {
+		t.Error("retired version still resolvable")
+	}
+	if err := r.Retire(1); err == nil {
+		t.Error("retiring an unknown version was allowed")
+	}
+}

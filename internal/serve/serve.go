@@ -1,0 +1,38 @@
+// Package serve is the online federated scoring subsystem: it turns a
+// trained federated GBDT — whose fragments never leave their parties —
+// into a long-lived, low-latency service, the deployment shape the paper's
+// cross-enterprise setting ultimately feeds (risk scores at transaction
+// time, not batch jobs).
+//
+// The pieces, all layered on the existing mq broker / TCP gateway and the
+// core scoring protocol (internal/core/score.go):
+//
+//   - Registry: a versioned model store with atomic hot-swap. Every
+//     scoring round is pinned to one version, so a reload mid-stream never
+//     mixes tree structures across parties.
+//   - PassiveWorker: a passive-party sidecar that holds its feature shard
+//     and fragment registry and answers an unbounded stream of scoring
+//     rounds over one mq topic pair — session setup is paid once, not per
+//     request.
+//   - Batcher: Party B's micro-batcher. Incoming single-instance requests
+//     coalesce by max-batch-size or max-wait deadline, so one WAN
+//     round-trip (the dominant online cost) serves N requests.
+//   - Server: Party B's front end — federated round driver, HTTP API
+//     (POST /score, GET /healthz, GET /metricsz), latency/QPS/batch-size
+//     instrumentation, and trace.Recorder lanes so serving schedules
+//     render on the same Gantt tooling as training.
+//
+// Rows are indices into the pre-aligned scoring universe (each party holds
+// its own feature shard of the same instances, aligned by PSI just like
+// training data), which is how online VFL feature stores address
+// instances without shipping features across the boundary.
+package serve
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed batcher or server.
+var ErrClosed = errors.New("serve: closed")
+
+// ErrNoModel is returned when scoring is attempted before any model
+// version has been published.
+var ErrNoModel = errors.New("serve: no model version published")

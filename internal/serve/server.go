@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/mq"
+	"vf2boost/internal/trace"
+)
+
+// ServerConfig wires a Party B scoring server.
+type ServerConfig struct {
+	// Data is B's feature shard of the aligned scoring universe.
+	Data *dataset.Dataset
+	// Registry resolves model versions; Current() is pinned per batch.
+	Registry *Registry
+	// Workers holds one open transport per passive party, in party-index
+	// order, each with a PassiveWorker serving the other end.
+	Workers []core.Transport
+	// Batch bounds the micro-batcher.
+	Batch BatcherConfig
+	// Session is an opaque session label sent in the open handshake.
+	Session string
+	// Broker, when the broker is co-resident (in-process deployments),
+	// lets /metricsz surface per-topic queue depths. Optional.
+	Broker *mq.Broker
+	// Trace, when set, records per-round spans on lanes "B:ScoreBatch",
+	// "B:ScoreWAN" and "B:ScoreRoute". Optional.
+	Trace *trace.Recorder
+}
+
+// Server drives online federated scoring from Party B: it pins a model
+// version per micro-batch, issues one scoring round over every worker
+// link, routes instances locally, and serves the result over HTTP. One
+// round is in flight per session at a time (the links are FIFO); the
+// batcher overlaps accumulation of the next batch with the in-flight WAN
+// round-trip.
+type Server struct {
+	cfg     ServerConfig
+	links   []*core.Link
+	batcher *Batcher
+	met     *Metrics
+
+	roundMu sync.Mutex // serializes federated rounds over the links
+	round   atomic.Uint64
+	opened  bool
+	closing atomic.Bool
+}
+
+// NewServer validates the wiring; Open performs the session handshake.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Data == nil {
+		return nil, fmt.Errorf("serve: server needs Party B's feature shard")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: server needs a model registry")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("serve: server needs at least one passive worker transport")
+	}
+	s := &Server{cfg: cfg, met: NewMetrics()}
+	for _, tr := range cfg.Workers {
+		s.links = append(s.links, core.NewLink(tr))
+	}
+	s.batcher = NewBatcher(cfg.Batch, s.ScoreRows)
+	return s, nil
+}
+
+// Metrics exposes the server's instrumentation.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Open performs the session handshake with every worker: protocol version
+// agreement and the instance-alignment check (every party must hold a
+// shard of the same universe).
+func (s *Server) Open() error {
+	for i, l := range s.links {
+		if err := l.Send(core.MsgScoreOpen{Proto: core.ScoreProtoVersion, Session: s.cfg.Session}); err != nil {
+			return fmt.Errorf("serve: opening session with worker %d: %w", i, err)
+		}
+	}
+	for i, l := range s.links {
+		msg, err := l.Recv()
+		if err != nil {
+			return fmt.Errorf("serve: worker %d open ack: %w", i, err)
+		}
+		ack, ok := msg.(core.MsgScoreOpenAck)
+		if !ok {
+			return fmt.Errorf("serve: expected MsgScoreOpenAck from worker %d, got %T", i, msg)
+		}
+		if ack.Error != "" {
+			return fmt.Errorf("serve: worker %d rejected session: %s", i, ack.Error)
+		}
+		if ack.Party != i {
+			return fmt.Errorf("serve: transport %d is connected to party %d; order transports by party index", i, ack.Party)
+		}
+		if ack.Rows != s.cfg.Data.Rows() {
+			return fmt.Errorf("serve: party %d shard has %d rows, B has %d — scoring universes misaligned", i, ack.Rows, s.cfg.Data.Rows())
+		}
+	}
+	s.opened = true
+	return nil
+}
+
+// Score enqueues one row into the micro-batcher and blocks for its margin
+// and the model version it was scored with.
+func (s *Server) Score(ctx context.Context, row int32) (float64, uint64, error) {
+	start := time.Now()
+	margin, version, err := s.batcher.Score(ctx, row)
+	s.met.ObserveRequest(time.Since(start), err)
+	return margin, version, err
+}
+
+// ScoreRows issues one federated scoring round for the given rows, pinned
+// to the registry's current model version. All rows in the round are
+// scored against that single version even if a hot-swap lands mid-round.
+func (s *Server) ScoreRows(rows []int32) ([]float64, uint64, error) {
+	if s.closing.Load() {
+		return nil, 0, ErrClosed
+	}
+	mv, ok := s.cfg.Registry.Current()
+	if !ok {
+		return nil, 0, ErrNoModel
+	}
+	if len(rows) == 0 {
+		return nil, mv.Version, nil
+	}
+	s.roundMu.Lock()
+	defer s.roundMu.Unlock()
+	if !s.opened {
+		return nil, 0, fmt.Errorf("serve: session not opened")
+	}
+	round := s.round.Add(1)
+	doneBatch := s.cfg.Trace.Span("B:ScoreBatch", fmt.Sprintf("round %d n=%d v=%d", round, len(rows), mv.Version))
+	defer doneBatch()
+
+	// One WAN round-trip: fan the request out to every worker, then
+	// collect all responses.
+	req := core.MsgScoreRequest{Round: round, Version: mv.Version, Rows: rows}
+	doneWAN := s.cfg.Trace.Span("B:ScoreWAN", fmt.Sprintf("round %d", round))
+	for i, l := range s.links {
+		if err := l.Send(req); err != nil {
+			doneWAN()
+			return nil, 0, fmt.Errorf("serve: sending round %d to worker %d: %w", round, i, err)
+		}
+	}
+	routes := make(map[core.RouteKey][]byte)
+	for i, l := range s.links {
+		msg, err := l.Recv()
+		if err != nil {
+			doneWAN()
+			return nil, 0, fmt.Errorf("serve: round %d response from worker %d: %w", round, i, err)
+		}
+		resp, ok := msg.(core.MsgScoreResponse)
+		if !ok {
+			doneWAN()
+			return nil, 0, fmt.Errorf("serve: expected MsgScoreResponse from worker %d, got %T", i, msg)
+		}
+		if resp.Round != round || resp.Version != mv.Version {
+			doneWAN()
+			return nil, 0, fmt.Errorf("serve: worker %d answered round %d v%d, expected round %d v%d",
+				i, resp.Round, resp.Version, round, mv.Version)
+		}
+		if resp.Error != "" {
+			doneWAN()
+			return nil, 0, fmt.Errorf("serve: worker %d failed round %d: %s", i, round, resp.Error)
+		}
+		for _, nb := range resp.Nodes {
+			routes[core.RouteKey{Party: i, Tree: nb.Tree, Node: nb.Node}] = nb.Bits
+		}
+	}
+	doneWAN()
+
+	doneRoute := s.cfg.Trace.Span("B:ScoreRoute", fmt.Sprintf("round %d", round))
+	margins, err := core.RouteMargins(mv.Fragment, mv.LearningRate, mv.BaseScore, s.cfg.Data, rows, routes)
+	doneRoute()
+	if err != nil {
+		return nil, 0, err
+	}
+	s.met.ObserveBatch(len(rows))
+	return margins, mv.Version, nil
+}
+
+// Close drains the batcher, then closes the scoring session on every
+// worker with an acknowledged MsgScoreClose. Safe to call once.
+func (s *Server) Close() error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	s.batcher.Close()
+	s.roundMu.Lock()
+	defer s.roundMu.Unlock()
+	if !s.opened {
+		return nil
+	}
+	var firstErr error
+	for i, l := range s.links {
+		if err := l.Send(core.MsgScoreClose{Reason: "server shutdown"}); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: closing worker %d: %w", i, err)
+			}
+			continue
+		}
+		if msg, err := l.Recv(); err == nil {
+			if _, ok := msg.(core.MsgScoreCloseAck); !ok && firstErr == nil {
+				firstErr = fmt.Errorf("serve: worker %d answered close with %T", i, msg)
+			}
+		}
+	}
+	return firstErr
+}
+
+// --- HTTP front end ---------------------------------------------------
+
+type scoreRequest struct {
+	Row  *int32  `json:"row,omitempty"`
+	Rows []int32 `json:"rows,omitempty"`
+}
+
+type scoreResponse struct {
+	Margin  *float64  `json:"margin,omitempty"`
+	Margins []float64 `json:"margins,omitempty"`
+	Version uint64    `json:"version"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the HTTP API: POST /score scores one row (through the
+// micro-batcher) or an explicit row list (one direct round); GET /healthz
+// and GET /metricsz expose liveness and instrumentation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /score", s.handleScore)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req scoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var resp scoreResponse
+	switch {
+	case req.Row != nil && req.Rows == nil:
+		margin, version, err := s.Score(r.Context(), *req.Row)
+		if err != nil {
+			httpError(w, scoreStatus(err), err.Error())
+			return
+		}
+		resp = scoreResponse{Margin: &margin, Version: version}
+	case req.Rows != nil && req.Row == nil:
+		start := time.Now()
+		margins, version, err := s.ScoreRows(req.Rows)
+		s.met.ObserveRequest(time.Since(start), err)
+		if err != nil {
+			httpError(w, scoreStatus(err), err.Error())
+			return
+		}
+		if margins == nil {
+			margins = []float64{}
+		}
+		resp = scoreResponse{Margins: margins, Version: version}
+	default:
+		httpError(w, http.StatusBadRequest, `body must carry exactly one of "row" or "rows"`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func scoreStatus(err error) int {
+	switch err {
+	case ErrClosed:
+		return http.StatusServiceUnavailable
+	case ErrNoModel:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.closing.Load():
+		http.Error(w, "closing", http.StatusServiceUnavailable)
+	case s.cfg.Registry.CurrentVersion() == 0:
+		http.Error(w, "no model published", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	m := s.met
+	fmt.Fprintf(w, "serve_uptime_seconds %.3f\n", m.Uptime().Seconds())
+	fmt.Fprintf(w, "serve_model_version %d\n", s.cfg.Registry.CurrentVersion())
+	fmt.Fprintf(w, "serve_model_versions %d\n", len(s.cfg.Registry.Versions()))
+	fmt.Fprintf(w, "serve_requests_total %d\n", m.Requests())
+	fmt.Fprintf(w, "serve_batches_total %d\n", m.Batches())
+	fmt.Fprintf(w, "serve_errors_total %d\n", m.Errors())
+	fmt.Fprintf(w, "serve_qps %.2f\n", m.QPS())
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		fmt.Fprintf(w, "serve_request_latency_ms{q=%q} %.4f\n", fmt.Sprintf("%.2f", q), m.Latency().Quantile(q))
+	}
+	fmt.Fprintf(w, "serve_batch_size_avg %.2f\n", m.BatchSize().Mean())
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		fmt.Fprintf(w, "serve_batch_size{q=%q} %.2f\n", fmt.Sprintf("%.2f", q), m.BatchSize().Quantile(q))
+	}
+	if s.cfg.Broker != nil {
+		depths := s.cfg.Broker.TopicDepths()
+		topics := make([]string, 0, len(depths))
+		for t := range depths {
+			topics = append(topics, t)
+		}
+		sort.Strings(topics)
+		for _, t := range topics {
+			fmt.Fprintf(w, "mq_topic_depth{topic=%q} %d\n", t, depths[t])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/trace"
+)
+
+// PassiveWorker is a passive party's scoring sidecar: it holds the party's
+// feature shard of the aligned scoring universe and its fragment registry,
+// and answers an unbounded stream of scoring rounds on one session. Errors
+// that concern a single round (unknown model version, out-of-range row)
+// are answered as structured MsgScoreResponse errors and keep the session
+// alive; only transport loss or an explicit close ends Run.
+type PassiveWorker struct {
+	// Party is this worker's passive party index (the same index used for
+	// training topics and fragment ownership).
+	Party int
+	// Data is the party's feature shard, aligned with the other parties.
+	Data *dataset.Dataset
+	// Registry resolves pinned model versions to local fragments.
+	Registry *Registry
+	// Trace, when set, records one span per scoring round on lane
+	// "A<i>:Score".
+	Trace *trace.Recorder
+
+	rounds atomic.Int64
+	errors atomic.Int64
+}
+
+// NewPassiveWorker wires a sidecar for one passive party.
+func NewPassiveWorker(party int, data *dataset.Dataset, reg *Registry) *PassiveWorker {
+	return &PassiveWorker{Party: party, Data: data, Registry: reg}
+}
+
+// Rounds returns the number of scoring rounds answered so far.
+func (w *PassiveWorker) Rounds() int64 { return w.rounds.Load() }
+
+// RoundErrors returns the number of rounds answered with a structured
+// error.
+func (w *PassiveWorker) RoundErrors() int64 { return w.errors.Load() }
+
+// Run serves one scoring session over the transport: open handshake, then
+// scoring rounds until the peer closes the session (clean, returns nil)
+// or the transport drops (also clean — sidecars outlive flaky peers and
+// are simply re-dialed). A protocol violation returns an error.
+func (w *PassiveWorker) Run(tr core.Transport) error {
+	l := core.NewLink(tr)
+	for {
+		msg, err := l.Recv()
+		if err != nil {
+			// Transport closed underneath us: the normal end of a session
+			// whose peer went away.
+			return nil
+		}
+		switch m := msg.(type) {
+		case core.MsgScoreOpen:
+			ack := core.MsgScoreOpenAck{
+				Proto:    core.ScoreProtoVersion,
+				Party:    w.Party,
+				Rows:     w.Data.Rows(),
+				Versions: w.Registry.Versions(),
+			}
+			if m.Proto != core.ScoreProtoVersion {
+				ack.Error = fmt.Sprintf("serve: protocol version %d not supported (worker speaks %d)", m.Proto, core.ScoreProtoVersion)
+			}
+			if err := l.Send(ack); err != nil {
+				return err
+			}
+		case core.MsgScoreRequest:
+			if err := l.Send(w.answer(m)); err != nil {
+				return err
+			}
+		case core.MsgScoreClose:
+			_ = l.Send(core.MsgScoreCloseAck{})
+			return nil
+		default:
+			return fmt.Errorf("serve: worker got unexpected %T", msg)
+		}
+	}
+}
+
+// answer computes one round's routing bitmaps against the pinned version.
+func (w *PassiveWorker) answer(m core.MsgScoreRequest) core.MsgScoreResponse {
+	done := w.Trace.Span(trace.Lane(fmt.Sprintf("A%d:Score", w.Party)),
+		fmt.Sprintf("round %d n=%d v=%d", m.Round, len(m.Rows), m.Version))
+	defer done()
+	w.rounds.Add(1)
+	resp := core.MsgScoreResponse{Round: m.Round, Version: m.Version, Party: w.Party}
+	mv, ok := w.Registry.Get(m.Version)
+	if !ok {
+		w.errors.Add(1)
+		resp.Error = fmt.Sprintf("serve: model version %d not published at party %d", m.Version, w.Party)
+		return resp
+	}
+	nodes, err := core.ScorePlacements(mv.Fragment, w.Data, m.Rows)
+	if err != nil {
+		w.errors.Add(1)
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Nodes = nodes
+	return resp
+}

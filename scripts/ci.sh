@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: vet, build everything, and race-test the packages on the online
+# serving path (mq transport, serve subsystem, core protocol). The full
+# suite (go test ./...) is tier-1 and runs separately; this script is the
+# fast signal a serving-layer change needs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race (mq, serve, core) =="
+go test -race ./internal/mq/... ./internal/serve/... ./internal/core/...
+
+echo "== ci ok =="

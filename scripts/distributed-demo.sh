@@ -45,5 +45,43 @@ P_PID=$!
 wait "$P_PID"
 
 LINES=$(wc -l < "$WORK/preds.txt")
-echo "== done: $LINES margins written =="
+echo "== batch prediction done: $LINES margins written =="
 test "$LINES" -eq 800
+
+echo "== online scoring (server + sidecar) =="
+HTTP_PORT=17342
+"$WORK/vf2boost" sidecar -index 0 -gateway "127.0.0.1:$PORT" -secret "$SECRET" \
+  -data "$WORK/demo.partyA0.libsvm" -models "$WORK/fragA.json" &
+SIDECAR_PID=$!
+"$WORK/vf2boost" serve -addr "127.0.0.1:$HTTP_PORT" -peers 1 \
+  -gateway "127.0.0.1:$PORT" -secret "$SECRET" \
+  -data "$WORK/demo.partyB.libsvm" -models "$WORK/fragB.json" \
+  -eta 0.1 -max-batch 16 -max-wait 5ms &
+SERVE_PID=$!
+
+for i in $(seq 1 30); do
+  curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.3
+done
+curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz"
+
+echo "-- scoring a few rows over HTTP --"
+for r in 0 1 2 3; do
+  curl -fsS -X POST -d "{\"row\": $r}" "http://127.0.0.1:$HTTP_PORT/score"
+  echo
+done
+
+echo "-- online margin must match the batch prediction protocol --"
+M0=$(curl -fsS -X POST -d '{"row": 0}' "http://127.0.0.1:$HTTP_PORT/score" \
+  | sed -E 's/.*"margin":([-+0-9.eE]+).*/\1/')
+P0=$(head -1 "$WORK/preds.txt")
+awk -v a="$M0" -v b="$P0" 'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d < 1e-9) }'
+echo "row 0: serve=$M0 predict=$P0 (match)"
+
+echo "-- serving metrics --"
+curl -fsS "http://127.0.0.1:$HTTP_PORT/metricsz" | head -8
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID" || true
+wait "$SIDECAR_PID" || true
+echo "== done =="
