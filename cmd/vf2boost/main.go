@@ -85,6 +85,7 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 	keyBits := fs.Int("keybits", 1024, "Paillier modulus size S")
 	baseline := fs.Bool("baseline", false, "disable all VF2Boost optimizations (VF-GBDT)")
 	seed := fs.Int64("seed", 1, "seed for exponent obfuscation")
+	codec := fs.String("codec", "", "wire codec: binary (default) or gob")
 	return func() core.Config {
 		cfg := core.DefaultConfig()
 		if *baseline {
@@ -100,6 +101,7 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 		cfg.Scheme = *scheme
 		cfg.KeyBits = *keyBits
 		cfg.Seed = *seed
+		cfg.WireCodec = *codec
 		return cfg
 	}
 }
@@ -228,7 +230,9 @@ func cmdGateway(args []string) {
 		opts = append(opts, mq.WithAuth([]byte(*secret)))
 	}
 	if *wan > 0 {
-		opts = append(opts, mq.WithShaper(mq.NewShaper(*wan, 0)))
+		sh := mq.NewShaper(*wan, 0)
+		sh.SetPerMessageOverhead(mq.FrameOverhead)
+		opts = append(opts, mq.WithShaper(sh))
 	}
 	broker := mq.NewBroker(opts...)
 	g := mq.NewGateway(broker)
@@ -443,6 +447,7 @@ func cmdServe(args []string) {
 	maxBatch := fs.Int("max-batch", 64, "flush a micro-batch at this many requests")
 	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "flush a partial micro-batch after this wait")
 	session := fs.String("session", "vf2boost-serve", "session label sent to sidecars")
+	codec := fs.String("codec", "", "wire codec: binary (default) or gob")
 	fs.Parse(args)
 	if *data == "" || *models == "" {
 		log.Fatal("serve: -data and -models are required")
@@ -460,6 +465,7 @@ func cmdServe(args []string) {
 		Workers:  trs,
 		Batch:    serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
 		Session:  *session,
+		Codec:    *codec,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -44,6 +44,7 @@ import (
 	"runtime"
 
 	"vf2boost/internal/gbdt"
+	"vf2boost/internal/wire"
 )
 
 // Scheme names accepted by Config.Scheme.
@@ -111,6 +112,13 @@ type Config struct {
 	// BatchSize is the blaster batch size in instances (Section 4.1);
 	// <= 0 picks a default.
 	BatchSize int
+
+	// WireCodec selects the cross-party message encoding: "binary" (the
+	// typed length-prefixed codec, default) or "gob" (the reflective
+	// fallback). The active party pins this codec; passive parties adopt
+	// whatever the first received frame speaks, so only the initiator's
+	// setting matters in a mixed deployment.
+	WireCodec string
 
 	// Seed drives exponent obfuscation and any tie-free randomness;
 	// training is deterministic given the seed and scheme.
@@ -200,5 +208,17 @@ func (c *Config) normalize() error {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 1024
 	}
+	if _, err := wire.ByName(c.WireCodec); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
+}
+
+// wireCodec resolves the configured codec; normalize already validated it.
+func (c *Config) wireCodec() wire.Codec {
+	codec, err := wire.ByName(c.WireCodec)
+	if err != nil {
+		return wire.Default
+	}
+	return codec
 }

@@ -1,15 +1,18 @@
 package core
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
+
+	"vf2boost/internal/wire"
 )
 
 // Wire messages between Party B and each passive party. All cross-party
-// traffic is gob-encoded and carried over an mq topic pair, so the exact
-// same engine runs in-process, through the WAN shaper, or across the TCP
-// gateway.
+// traffic is encoded by a wire.Codec (the typed binary codec by default,
+// gob as the negotiated fallback — see internal/wire and wirecodec.go) and
+// carried over an mq topic pair, so the exact same engine runs in-process,
+// through the WAN shaper, or across the TCP gateway.
 
 // MsgSetup is sent once by B to each passive party before training: the
 // public key material and the encoding parameters both sides must share.
@@ -150,11 +153,8 @@ type MsgTreeDone struct {
 // MsgShutdown ends the session.
 type MsgShutdown struct{}
 
-// envelope wraps a message for gob transport.
-type envelope struct {
-	M any
-}
-
+// The gob registrations back the fallback codec (wire.Gob); the binary
+// codec's registrations live in wirecodec.go.
 func init() {
 	gob.Register(MsgSetup{})
 	gob.Register(MsgReady{})
@@ -175,19 +175,55 @@ type Transport interface {
 }
 
 // Link is the typed bidirectional channel between two parties: a
-// Transport wrapped with the gob envelope codec every engine speaks. It is
-// exported so subsystems outside core (internal/serve's online scoring
-// sessions) can exchange protocol messages without re-implementing the
-// framing.
+// Transport wrapped with a pluggable wire.Codec. It is exported so
+// subsystems outside core (internal/serve's online scoring sessions) can
+// exchange protocol messages without re-implementing the framing.
+//
+// Codec selection is negotiated implicitly at session setup: the side
+// that speaks first (Party B in training, the scoring server, the predict
+// client) pins its configured codec, and an adaptive responder adopts
+// whatever codec the first received frame was encoded with — every frame
+// names its codec in its leading tag byte. A zero-valued or NewLink link
+// speaks the default (binary) codec and adapts to its peer.
 type Link struct {
 	out Transport
 	in  Transport
+	// codec is the encoder for outgoing messages. Stored atomically:
+	// passive parties send from histogram task goroutines concurrently
+	// with the receive loop that may adopt the peer's codec.
+	codec atomic.Pointer[wire.Codec]
+	// adapt, when set, makes recv adopt the codec of every incoming
+	// frame; a pinned link keeps sending what it was configured with.
+	adapt bool
 }
 
-// NewLink wraps a bidirectional transport.
-func NewLink(tr Transport) *Link { return &Link{out: tr, in: tr} }
+// NewLink wraps a bidirectional transport with the default codec,
+// adapting to whatever the peer speaks.
+func NewLink(tr Transport) *Link { return newLinkPair(tr, tr, wire.Default, true) }
 
-// Send gob-encodes and transmits one protocol message.
+// NewLinkCodec wraps a bidirectional transport with a pinned codec — the
+// shape used by the session initiator, whose first frame announces the
+// codec the responder adopts.
+func NewLinkCodec(tr Transport, c wire.Codec) *Link { return newLinkPair(tr, tr, c, false) }
+
+// newLinkPair builds a link over distinct send/receive transports.
+func newLinkPair(out, in Transport, c wire.Codec, adapt bool) *Link {
+	l := &Link{out: out, in: in, adapt: adapt}
+	if c != nil {
+		l.codec.Store(&c)
+	}
+	return l
+}
+
+// Codec returns the codec outgoing messages are currently encoded with.
+func (l *Link) Codec() wire.Codec {
+	if p := l.codec.Load(); p != nil {
+		return *p
+	}
+	return wire.Default
+}
+
+// Send encodes and transmits one protocol message.
 func (l *Link) Send(m any) error { return l.send(m) }
 
 // Recv blocks for the next protocol message.
@@ -197,11 +233,13 @@ func (l *Link) Recv() (any, error) { return l.recv() }
 type link = Link
 
 func (l *link) send(m any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{M: m}); err != nil {
+	payload, err := l.Codec().Encode(m)
+	if err != nil {
 		return fmt.Errorf("core: encoding %T: %w", m, err)
 	}
-	return l.out.Send(buf.Bytes())
+	// The payload buffer now belongs to the delivery path; the receiving
+	// link recycles it after decoding.
+	return l.out.Send(payload)
 }
 
 func (l *link) recv() (any, error) {
@@ -209,11 +247,19 @@ func (l *link) recv() (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+	c, err := wire.Detect(payload)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding message: %w", err)
 	}
-	return env.M, nil
+	if l.adapt && c != l.Codec() {
+		l.codec.Store(&c)
+	}
+	m, err := c.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding message: %w", err)
+	}
+	wire.PutBuf(payload)
+	return m, nil
 }
 
 // pairTransport adapts an mq producer/consumer pair to Transport.

@@ -48,7 +48,7 @@ func init() {
 // node the fragment owns, and returns. data must hold the party's feature
 // shard of the instances to score, aligned with the other parties.
 func ServePredict(fragment *PartyModel, data *dataset.Dataset, tr Transport) error {
-	l := &link{out: tr, in: tr}
+	l := NewLink(tr) // adapts to the querying party's codec
 	msg, err := l.recv()
 	if err != nil {
 		return err
@@ -84,7 +84,7 @@ func servePredictRound(l *link, fragment *PartyModel, data *dataset.Dataset, sta
 // of which end the loop cleanly. ServePredict remains the single-round
 // special case for existing callers.
 func ServePredictLoop(fragment *PartyModel, data *dataset.Dataset, tr Transport) error {
-	l := &link{out: tr, in: tr}
+	l := NewLink(tr) // adapts to the querying party's codec
 	for {
 		msg, err := l.recv()
 		if err != nil {
@@ -114,7 +114,7 @@ func PredictRemote(bFragment *PartyModel, learningRate float64, bData *dataset.D
 	// Collect passive routing bitmaps.
 	routes := make(map[RouteKey][]byte)
 	for pi, tr := range trs {
-		l := &link{out: tr, in: tr}
+		l := NewLink(tr)
 		if err := l.send(MsgPredictStart{Rows: n}); err != nil {
 			return nil, err
 		}

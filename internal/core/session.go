@@ -33,9 +33,14 @@ type SessionOption func(*Session)
 
 // WithWAN routes all cross-party traffic through a shaped link
 // (bandwidth in Mbps, plus a fixed per-message latency), reproducing the
-// paper's 300 Mbps public network.
+// paper's 300 Mbps public network. Each message is charged the gateway's
+// framing overhead on top of its payload, so the simulated byte counts
+// match what the TCP deployment puts on the wire.
 func WithWAN(bandwidthMbps float64, latency time.Duration) SessionOption {
-	return func(s *Session) { s.shaper = mq.NewShaper(bandwidthMbps, latency) }
+	return func(s *Session) {
+		s.shaper = mq.NewShaper(bandwidthMbps, latency)
+		s.shaper.SetPerMessageOverhead(mq.FrameOverhead)
+	}
 }
 
 // WithDecryptor injects a pre-generated key pair, so benchmarks do not
@@ -140,14 +145,16 @@ func (s *Session) Train() (*FederatedModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		bLinks[i] = &link{
-			out: pairTransport{send: bOut.Send, recv: bIn.Receive},
-			in:  pairTransport{send: nil, recv: bIn.Receive},
-		}
-		aLink := &link{
-			out: pairTransport{send: aOut.Send, recv: aIn.Receive},
-			in:  pairTransport{send: nil, recv: aIn.Receive},
-		}
+		// B pins the configured codec (it sends the first frame of the
+		// session); the passive side adapts to whatever B speaks.
+		bLinks[i] = newLinkPair(
+			pairTransport{send: bOut.Send, recv: bIn.Receive},
+			pairTransport{send: nil, recv: bIn.Receive},
+			s.cfg.wireCodec(), false)
+		aLink := newLinkPair(
+			pairTransport{send: aOut.Send, recv: aIn.Receive},
+			pairTransport{send: nil, recv: aIn.Receive},
+			s.cfg.wireCodec(), true)
 		party, err := newPassiveParty(i, s.parts[i], s.cfg, aLink, s.stats)
 		if err != nil {
 			return nil, err
@@ -216,7 +223,7 @@ func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport)
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	p, err := newPassiveParty(index, data, cfg, &link{out: tr, in: tr}, &Stats{})
+	p, err := newPassiveParty(index, data, cfg, newLinkPair(tr, tr, cfg.wireCodec(), true), &Stats{})
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +244,8 @@ func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport) (*PartyM
 	}
 	links := make([]*link, len(trs))
 	for i, tr := range trs {
-		links[i] = &link{out: tr, in: tr}
+		// B initiates, so it pins the configured codec.
+		links[i] = NewLinkCodec(tr, cfg.wireCodec())
 	}
 	stats := &Stats{}
 	b, err := newActiveParty(data, cfg, dec, links, stats)

@@ -1,0 +1,471 @@
+package core
+
+import "vf2boost/internal/wire"
+
+// Binary wire encodings for every protocol message. Each message gets a
+// stable numeric ID (never renumber — append new IDs for new messages; the
+// table is mirrored in docs/PROTOCOL.md) and explicit AppendTo/DecodeFrom
+// implementations over the wire package's primitives. Field order in the
+// body encoding is fixed; adding a field means a new message ID or a new
+// frame version tag, never an in-place layout change.
+//
+// Every struct field is encoded, including the representation a message
+// does not use (e.g. a packed FeatHist's empty unpacked bins cost one zero
+// count byte each): binary and gob round trips must produce deep-equal
+// values for any representable message, which the equivalence tests check.
+const (
+	idSetup             uint16 = 1
+	idReady             uint16 = 2
+	idGradBatch         uint16 = 3
+	idHistograms        uint16 = 4
+	idDecisions         uint16 = 5
+	idDirty             uint16 = 6
+	idPlacement         uint16 = 7
+	idTreeDone          uint16 = 8
+	idShutdown          uint16 = 9
+	idPredictStart      uint16 = 10
+	idPredictPlacements uint16 = 11
+	idScoreOpen         uint16 = 12
+	idScoreOpenAck      uint16 = 13
+	idScoreRequest      uint16 = 14
+	idScoreResponse     uint16 = 15
+	idScoreClose        uint16 = 16
+	idScoreCloseAck     uint16 = 17
+)
+
+func init() {
+	wire.Register(idSetup, "MsgSetup", decodeMsg[MsgSetup])
+	wire.Register(idReady, "MsgReady", decodeMsg[MsgReady])
+	wire.Register(idGradBatch, "MsgGradBatch", decodeMsg[MsgGradBatch])
+	wire.Register(idHistograms, "MsgHistograms", decodeMsg[MsgHistograms])
+	wire.Register(idDecisions, "MsgDecisions", decodeMsg[MsgDecisions])
+	wire.Register(idDirty, "MsgDirty", decodeMsg[MsgDirty])
+	wire.Register(idPlacement, "MsgPlacement", decodeMsg[MsgPlacement])
+	wire.Register(idTreeDone, "MsgTreeDone", decodeMsg[MsgTreeDone])
+	wire.Register(idShutdown, "MsgShutdown", decodeMsg[MsgShutdown])
+	wire.Register(idPredictStart, "MsgPredictStart", decodeMsg[MsgPredictStart])
+	wire.Register(idPredictPlacements, "MsgPredictPlacements", decodeMsg[MsgPredictPlacements])
+	wire.Register(idScoreOpen, "MsgScoreOpen", decodeMsg[MsgScoreOpen])
+	wire.Register(idScoreOpenAck, "MsgScoreOpenAck", decodeMsg[MsgScoreOpenAck])
+	wire.Register(idScoreRequest, "MsgScoreRequest", decodeMsg[MsgScoreRequest])
+	wire.Register(idScoreResponse, "MsgScoreResponse", decodeMsg[MsgScoreResponse])
+	wire.Register(idScoreClose, "MsgScoreClose", decodeMsg[MsgScoreClose])
+	wire.Register(idScoreCloseAck, "MsgScoreCloseAck", decodeMsg[MsgScoreCloseAck])
+}
+
+// wireBody is the decode half of a protocol message; every Msg* pointer
+// type implements it.
+type wireBody interface {
+	DecodeFrom(body []byte) error
+}
+
+// decodeMsg adapts a message type to the registry's decode signature,
+// returning the message by value (protocol code type-switches on values).
+func decodeMsg[M any, PM interface {
+	*M
+	wireBody
+}](body []byte) (any, error) {
+	var m M
+	if err := PM(&m).DecodeFrom(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- MsgSetup ----------------------------------------------------------
+
+func (MsgSetup) WireID() uint16 { return idSetup }
+
+func (m MsgSetup) AppendTo(b []byte) []byte {
+	b = wire.AppendString(b, m.Scheme)
+	b = wire.AppendBytes(b, m.N)
+	b = wire.AppendInt(b, m.Bits)
+	b = wire.AppendInt(b, m.BaseExp)
+	b = wire.AppendInt(b, m.ExpSpread)
+	b = wire.AppendInt(b, m.PackBits)
+	return wire.AppendFloat64(b, m.Shift)
+}
+
+func (m *MsgSetup) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Scheme = d.String()
+	m.N = d.Bytes()
+	m.Bits = d.Int()
+	m.BaseExp = d.Int()
+	m.ExpSpread = d.Int()
+	m.PackBits = d.Int()
+	m.Shift = d.Float64()
+	return d.Finish()
+}
+
+// --- MsgReady ----------------------------------------------------------
+
+func (MsgReady) WireID() uint16 { return idReady }
+
+func (m MsgReady) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Party)
+	b = wire.AppendInt(b, m.Features)
+	return wire.AppendInt(b, m.Rows)
+}
+
+func (m *MsgReady) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Party = d.Int()
+	m.Features = d.Int()
+	m.Rows = d.Int()
+	return d.Finish()
+}
+
+// --- MsgGradBatch ------------------------------------------------------
+
+func (MsgGradBatch) WireID() uint16 { return idGradBatch }
+
+func (m MsgGradBatch) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Start)
+	b = wire.AppendByteSlices(b, m.G)
+	b = wire.AppendByteSlices(b, m.H)
+	b = wire.AppendInt16s(b, m.GExp)
+	b = wire.AppendInt16s(b, m.HExp)
+	return wire.AppendBool(b, m.Last)
+}
+
+func (m *MsgGradBatch) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Start = d.Int()
+	m.G = d.ByteSlices()
+	m.H = d.ByteSlices()
+	m.GExp = d.Int16s()
+	m.HExp = d.Int16s()
+	m.Last = d.Bool()
+	return d.Finish()
+}
+
+// --- MsgHistograms -----------------------------------------------------
+
+func (MsgHistograms) WireID() uint16 { return idHistograms }
+
+func (m MsgHistograms) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Layer)
+	b = wire.AppendUvarint(b, uint64(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		b = wire.AppendInt32(b, n.Node)
+		b = wire.AppendUvarint(b, uint64(len(n.Feats)))
+		for _, f := range n.Feats {
+			b = wire.AppendInt(b, f.NumBins)
+			b = wire.AppendByteSlices(b, f.GBins)
+			b = wire.AppendByteSlices(b, f.HBins)
+			b = wire.AppendInt16s(b, f.GExp)
+			b = wire.AppendInt16s(b, f.HExp)
+			b = wire.AppendBool(b, f.Packed)
+			b = wire.AppendByteSlices(b, f.PackedG)
+			b = wire.AppendByteSlices(b, f.PackedH)
+			b = wire.AppendInt16(b, f.Exp)
+		}
+	}
+	return b
+}
+
+func (m *MsgHistograms) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Layer = d.Int()
+	m.Nodes = decodeSeq(d, func(d *wire.Dec) NodeHist {
+		n := NodeHist{Node: d.Int32()}
+		n.Feats = decodeSeq(d, func(d *wire.Dec) FeatHist {
+			return FeatHist{
+				NumBins: d.Int(),
+				GBins:   d.ByteSlices(),
+				HBins:   d.ByteSlices(),
+				GExp:    d.Int16s(),
+				HExp:    d.Int16s(),
+				Packed:  d.Bool(),
+				PackedG: d.ByteSlices(),
+				PackedH: d.ByteSlices(),
+				Exp:     d.Int16(),
+			}
+		})
+		return n
+	})
+	return d.Finish()
+}
+
+// decodeSeq reads a count-prefixed sequence of composite elements, with
+// the count bounded by the remaining frame bytes (each element costs at
+// least one byte). Zero count decodes as nil.
+func decodeSeq[E any](d *wire.Dec, elem func(*wire.Dec) E) []E {
+	count := d.Uvarint()
+	if d.Err() != nil || count == 0 {
+		return nil
+	}
+	if count > uint64(d.Remaining()) {
+		d.Fail("sequence of %d elements, only %d bytes remain", count, d.Remaining())
+		return nil
+	}
+	out := make([]E, count)
+	for i := range out {
+		out[i] = elem(d)
+		if d.Err() != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// --- MsgDecisions ------------------------------------------------------
+
+func (MsgDecisions) WireID() uint16 { return idDecisions }
+
+func (m MsgDecisions) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Layer)
+	b = wire.AppendBool(b, m.Tentative)
+	b = wire.AppendUvarint(b, uint64(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		b = wire.AppendInt32(b, n.Node)
+		b = wire.AppendByte(b, n.Action)
+		b = wire.AppendInt32(b, n.LeftID)
+		b = wire.AppendInt32(b, n.RightID)
+		b = wire.AppendBytes(b, n.Placement)
+		b = wire.AppendInt(b, n.Count)
+		b = wire.AppendInt(b, n.Owner)
+		b = wire.AppendInt32(b, n.Feature)
+		b = wire.AppendInt32(b, n.Bin)
+		b = wire.AppendInt32(b, n.AbortLeft)
+		b = wire.AppendInt32(b, n.AbortRight)
+	}
+	return b
+}
+
+func (m *MsgDecisions) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Layer = d.Int()
+	m.Tentative = d.Bool()
+	m.Nodes = decodeSeq(d, func(d *wire.Dec) NodeDecision {
+		return NodeDecision{
+			Node:       d.Int32(),
+			Action:     d.Byte(),
+			LeftID:     d.Int32(),
+			RightID:    d.Int32(),
+			Placement:  d.Bytes(),
+			Count:      d.Int(),
+			Owner:      d.Int(),
+			Feature:    d.Int32(),
+			Bin:        d.Int32(),
+			AbortLeft:  d.Int32(),
+			AbortRight: d.Int32(),
+		}
+	})
+	return d.Finish()
+}
+
+// --- MsgDirty ----------------------------------------------------------
+
+func (MsgDirty) WireID() uint16 { return idDirty }
+
+func (m MsgDirty) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Layer)
+	b = wire.AppendInt32(b, m.Node)
+	b = wire.AppendInt32(b, m.OldLeft)
+	b = wire.AppendInt32(b, m.OldRight)
+	b = wire.AppendInt32(b, m.LeftID)
+	b = wire.AppendInt32(b, m.RightID)
+	b = wire.AppendInt32(b, m.Feature)
+	return wire.AppendInt32(b, m.Bin)
+}
+
+func (m *MsgDirty) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Layer = d.Int()
+	m.Node = d.Int32()
+	m.OldLeft = d.Int32()
+	m.OldRight = d.Int32()
+	m.LeftID = d.Int32()
+	m.RightID = d.Int32()
+	m.Feature = d.Int32()
+	m.Bin = d.Int32()
+	return d.Finish()
+}
+
+// --- MsgPlacement ------------------------------------------------------
+
+func (MsgPlacement) WireID() uint16 { return idPlacement }
+
+func (m MsgPlacement) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Layer)
+	b = wire.AppendInt32(b, m.Node)
+	b = wire.AppendBytes(b, m.Bits)
+	return wire.AppendInt(b, m.Count)
+}
+
+func (m *MsgPlacement) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Layer = d.Int()
+	m.Node = d.Int32()
+	m.Bits = d.Bytes()
+	m.Count = d.Int()
+	return d.Finish()
+}
+
+// --- MsgTreeDone / MsgShutdown ----------------------------------------
+
+func (MsgTreeDone) WireID() uint16 { return idTreeDone }
+
+func (m MsgTreeDone) AppendTo(b []byte) []byte { return wire.AppendInt(b, m.Tree) }
+
+func (m *MsgTreeDone) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	return d.Finish()
+}
+
+func (MsgShutdown) WireID() uint16 { return idShutdown }
+
+func (m MsgShutdown) AppendTo(b []byte) []byte { return b }
+
+func (m *MsgShutdown) DecodeFrom(body []byte) error {
+	return wire.NewDec(body).Finish()
+}
+
+// --- MsgPredictStart / MsgPredictPlacements ---------------------------
+
+func (MsgPredictStart) WireID() uint16 { return idPredictStart }
+
+func (m MsgPredictStart) AppendTo(b []byte) []byte { return wire.AppendInt(b, m.Rows) }
+
+func (m *MsgPredictStart) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Rows = d.Int()
+	return d.Finish()
+}
+
+func (MsgPredictPlacements) WireID() uint16 { return idPredictPlacements }
+
+func appendNodeBits(b []byte, nodes []PredictNodeBits) []byte {
+	b = wire.AppendUvarint(b, uint64(len(nodes)))
+	for _, n := range nodes {
+		b = wire.AppendInt(b, n.Tree)
+		b = wire.AppendInt32(b, n.Node)
+		b = wire.AppendBytes(b, n.Bits)
+	}
+	return b
+}
+
+func decodeNodeBits(d *wire.Dec) []PredictNodeBits {
+	return decodeSeq(d, func(d *wire.Dec) PredictNodeBits {
+		return PredictNodeBits{Tree: d.Int(), Node: d.Int32(), Bits: d.Bytes()}
+	})
+}
+
+func (m MsgPredictPlacements) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Party)
+	b = appendNodeBits(b, m.Nodes)
+	b = wire.AppendBool(b, m.Last)
+	return wire.AppendString(b, m.Error)
+}
+
+func (m *MsgPredictPlacements) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Party = d.Int()
+	m.Nodes = decodeNodeBits(d)
+	m.Last = d.Bool()
+	m.Error = d.String()
+	return d.Finish()
+}
+
+// --- Score session family ---------------------------------------------
+
+func (MsgScoreOpen) WireID() uint16 { return idScoreOpen }
+
+func (m MsgScoreOpen) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Proto)
+	return wire.AppendString(b, m.Session)
+}
+
+func (m *MsgScoreOpen) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Proto = d.Int()
+	m.Session = d.String()
+	return d.Finish()
+}
+
+func (MsgScoreOpenAck) WireID() uint16 { return idScoreOpenAck }
+
+func (m MsgScoreOpenAck) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Proto)
+	b = wire.AppendInt(b, m.Party)
+	b = wire.AppendInt(b, m.Rows)
+	b = wire.AppendUint64s(b, m.Versions)
+	return wire.AppendString(b, m.Error)
+}
+
+func (m *MsgScoreOpenAck) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Proto = d.Int()
+	m.Party = d.Int()
+	m.Rows = d.Int()
+	m.Versions = d.Uint64s()
+	m.Error = d.String()
+	return d.Finish()
+}
+
+func (MsgScoreRequest) WireID() uint16 { return idScoreRequest }
+
+func (m MsgScoreRequest) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Round)
+	b = wire.AppendUvarint(b, m.Version)
+	return wire.AppendInt32s(b, m.Rows)
+}
+
+func (m *MsgScoreRequest) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Round = d.Uvarint()
+	m.Version = d.Uvarint()
+	m.Rows = d.Int32s()
+	return d.Finish()
+}
+
+func (MsgScoreResponse) WireID() uint16 { return idScoreResponse }
+
+func (m MsgScoreResponse) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Round)
+	b = wire.AppendUvarint(b, m.Version)
+	b = wire.AppendInt(b, m.Party)
+	b = appendNodeBits(b, m.Nodes)
+	return wire.AppendString(b, m.Error)
+}
+
+func (m *MsgScoreResponse) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Round = d.Uvarint()
+	m.Version = d.Uvarint()
+	m.Party = d.Int()
+	m.Nodes = decodeNodeBits(d)
+	m.Error = d.String()
+	return d.Finish()
+}
+
+func (MsgScoreClose) WireID() uint16 { return idScoreClose }
+
+func (m MsgScoreClose) AppendTo(b []byte) []byte { return wire.AppendString(b, m.Reason) }
+
+func (m *MsgScoreClose) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Reason = d.String()
+	return d.Finish()
+}
+
+func (MsgScoreCloseAck) WireID() uint16 { return idScoreCloseAck }
+
+func (m MsgScoreCloseAck) AppendTo(b []byte) []byte { return b }
+
+func (m *MsgScoreCloseAck) DecodeFrom(body []byte) error {
+	return wire.NewDec(body).Finish()
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"vf2boost/internal/wire"
+)
+
+// benchCiphertext fabricates a deterministic mock-scheme ciphertext
+// (256-bit mock keys marshal to 32 bytes; see he.Mock).
+func benchCiphertext(n int, seed byte) []byte {
+	c := make([]byte, n)
+	for i := range c {
+		c[i] = seed + byte(i)
+	}
+	return c
+}
+
+// benchHistUnpacked models one layer's histogram upload at the repo's
+// working scale (a 3-feature passive party, MaxBins=8, the root layer):
+// 32-byte mock ciphertexts with per-bin exponents. At this message size
+// gob's per-send type descriptor is a material fraction of the frame,
+// which is exactly the overhead the binary codec retires.
+func benchHistUnpacked() MsgHistograms {
+	nodes := make([]NodeHist, 1)
+	for n := range nodes {
+		feats := make([]FeatHist, 3)
+		for f := range feats {
+			g := make([][]byte, 8)
+			h := make([][]byte, 8)
+			ge := make([]int16, 8)
+			he := make([]int16, 8)
+			for b := range g {
+				g[b] = benchCiphertext(32, byte(n*64+f*8+b))
+				h[b] = benchCiphertext(32, byte(n*64+f*8+b+1))
+				ge[b] = -8
+				he[b] = -8
+			}
+			feats[f] = FeatHist{NumBins: 8, GBins: g, HBins: h, GExp: ge, HExp: he}
+		}
+		nodes[n] = NodeHist{Node: int32(n + 1), Feats: feats}
+	}
+	return MsgHistograms{Tree: 1, Layer: 2, Nodes: nodes}
+}
+
+// benchHistPacked is the same layer under ciphertext packing: each
+// feature's bins ride in two 64-byte packed ciphertexts per statistic.
+func benchHistPacked() MsgHistograms {
+	nodes := make([]NodeHist, 1)
+	for n := range nodes {
+		feats := make([]FeatHist, 3)
+		for f := range feats {
+			feats[f] = FeatHist{
+				NumBins: 8,
+				Packed:  true,
+				PackedG: [][]byte{benchCiphertext(64, byte(n*16+f)), benchCiphertext(64, byte(n*16+f+1))},
+				PackedH: [][]byte{benchCiphertext(64, byte(n*16+f+2)), benchCiphertext(64, byte(n*16+f+3))},
+				Exp:     -12,
+			}
+		}
+		nodes[n] = NodeHist{Node: int32(n + 1), Feats: feats}
+	}
+	return MsgHistograms{Tree: 1, Layer: 2, Nodes: nodes}
+}
+
+// benchGradBatch models one encrypted gradient batch: 100 rows of
+// 32-byte ciphertext pairs plus exponents.
+func benchGradBatch() MsgGradBatch {
+	g := make([][]byte, 100)
+	h := make([][]byte, 100)
+	ge := make([]int16, 100)
+	he := make([]int16, 100)
+	for i := range g {
+		g[i] = benchCiphertext(32, byte(i))
+		h[i] = benchCiphertext(32, byte(i+3))
+		ge[i] = -8
+		he[i] = -8
+	}
+	return MsgGradBatch{Tree: 2, Start: 1000, G: g, H: h, GExp: ge, HExp: he, Last: true}
+}
+
+// BenchmarkLinkCodec measures encode+decode round trips for the traffic
+// classes that dominate a training run, under both codecs. The
+// "bytes/msg" metric is the serialized frame size on the wire.
+func BenchmarkLinkCodec(b *testing.B) {
+	msgs := []struct {
+		name string
+		m    any
+	}{
+		{"MsgHistograms-unpacked", benchHistUnpacked()},
+		{"MsgHistograms-packed", benchHistPacked()},
+		{"MsgGradBatch", benchGradBatch()},
+	}
+	codecs := []wire.Codec{wire.Binary, wire.Gob}
+	for _, tc := range msgs {
+		for _, c := range codecs {
+			b.Run(tc.name+"/"+c.Name(), func(b *testing.B) {
+				payload, err := c.Encode(tc.m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size := len(payload)
+				if c == wire.Binary {
+					wire.PutBuf(payload)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := c.Encode(tc.m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.Decode(p); err != nil {
+						b.Fatal(err)
+					}
+					if c == wire.Binary {
+						wire.PutBuf(p)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(size), "bytes/msg")
+			})
+		}
+	}
+}

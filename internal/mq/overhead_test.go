@@ -1,0 +1,64 @@
+package mq
+
+import "testing"
+
+// TestShaperPerMessageOverhead pins the framing-aware accounting: with
+// SetPerMessageOverhead the shaper charges every transmission the
+// gateway's frame header on top of the payload, and without it the
+// legacy payload-only accounting is unchanged.
+func TestShaperPerMessageOverhead(t *testing.T) {
+	s := NewShaper(0, 0)
+	s.Transmit(100)
+	if got := s.Bytes(); got != 100 {
+		t.Fatalf("payload-only accounting: got %d bytes, want 100", got)
+	}
+
+	s.Reset()
+	s.SetPerMessageOverhead(FrameOverhead)
+	s.Transmit(100)
+	s.Transmit(0) // even an empty payload pays for its frame header
+	if got, want := s.Bytes(), int64(100+2*FrameOverhead); got != want {
+		t.Fatalf("framed accounting: got %d bytes, want %d", got, want)
+	}
+
+	s.Reset()
+	s.SetPerMessageOverhead(0)
+	s.Transmit(50)
+	if got := s.Bytes(); got != 50 {
+		t.Fatalf("overhead should be switchable back off: got %d bytes, want 50", got)
+	}
+}
+
+// TestShapedBrokerChargesFrameOverhead runs real traffic through a
+// shaped broker and checks the byte counter includes per-message framing
+// — what the WAN sessions (core.WithWAN) rely on for honest transfer
+// totals.
+func TestShapedBrokerChargesFrameOverhead(t *testing.T) {
+	sh := NewShaper(0, 0)
+	sh.SetPerMessageOverhead(FrameOverhead)
+	b := NewBroker(WithShaper(sh))
+	defer b.Close()
+
+	p, err := b.Producer("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Consumer("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{make([]byte, 400), make([]byte, 25), {}}
+	var want int64
+	for _, pl := range payloads {
+		if err := p.Send(pl); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(len(pl) + FrameOverhead)
+		if _, err := c.Receive(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sh.Bytes(); got != want {
+		t.Fatalf("shaped broker accounted %d bytes, want %d", got, want)
+	}
+}

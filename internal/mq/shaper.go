@@ -23,6 +23,8 @@ type Shaper struct {
 	mu       sync.Mutex
 	nextFree time.Time
 
+	overhead atomic.Int64 // per-message framing bytes added to every Transmit
+
 	bytes atomic.Int64
 	waits atomic.Int64 // cumulative nanoseconds spent blocked
 }
@@ -36,9 +38,17 @@ func NewShaper(bandwidthMbps float64, latency time.Duration) *Shaper {
 	return &Shaper{bandwidth: bps, latency: latency}
 }
 
-// Transmit blocks the caller for the transmission slot of n bytes and the
-// propagation latency, then returns. It also accounts the bytes.
+// SetPerMessageOverhead makes every Transmit account (and occupy the link
+// for) n extra bytes of framing — the gateway's frame header, so WAN
+// simulation reflects true wire size rather than bare payload size. Zero
+// (the default) keeps payload-only accounting. Set before traffic flows.
+func (s *Shaper) SetPerMessageOverhead(n int) { s.overhead.Store(int64(n)) }
+
+// Transmit blocks the caller for the transmission slot of n bytes (plus
+// the configured per-message framing overhead) and the propagation
+// latency, then returns. It also accounts the bytes.
 func (s *Shaper) Transmit(n int) {
+	n += int(s.overhead.Load())
 	s.bytes.Add(int64(n))
 	if s.bandwidth <= 0 && s.latency <= 0 {
 		return

@@ -9,6 +9,8 @@ import (
 	"net"
 	"strings"
 	"sync"
+
+	"vf2boost/internal/wire"
 )
 
 // The TCP gateway lets parties in separate processes attach to a broker
@@ -29,6 +31,12 @@ type handshake struct {
 
 // maxFrame bounds a single payload (64 MiB) to fail fast on corruption.
 const maxFrame = 64 << 20
+
+// FrameOverhead is the gateway's per-message framing cost in bytes (the
+// 8-byte ID plus 4-byte length header). WAN shapers account it via
+// Shaper.SetPerMessageOverhead so simulated transfer reflects what the
+// TCP deployment actually puts on the wire.
+const FrameOverhead = 12
 
 // Gateway serves broker access over TCP.
 type Gateway struct {
@@ -144,6 +152,9 @@ func (g *Gateway) handle(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			// The frame is on the socket and the queue handed us the only
+			// reference; recycle it for the next readFrame.
+			wire.PutBuf(payload)
 		}
 	default:
 		fmt.Fprintf(conn, "err unknown role %q\n", hs.Role)
@@ -178,7 +189,10 @@ func readFrame(r io.Reader) (uint64, []byte, error) {
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("mq: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	// Pooled: the consuming link recycles the buffer after decoding (a
+	// gateway producer role hands it to the broker queue, whose consumer
+	// does the same).
+	payload := wire.GetBufN(int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/wire"
+)
+
+// tapTransport records the frame tag of everything sent through it.
+type tapTransport struct {
+	core.Transport
+	mu   sync.Mutex
+	tags []byte
+}
+
+func (t *tapTransport) Send(b []byte) error {
+	t.mu.Lock()
+	if len(b) > 0 {
+		t.tags = append(t.tags, b[0])
+	}
+	t.mu.Unlock()
+	return t.Transport.Send(b)
+}
+
+// TestScoringSessionGobCodec runs a scoring session on the negotiated
+// gob fallback: the server pins gob via ServerConfig.Codec, the worker
+// (which has no codec setting) adopts it from the first frame, and every
+// frame on the wire in both directions is gob-tagged. Margins must match
+// the model exactly.
+func TestScoringSessionGobCodec(t *testing.T) {
+	parts := twoParts(t, 60, 97)
+	m := trainModel(t, parts, 2)
+	want := predictAll(t, m, parts)
+
+	serverTr, workerTr := pipePair()
+	sTap := &tapTransport{Transport: serverTr}
+	wTap := &tapTransport{Transport: workerTr}
+
+	wreg := NewRegistry()
+	if err := wreg.Publish(Model{Version: 1, Fragment: m.Parties[0]}); err != nil {
+		t.Fatal(err)
+	}
+	worker := NewPassiveWorker(0, parts[0], wreg)
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- worker.Run(wTap) }()
+
+	sreg := NewRegistry()
+	if err := sreg.Publish(bModel(1, m)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Data:     parts[1],
+		Registry: sreg,
+		Workers:  []core.Transport{sTap},
+		Session:  "gob-fallback",
+		Codec:    "gob",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Open(); err != nil {
+		t.Fatal(err)
+	}
+	rows := []int32{0, 7, 31, 59}
+	margins, version, err := srv.ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("scored on version %d, want 1", version)
+	}
+	for i, r := range rows {
+		if math.Abs(margins[i]-want[r]) > 1e-9 {
+			t.Errorf("row %d margin %g, want %g", r, margins[i], want[r])
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tap := range []*tapTransport{sTap, wTap} {
+		tap.mu.Lock()
+		tags := tap.tags
+		tap.mu.Unlock()
+		if len(tags) == 0 {
+			t.Fatal("no frames recorded")
+		}
+		for i, tag := range tags {
+			if tag != wire.TagGob {
+				t.Fatalf("frame %d has tag 0x%02x, want gob", i, tag)
+			}
+		}
+	}
+
+	// The rejection path: an unknown codec name must fail NewServer.
+	if _, err := NewServer(ServerConfig{
+		Data: parts[1], Registry: sreg,
+		Workers: []core.Transport{serverTr}, Codec: "xml",
+	}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

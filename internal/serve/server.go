@@ -14,6 +14,7 @@ import (
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/mq"
 	"vf2boost/internal/trace"
+	"vf2boost/internal/wire"
 )
 
 // ServerConfig wires a Party B scoring server.
@@ -29,6 +30,10 @@ type ServerConfig struct {
 	Batch BatcherConfig
 	// Session is an opaque session label sent in the open handshake.
 	Session string
+	// Codec selects the wire encoding for the scoring session: "binary"
+	// (default) or "gob". The server initiates, so workers adopt whatever
+	// it speaks — no worker-side setting exists.
+	Codec string
 	// Broker, when the broker is co-resident (in-process deployments),
 	// lets /metricsz surface per-topic queue depths. Optional.
 	Broker *mq.Broker
@@ -66,9 +71,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, fmt.Errorf("serve: server needs at least one passive worker transport")
 	}
+	codec, err := wire.ByName(cfg.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{cfg: cfg, met: NewMetrics()}
 	for _, tr := range cfg.Workers {
-		s.links = append(s.links, core.NewLink(tr))
+		s.links = append(s.links, core.NewLinkCodec(tr, codec))
 	}
 	s.batcher = NewBatcher(cfg.Batch, s.ScoreRows)
 	return s, nil

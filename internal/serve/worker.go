@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"log"
 	"sync/atomic"
 
 	"vf2boost/internal/core"
@@ -26,9 +27,21 @@ type PassiveWorker struct {
 	// Trace, when set, records one span per scoring round on lane
 	// "A<i>:Score".
 	Trace *trace.Recorder
+	// Logger, when set, receives session diagnostics (e.g. a close ack
+	// the peer never saw); nil falls back to the standard logger.
+	Logger *log.Logger
 
 	rounds atomic.Int64
 	errors atomic.Int64
+}
+
+// logf routes a diagnostic to the worker's logger.
+func (w *PassiveWorker) logf(format string, args ...any) {
+	if w.Logger != nil {
+		w.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // NewPassiveWorker wires a sidecar for one passive party.
@@ -75,7 +88,12 @@ func (w *PassiveWorker) Run(tr core.Transport) error {
 				return err
 			}
 		case core.MsgScoreClose:
-			_ = l.Send(core.MsgScoreCloseAck{})
+			if err := l.Send(core.MsgScoreCloseAck{}); err != nil {
+				// The session is over either way, but a lost ack leaves
+				// the peer seeing a half-closed session — make that
+				// diagnosable instead of silent.
+				w.logf("serve: worker %d: close ack not delivered: %v", w.Party, err)
+			}
 			return nil
 		default:
 			return fmt.Errorf("serve: worker got unexpected %T", msg)

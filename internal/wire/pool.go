@@ -1,0 +1,49 @@
+package wire
+
+import "sync"
+
+// Pooled frame buffers. Ciphertext-heavy messages (gradient batches,
+// histograms) encode into multi-kilobyte frames at a high rate; recycling
+// the buffers keeps the encoder allocation-free in steady state.
+//
+// Ownership contract: the sender encodes into a GetBuf buffer and hands it
+// to the transport; the buffer then belongs to the delivery path. The
+// receiving link returns it via PutBuf after decoding — which is safe only
+// because Dec copies every slice it hands out, never aliasing the frame.
+
+// maxPooledCap bounds what the pool retains, so one outsized frame (a
+// whole-dataset gradient batch) does not pin its buffer forever.
+const maxPooledCap = 4 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetBuf returns an empty buffer with pooled capacity.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// GetBufN returns a buffer of length n (contents unspecified).
+func GetBufN(n int) []byte {
+	b := *bufPool.Get().(*[]byte)
+	if cap(b) < n {
+		// Round up so one hot message size reuses cleanly.
+		b = make([]byte, n)
+		return b
+	}
+	return b[:n]
+}
+
+// PutBuf recycles a buffer obtained from GetBuf/GetBufN. Buffers that grew
+// beyond maxPooledCap are dropped for the GC. Safe to call with nil.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

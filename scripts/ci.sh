@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
-# CI gate: vet, build everything, and race-test the packages on the online
-# serving path (mq transport, serve subsystem, core protocol). The full
-# suite (go test ./...) is tier-1 and runs separately; this script is the
+# CI gate: gofmt cleanliness, vet, build everything, race-test the
+# packages on the online serving path (mq transport, serve subsystem,
+# core protocol), and fuzz-smoke the wire decoder. The full suite
+# (go test ./...) is tier-1 and runs separately; this script is the
 # fast signal a serving-layer change needs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -14,5 +23,8 @@ go build ./...
 
 echo "== go test -race (mq, serve, core) =="
 go test -race ./internal/mq/... ./internal/serve/... ./internal/core/...
+
+echo "== fuzz smoke (wire decode) =="
+go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
 
 echo "== ci ok =="
