@@ -27,12 +27,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/core"
 	"vf2boost/internal/dataset"
+	"vf2boost/internal/fault"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/metrics"
 	"vf2boost/internal/mq"
@@ -166,10 +169,16 @@ func cmdSim(args []string) {
 	split := fs.String("split", "", "per-party feature counts, e.g. 30,20 (last party keeps labels)")
 	out := fs.String("out", "fedmodel.json", "model output path")
 	wan := fs.Float64("wan", 0, "simulated WAN bandwidth in Mbps (0 = unshaped)")
+	chaos := fs.String("chaos", "", "seeded fault injection spec, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.02,delay=0.1,delayfor=2ms,cut=500")
+	ckptDir := fs.String("checkpoint-dir", "", "snapshot every party's training state here after each tree")
+	resume := fs.Bool("resume", false, "resume from the newest checkpoint under -checkpoint-dir")
 	cfgFn := trainFlags(fs)
 	fs.Parse(args)
 	if *data == "" || *split == "" {
 		log.Fatal("sim: -data and -split are required")
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("sim: -resume requires -checkpoint-dir")
 	}
 	d := loadData(*data)
 	parts, err := d.VerticalSplit(parseSplit(*split), len(parseSplit(*split))-1)
@@ -180,6 +189,19 @@ func cmdSim(args []string) {
 	var opts []core.SessionOption
 	if *wan > 0 {
 		opts = append(opts, core.WithWAN(*wan, 0))
+	}
+	if *chaos != "" {
+		fc, err := fault.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatalf("sim: %v", err)
+		}
+		opts = append(opts, core.WithChaos(fc))
+	}
+	if *ckptDir != "" {
+		opts = append(opts, core.WithCheckpoints(*ckptDir))
+	}
+	if *resume {
+		opts = append(opts, core.WithResume())
 	}
 	sess, err := core.NewSession(parts, cfg, opts...)
 	if err != nil {
@@ -208,6 +230,11 @@ func cmdSim(args []string) {
 		st.SplitsByA(), st.SplitsByB(), st.DirtyNodes(),
 		float64(sess.Broker().BytesSent())/(1<<20))
 	fmt.Println(st)
+	if *chaos != "" {
+		for i, ls := range sess.LinkStats() {
+			fmt.Printf("  %s %d: %s\n", map[int]string{0: "B-side link", 1: "A-side link"}[i%2], i/2, ls)
+		}
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -257,7 +284,14 @@ type gatewayTransport struct {
 func (t gatewayTransport) Send(b []byte) error      { return t.prod.Send(b) }
 func (t gatewayTransport) Receive() ([]byte, error) { return t.cons.Receive() }
 
-func dialParty(gateway, secret, sendTopic, recvTopic string) core.Transport {
+// Close severs both gateway connections so the broker-side consumer
+// detaches — a lingering consumer would keep stealing queued frames.
+func (t gatewayTransport) Close() {
+	t.prod.Close()
+	t.cons.Close()
+}
+
+func dialPartyErr(gateway, secret, sendTopic, recvTopic string) (core.Transport, error) {
 	tok := func(topic string) string {
 		if secret == "" {
 			return ""
@@ -266,13 +300,21 @@ func dialParty(gateway, secret, sendTopic, recvTopic string) core.Transport {
 	}
 	prod, err := mq.DialProducer(gateway, sendTopic, tok(sendTopic))
 	if err != nil {
-		log.Fatalf("dialing gateway producer: %v", err)
+		return nil, fmt.Errorf("dialing gateway producer: %w", err)
 	}
 	cons, err := mq.DialConsumer(gateway, recvTopic, tok(recvTopic))
 	if err != nil {
-		log.Fatalf("dialing gateway consumer: %v", err)
+		return nil, fmt.Errorf("dialing gateway consumer: %w", err)
 	}
-	return gatewayTransport{prod: prod, cons: cons}
+	return gatewayTransport{prod: prod, cons: cons}, nil
+}
+
+func dialParty(gateway, secret, sendTopic, recvTopic string) core.Transport {
+	tr, err := dialPartyErr(gateway, secret, sendTopic, recvTopic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
 }
 
 func cmdParty(args []string) {
@@ -284,21 +326,66 @@ func cmdParty(args []string) {
 	secret := fs.String("secret", "", "shared token secret")
 	data := fs.String("data", "", "this party's LibSVM shard")
 	out := fs.String("out", "", "model fragment output path (optional)")
+	resilient := fs.Bool("resilient", false, "wrap the gateway link in the retry/heartbeat layer (survives drops and reconnects)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "idle-link keepalive interval (with -resilient)")
+	peerTimeout := fs.Duration("peer-timeout", 30*time.Second, "declare the peer dead after this silence (with -resilient)")
+	ckptDir := fs.String("checkpoint-dir", "", "snapshot this party's training state here after each tree")
+	resume := fs.Bool("resume", false, "resume from the newest checkpoint under -checkpoint-dir")
 	cfgFn := trainFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
 		log.Fatal("party: -data is required")
 	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("party: -resume requires -checkpoint-dir")
+	}
 	d := loadData(*data)
 	cfg := cfgFn()
+
+	rcfg := core.DefaultResilientConfig()
+	rcfg.Heartbeat = *heartbeat
+	rcfg.PeerTimeout = *peerTimeout
+	// Both ends of a link must speak the same framing: enable -resilient
+	// on every party or on none.
+	wrap := func(send, recv string) core.Transport {
+		dial := func() (core.Transport, error) {
+			return dialPartyErr(*gateway, *secret, send, recv)
+		}
+		if !*resilient {
+			tr, err := dial()
+			if err != nil {
+				log.Fatal(err)
+			}
+			return tr
+		}
+		tr, err := core.NewResilientTransport(nil, dial, rcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr
+	}
+	runOpts := func(sub string) []core.RunOption {
+		if *ckptDir == "" {
+			return nil
+		}
+		st, err := checkpoint.Open(filepath.Join(*ckptDir, sub))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := []core.RunOption{core.RunWithCheckpoints(st)}
+		if *resume {
+			opts = append(opts, core.RunWithResume())
+		}
+		return opts
+	}
 
 	switch *role {
 	case "a":
 		// Passive shards must not carry labels.
 		d.Labels = nil
-		tr := dialParty(*gateway, *secret,
-			fmt.Sprintf("a%d2b", *index), fmt.Sprintf("b2a%d", *index))
-		pm, err := core.RunPassiveParty(*index, d, cfg, tr)
+		tr := wrap(fmt.Sprintf("a%d2b", *index), fmt.Sprintf("b2a%d", *index))
+		pm, err := core.RunPassiveParty(*index, d, cfg, tr,
+			runOpts(fmt.Sprintf("passive%d", *index))...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -308,11 +395,10 @@ func cmdParty(args []string) {
 	case "b":
 		trs := make([]core.Transport, *peers)
 		for i := 0; i < *peers; i++ {
-			trs[i] = dialParty(*gateway, *secret,
-				fmt.Sprintf("b2a%d", i), fmt.Sprintf("a%d2b", i))
+			trs[i] = wrap(fmt.Sprintf("b2a%d", i), fmt.Sprintf("a%d2b", i))
 		}
 		start := time.Now()
-		pm, st, err := core.RunActiveParty(d, cfg, trs)
+		pm, st, err := core.RunActiveParty(d, cfg, trs, runOpts("active")...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -413,6 +499,7 @@ func cmdSidecar(args []string) {
 	secret := fs.String("secret", "", "shared token secret")
 	data := fs.String("data", "", "this party's LibSVM shard of the scoring universe")
 	models := fs.String("models", "", "comma-separated fragment files, published as versions 1..N")
+	redial := fs.Bool("redial", false, "re-dial and serve the next session when a session ends (survives Party B restarts)")
 	fs.Parse(args)
 	if *data == "" || *models == "" {
 		log.Fatal("sidecar: -data and -models are required")
@@ -421,10 +508,16 @@ func cmdSidecar(args []string) {
 	d.Labels = nil
 	reg := buildServeRegistry(*models, 0, 0)
 	w := serve.NewPassiveWorker(*index, d, reg)
-	tr := dialParty(*gateway, *secret,
-		fmt.Sprintf("sa%d2b", *index), fmt.Sprintf("sb2a%d", *index))
+	send, recv := fmt.Sprintf("sa%d2b", *index), fmt.Sprintf("sb2a%d", *index)
 	fmt.Printf("sidecar %d up: %d rows, model versions %v\n", *index, d.Rows(), reg.Versions())
-	if err := w.Run(tr); err != nil {
+	if *redial {
+		err := w.RunLoop(func() (core.Transport, error) {
+			return dialPartyErr(*gateway, *secret, send, recv)
+		}, 0, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if err := w.Run(dialParty(*gateway, *secret, send, recv)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sidecar %d: session closed after %d rounds (%d round errors)\n",

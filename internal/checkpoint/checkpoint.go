@@ -1,0 +1,169 @@
+// Package checkpoint is an atomic, CRC-guarded on-disk snapshot store.
+// Training writes one snapshot per completed boosting round; resume loads
+// the newest snapshot that passes integrity checks, silently skipping
+// truncated or corrupted files (a crash mid-write must never poison
+// recovery). Snapshots are JSON bodies framed as
+//
+//	8-byte magic "VF2CKPT1" | uint32 CRC-32 (IEEE, of the body) |
+//	uint64 body length | body
+//
+// and each Save goes through a temp file + rename, so a reader never
+// observes a partially-written snapshot under POSIX rename atomicity.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	magic      = "VF2CKPT1"
+	headerSize = len(magic) + 4 + 8
+	prefix     = "ckpt-"
+	suffix     = ".vfck"
+)
+
+// Store manages the snapshots of one party in one directory. Snapshot
+// sequence numbers are positive and monotone (training uses the number of
+// completed trees); Save overwrites an existing sequence atomically.
+type Store struct {
+	dir  string
+	keep int // retain at most this many newest snapshots; 0 = all
+}
+
+// Open creates the directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetKeep bounds retention to the n newest snapshots (0 keeps all).
+// Resume may need to step back past the newest snapshot (the active party
+// rewinds to the slowest passive party's round), so keep a few.
+func (s *Store) SetKeep(n int) { s.keep = n }
+
+func (s *Store) path(seq int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", prefix, seq, suffix))
+}
+
+// Save atomically writes snapshot seq with v's JSON encoding as the body.
+func (s *Store) Save(seq int, v any) error {
+	if seq <= 0 {
+		return fmt.Errorf("checkpoint: sequence %d must be positive", seq)
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding snapshot %d: %w", seq, err)
+	}
+	buf := make([]byte, 0, headerSize+len(body))
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(body)))
+	buf = append(buf, body...)
+
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+prefix+"*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: writing snapshot %d: %w", seq, err)
+	}
+	if err := os.Rename(tmpName, s.path(seq)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: publishing snapshot %d: %w", seq, err)
+	}
+	s.prune()
+	return nil
+}
+
+// prune removes the oldest snapshots beyond the retention bound.
+func (s *Store) prune() {
+	if s.keep <= 0 {
+		return
+	}
+	seqs := s.Seqs()
+	for len(seqs) > s.keep {
+		os.Remove(s.path(seqs[0]))
+		seqs = seqs[1:]
+	}
+}
+
+// Seqs lists the stored snapshot sequence numbers in ascending order
+// (whatever files exist — integrity is checked at load time).
+func (s *Store) Seqs() []int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix))
+		if err != nil || seq <= 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	return seqs
+}
+
+// Load reads snapshot seq into v, verifying magic, length, and CRC.
+func (s *Store) Load(seq int, v any) error {
+	raw, err := os.ReadFile(s.path(seq))
+	if err != nil {
+		return fmt.Errorf("checkpoint: reading snapshot %d: %w", seq, err)
+	}
+	if len(raw) < headerSize || string(raw[:len(magic)]) != magic {
+		return fmt.Errorf("checkpoint: snapshot %d has a bad header", seq)
+	}
+	sum := binary.BigEndian.Uint32(raw[len(magic):])
+	n := binary.BigEndian.Uint64(raw[len(magic)+4:])
+	body := raw[headerSize:]
+	if n != uint64(len(body)) {
+		return fmt.Errorf("checkpoint: snapshot %d declares %d body bytes, carries %d", seq, n, len(body))
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return fmt.Errorf("checkpoint: snapshot %d failed its CRC check", seq)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("checkpoint: decoding snapshot %d: %w", seq, err)
+	}
+	return nil
+}
+
+// LoadLatest loads the newest snapshot that passes integrity checks into
+// v and returns its sequence number. It returns (0, nil) when no valid
+// snapshot exists — corrupted files are skipped, not fatal.
+func (s *Store) LoadLatest(v any) (int, error) {
+	seqs := s.Seqs()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if err := s.Load(seqs[i], v); err == nil {
+			return seqs[i], nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,158 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type snap struct {
+	Round  int       `json:"round"`
+	Values []float64 `json:"values"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snap{Round: 3, Values: []float64{1.5, -2.25, 0}}
+	if err := st.Save(3, want); err != nil {
+		t.Fatal(err)
+	}
+	var got snap
+	if err := st.Load(3, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Load = %+v, want %+v", got, want)
+	}
+	if seq, err := st.LoadLatest(&got); err != nil || seq != 3 {
+		t.Fatalf("LoadLatest = %d, %v", seq, err)
+	}
+}
+
+func TestLoadLatestSkipsCorruption(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 3; seq++ {
+		if err := st.Save(seq, snap{Round: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt snapshot 3 (flip a body byte) and truncate snapshot 2 as if
+	// the process died mid-write.
+	p3 := st.path(3)
+	raw, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(p3, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2 := st.path(2)
+	if err := os.Truncate(p2, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	var got snap
+	seq, err := st.LoadLatest(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || got.Round != 1 {
+		t.Fatalf("LoadLatest = %d (round %d), want the intact snapshot 1", seq, got.Round)
+	}
+	if err := st.Load(3, &got); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("Load(3) on corrupted file = %v, want CRC failure", err)
+	}
+}
+
+func TestLoadLatestEmpty(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got snap
+	if seq, err := st.LoadLatest(&got); err != nil || seq != 0 {
+		t.Fatalf("LoadLatest on empty store = %d, %v, want 0, nil", seq, err)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(1, snap{Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(1, snap{Round: 42}); err != nil {
+		t.Fatal(err)
+	}
+	var got snap
+	if err := st.Load(1, &got); err != nil || got.Round != 42 {
+		t.Fatalf("Load after overwrite = %+v, %v", got, err)
+	}
+	// No temp-file litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetKeep(2)
+	for seq := 1; seq <= 5; seq++ {
+		if err := st.Save(seq, snap{Round: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Seqs(); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Fatalf("Seqs after prune = %v, want [4 5]", got)
+	}
+}
+
+func TestSeqsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(7, snap{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", "ckpt-abc.vfck", prefix + "00000000" + suffix} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Seqs(); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("Seqs = %v, want [7]", got)
+	}
+}
+
+func TestSaveRejectsBadSeq(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(0, snap{}); err == nil {
+		t.Error("Save(0) accepted a non-positive sequence")
+	}
+}

@@ -34,6 +34,18 @@ type MsgReady struct {
 	Rows     int
 }
 
+// MsgResume follows MsgReady during session setup: it announces how many
+// completed boosting rounds the passive party restored from its local
+// checkpoint store (0 when starting fresh). Party B resumes from the
+// minimum round across its own checkpoint and every passive party's
+// announcement, so no party is ever asked to continue past state it
+// lacks; parties ahead of the chosen round discard and rebuild the
+// replayed trees deterministically.
+type MsgResume struct {
+	Party int
+	Trees int
+}
+
 // MsgGradBatch carries encrypted gradient/hessian pairs for a contiguous
 // instance range. With blaster encryption many small batches stream per
 // tree; without it a single batch carries everything.
@@ -165,6 +177,10 @@ func init() {
 	gob.Register(MsgPlacement{})
 	gob.Register(MsgTreeDone{})
 	gob.Register(MsgShutdown{})
+	gob.Register(MsgEnvelope{})
+	gob.Register(MsgAck{})
+	gob.Register(MsgHeartbeat{})
+	gob.Register(MsgResume{})
 }
 
 // Transport is the minimal producer/consumer pair the engine needs; both
@@ -270,6 +286,23 @@ type pairTransport struct {
 
 func (p pairTransport) Send(b []byte) error      { return p.send(b) }
 func (p pairTransport) Receive() ([]byte, error) { return p.recv() }
+
+// consumerEndpoint adapts a producer/consumer pair to Transport with a
+// Close that detaches the consumer — the resilient layer needs it to
+// unblock its receive loop on shutdown and redial.
+type consumerEndpoint struct {
+	send   func([]byte) error
+	recv   func() ([]byte, error)
+	detach func()
+}
+
+func (e consumerEndpoint) Send(b []byte) error      { return e.send(b) }
+func (e consumerEndpoint) Receive() ([]byte, error) { return e.recv() }
+func (e consumerEndpoint) Close() {
+	if e.detach != nil {
+		e.detach()
+	}
+}
 
 // packBitmap encodes booleans little-endian into bytes.
 func packBitmap(bits []bool) []byte {

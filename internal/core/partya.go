@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
@@ -61,6 +62,11 @@ type passiveParty struct {
 	sem     chan struct{} // bounds task parallelism
 
 	model *PartyModel
+
+	// ckpt, when set, snapshots the fragment after every completed tree.
+	// A restored fragment (resume) is installed before run starts; its
+	// length is announced to B via MsgResume at setup.
+	ckpt *checkpoint.Store
 
 	// rec, when set, records this party's Gantt lane.
 	rec *trace.Recorder
@@ -132,6 +138,11 @@ func (p *passiveParty) run() (*PartyModel, error) {
 			}
 		case MsgTreeDone:
 			p.taskWG.Wait()
+			if p.ckpt != nil {
+				if err := p.saveCheckpoint(m.Tree + 1); err != nil {
+					return nil, fmt.Errorf("core: party %d checkpoint: %w", p.index, err)
+				}
+			}
 		case MsgShutdown:
 			p.taskWG.Wait()
 			return p.model, nil
@@ -175,7 +186,12 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 		}
 		p.shiftCt = ct
 	}
-	return p.send(MsgReady{Party: p.index, Features: p.data.Cols(), Rows: p.data.Rows()})
+	if err := p.send(MsgReady{Party: p.index, Features: p.data.Cols(), Rows: p.data.Rows()}); err != nil {
+		return err
+	}
+	// Announce the resume point: how many completed rounds the restored
+	// fragment covers (0 when fresh). B rewinds to the slowest party.
+	return p.send(MsgResume{Party: p.index, Trees: len(p.model.Trees)})
 }
 
 // handleGradBatch stores a batch of encrypted gradient statistics and
@@ -188,6 +204,12 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	}
 	n := p.data.Rows()
 	if p.gh == nil || p.tree != m.Tree {
+		// A replayed round (B resumed behind this party's checkpoint)
+		// invalidates the trees recorded at or after it: discard them and
+		// rebuild from the replay, which is deterministic.
+		if m.Tree < len(p.model.Trees) {
+			p.model.Trees = p.model.Trees[:m.Tree]
+		}
 		p.tree = m.Tree
 		p.gh = &encGH{
 			g: make([]fixedpoint.EncNum, n),

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
@@ -46,6 +47,19 @@ type activeParty struct {
 
 	model *PartyModel
 
+	// ckpt, when set, snapshots the training state after every completed
+	// tree; resume restores the newest round every party can continue
+	// from (arbitrated via MsgResume at setup). resumeTrees holds each
+	// passive party's announced round.
+	ckpt        *checkpoint.Store
+	resume      bool
+	resumeTrees []int
+	// backOff is the adaptive-optimism state carried between rounds: set
+	// when the previous tree's dirty ratio exceeded 1/2. It is part of the
+	// checkpoint so a resumed run follows the same protocol schedule (and
+	// allocates the same node IDs) as an uninterrupted one.
+	backOff bool
+
 	// rec, when set, records Gantt spans of the cryptography phases
 	// (Figures 4 and 5). A nil recorder is a no-op.
 	rec *trace.Recorder
@@ -62,6 +76,7 @@ type pump struct {
 	hist      chan MsgHistograms
 	placement chan MsgPlacement
 	ready     chan MsgReady
+	resume    chan MsgResume
 	errs      chan error
 
 	// stores hold messages pulled off the channels but not yet consumed.
@@ -74,6 +89,7 @@ func startPump(l *link) *pump {
 		hist:       make(chan MsgHistograms, 1024),
 		placement:  make(chan MsgPlacement, 256),
 		ready:      make(chan MsgReady, 1),
+		resume:     make(chan MsgResume, 1),
 		errs:       make(chan error, 1),
 		histStore:  make(map[int32]NodeHist),
 		placeStore: make(map[int32]MsgPlacement),
@@ -92,6 +108,8 @@ func startPump(l *link) *pump {
 				p.placement <- m
 			case MsgReady:
 				p.ready <- m
+			case MsgResume:
+				p.resume <- m
 			default:
 				p.errs <- fmt.Errorf("core: party B: unexpected message %T", msg)
 				return
@@ -231,6 +249,17 @@ func (b *activeParty) setup() error {
 		}
 	}
 	b.bOffset = off
+	// Each party follows its MsgReady with a MsgResume announcing the
+	// round its restored checkpoint covers (0 when fresh).
+	b.resumeTrees = make([]int, len(b.pumps))
+	for i, p := range b.pumps {
+		select {
+		case m := <-p.resume:
+			b.resumeTrees[i] = m.Trees
+		case err := <-p.errs:
+			return err
+		}
+	}
 	return nil
 }
 
@@ -244,12 +273,29 @@ func (b *activeParty) train() (*PartyModel, error) {
 	b.grads = make([]float64, n)
 	b.hess = make([]float64, n)
 
+	startTree := 0
+	if b.ckpt != nil && b.resume {
+		k, st, err := b.resumePoint()
+		if err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			b.model.Trees = st.Fragment.Trees
+			copy(b.margins, st.Margins)
+			b.backOff = st.BackOff
+			startTree = k
+		}
+	}
+
 	// With adaptive optimism the optimistic schedule is abandoned for the
 	// next tree whenever the previous tree's dirty ratio exceeded 1/2:
 	// the optimistic bet lost more often than it won, so the re-done work
 	// outweighs the hidden idle time.
-	backOff := false
-	for t := 0; t < b.cfg.Trees; t++ {
+	for t := startTree; t < b.cfg.Trees; t++ {
+		// Per-tree obfuscation stream: reseeding here makes tree t's
+		// exponent draws independent of how many trees ran before it, so
+		// a resumed session reproduces an uninterrupted run exactly.
+		b.codec.ReseedExp(b.cfg.Seed + int64(t+1)*0x5DEECE66D)
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			b.grads[i], b.hess[i] = b.cfg.Loss.GradHess(b.data.Labels[i], b.margins[i])
@@ -262,11 +308,11 @@ func (b *activeParty) train() (*PartyModel, error) {
 		var tree *FedTree
 		var leaves []leafResult
 		var err error
-		if b.cfg.OptimisticSplit && !(b.cfg.AdaptiveOptimism && backOff) {
+		if b.cfg.OptimisticSplit && !(b.cfg.AdaptiveOptimism && b.backOff) {
 			tree, leaves, err = b.buildTreeOptimistic(t)
 			dirty := b.stats.DirtyNodes() - dirtyBefore
 			splits := b.stats.SplitsByA() + b.stats.SplitsByB() - splitsBefore
-			backOff = splits > 0 && float64(dirty)/float64(splits) > 0.5
+			b.backOff = splits > 0 && float64(dirty)/float64(splits) > 0.5
 		} else {
 			tree, leaves, err = b.buildTreeSequential(t)
 		}
@@ -286,6 +332,11 @@ func (b *activeParty) train() (*PartyModel, error) {
 		}
 		for _, p := range b.pumps {
 			p.reset()
+		}
+		if b.ckpt != nil {
+			if err := b.saveCheckpoint(t + 1); err != nil {
+				return nil, fmt.Errorf("core: party B checkpoint: %w", err)
+			}
 		}
 		b.stats.treesFinished.Add(1)
 		b.perTreeTime = append(b.perTreeTime, time.Since(start))

@@ -3,9 +3,12 @@ package core
 import (
 	"crypto/rand"
 	"fmt"
+	"path/filepath"
 	"time"
 
+	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/dataset"
+	"vf2boost/internal/fault"
 	"vf2boost/internal/he"
 	"vf2boost/internal/mq"
 	"vf2boost/internal/trace"
@@ -24,6 +27,15 @@ type Session struct {
 	broker *mq.Broker
 	dec    he.Decryptor
 	rec    *trace.Recorder
+
+	chaos   *fault.Config
+	res     *ResilientConfig
+	ckptDir string
+	resume  bool
+
+	// wrapped collects the session's resilient transports for stats and
+	// shutdown.
+	wrapped []*ResilientTransport
 
 	perTreeTime []time.Duration
 }
@@ -53,6 +65,37 @@ func WithDecryptor(dec he.Decryptor) SessionOption {
 // analysis instrument behind the paper's Figures 4 and 5.
 func WithTrace(r *trace.Recorder) SessionOption {
 	return func(s *Session) { s.rec = r }
+}
+
+// WithChaos injects seeded faults (drops, delays, duplicates, reorders,
+// and at most one hard disconnect per link) into every cross-party link,
+// and wraps each link in the resilient layer so training still converges
+// to the fault-free model. The hard disconnect is applied to the passive
+// side of each link; its redial path re-attaches to the same topics with
+// the disconnect removed. Per-link fault schedules derive distinct seeds
+// from cfg.Seed, so a session's chaos is reproducible end to end.
+func WithChaos(cfg fault.Config) SessionOption {
+	return func(s *Session) { c := cfg; s.chaos = &c }
+}
+
+// WithResilience wraps every cross-party link in the retry/heartbeat
+// layer with the given tuning, independent of fault injection.
+func WithResilience(cfg ResilientConfig) SessionOption {
+	return func(s *Session) { c := cfg; s.res = &c }
+}
+
+// WithCheckpoints snapshots every party's training state under dir after
+// each completed tree (dir/active for Party B, dir/passive<i> per passive
+// party).
+func WithCheckpoints(dir string) SessionOption {
+	return func(s *Session) { s.ckptDir = dir }
+}
+
+// WithResume resumes training from the newest mutually-consistent
+// checkpoint under the WithCheckpoints directory; a no-op when no valid
+// checkpoint exists.
+func WithResume() SessionOption {
+	return func(s *Session) { s.resume = true }
 }
 
 // NewSession validates the per-party datasets (passive parties first, the
@@ -95,6 +138,17 @@ func (s *Session) Broker() *mq.Broker { return s.broker }
 // PerTreeTimes returns the wall time of each completed boosting round.
 func (s *Session) PerTreeTimes() []time.Duration { return s.perTreeTime }
 
+// LinkStats returns the retransmit/redial/heartbeat counters of every
+// resilient transport the session created (two per passive party: B side
+// then passive side), or nil when the resilient layer was not enabled.
+func (s *Session) LinkStats() []ResilientStats {
+	out := make([]ResilientStats, len(s.wrapped))
+	for i, r := range s.wrapped {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
 // Train runs the full federated training and returns the glued model.
 func (s *Session) Train() (*FederatedModel, error) {
 	if s.dec == nil {
@@ -116,8 +170,40 @@ func (s *Session) Train() (*FederatedModel, error) {
 	}
 	s.broker = mq.NewBroker(brokerOpts...)
 	defer s.broker.Close()
+	defer func() {
+		for _, r := range s.wrapped {
+			r.Close()
+		}
+	}()
+
+	// Chaos implies the resilient layer (injected faults must be healed);
+	// an explicit WithResilience enables it on a clean link too.
+	useResilient := s.chaos != nil || s.res != nil
+	rcfg := DefaultResilientConfig()
+	if s.res != nil {
+		rcfg = *s.res
+		rcfg.normalize()
+	}
 
 	numPassive := len(s.parts) - 1
+	var stores struct {
+		active  *checkpoint.Store
+		passive []*checkpoint.Store
+	}
+	if s.ckptDir != "" {
+		st, err := checkpoint.Open(filepath.Join(s.ckptDir, "active"))
+		if err != nil {
+			return nil, err
+		}
+		stores.active = st
+		stores.passive = make([]*checkpoint.Store, numPassive)
+		for i := 0; i < numPassive; i++ {
+			if stores.passive[i], err = checkpoint.Open(filepath.Join(s.ckptDir, fmt.Sprintf("passive%d", i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	bLinks := make([]*link, numPassive)
 	type result struct {
 		idx int
@@ -127,39 +213,82 @@ func (s *Session) Train() (*FederatedModel, error) {
 	results := make(chan result, numPassive)
 
 	for i := 0; i < numPassive; i++ {
-		b2a := fmt.Sprintf("b2a%d", i)
-		a2b := fmt.Sprintf("a%d2b", i)
-		bOut, err := s.broker.Producer(b2a, mq.Token(secret, b2a))
+		idx := i
+		b2a := fmt.Sprintf("b2a%d", idx)
+		a2b := fmt.Sprintf("a%d2b", idx)
+		newEndpoint := func(sendTopic, recvTopic string) (Transport, error) {
+			prod, err := s.broker.Producer(sendTopic, mq.Token(secret, sendTopic))
+			if err != nil {
+				return nil, err
+			}
+			cons, err := s.broker.Consumer(recvTopic, mq.Token(secret, recvTopic))
+			if err != nil {
+				return nil, err
+			}
+			return consumerEndpoint{send: prod.Send, recv: cons.Receive, detach: cons.Close}, nil
+		}
+		bEnd, err := newEndpoint(b2a, a2b)
 		if err != nil {
 			return nil, err
 		}
-		bIn, err := s.broker.Consumer(a2b, mq.Token(secret, a2b))
+		aEnd, err := newEndpoint(a2b, b2a)
 		if err != nil {
 			return nil, err
 		}
-		aOut, err := s.broker.Producer(a2b, mq.Token(secret, a2b))
-		if err != nil {
-			return nil, err
-		}
-		aIn, err := s.broker.Consumer(b2a, mq.Token(secret, b2a))
-		if err != nil {
-			return nil, err
+		if useResilient {
+			// Fault schedules and retry jitter get distinct per-link
+			// seeds; the hard disconnect (if any) hits the passive side,
+			// whose redial re-attaches to the same topics without it.
+			aDial := func() (Transport, error) {
+				end, err := newEndpoint(a2b, b2a)
+				if err != nil {
+					return nil, err
+				}
+				if s.chaos != nil {
+					cfg := s.chaos.WithoutCut()
+					cfg.Seed = s.chaos.Seed + int64(4*idx+3)
+					return fault.Wrap(end, cfg), nil
+				}
+				return end, nil
+			}
+			if s.chaos != nil {
+				bCfg := s.chaos.WithoutCut()
+				bCfg.Seed = s.chaos.Seed + int64(4*idx+1)
+				bEnd = fault.Wrap(bEnd, bCfg)
+				aCfg := *s.chaos
+				aCfg.Seed = s.chaos.Seed + int64(4*idx+2)
+				aEnd = fault.Wrap(aEnd, aCfg)
+			}
+			rb := rcfg
+			rb.Seed = rcfg.Seed + int64(4*idx+1)
+			bRes, err := NewResilientTransport(bEnd, nil, rb)
+			if err != nil {
+				return nil, err
+			}
+			ra := rcfg
+			ra.Seed = rcfg.Seed + int64(4*idx+2)
+			aRes, err := NewResilientTransport(aEnd, aDial, ra)
+			if err != nil {
+				bRes.Close()
+				return nil, err
+			}
+			s.wrapped = append(s.wrapped, bRes, aRes)
+			bEnd, aEnd = bRes, aRes
 		}
 		// B pins the configured codec (it sends the first frame of the
 		// session); the passive side adapts to whatever B speaks.
-		bLinks[i] = newLinkPair(
-			pairTransport{send: bOut.Send, recv: bIn.Receive},
-			pairTransport{send: nil, recv: bIn.Receive},
-			s.cfg.wireCodec(), false)
-		aLink := newLinkPair(
-			pairTransport{send: aOut.Send, recv: aIn.Receive},
-			pairTransport{send: nil, recv: aIn.Receive},
-			s.cfg.wireCodec(), true)
+		bLinks[i] = NewLinkCodec(bEnd, s.cfg.wireCodec())
+		aLink := newLinkPair(aEnd, aEnd, s.cfg.wireCodec(), true)
 		party, err := newPassiveParty(i, s.parts[i], s.cfg, aLink, s.stats)
 		if err != nil {
 			return nil, err
 		}
 		party.rec = s.rec
+		if stores.passive != nil {
+			if err := party.enableCheckpoints(stores.passive[i], s.resume); err != nil {
+				return nil, err
+			}
+		}
 		go func(i int) {
 			pm, err := party.run()
 			results <- result{idx: i, pm: pm, err: err}
@@ -171,6 +300,9 @@ func (s *Session) Train() (*FederatedModel, error) {
 		return nil, err
 	}
 	active.rec = s.rec
+	if stores.active != nil {
+		active.enableCheckpoints(stores.active, s.resume)
+	}
 	bModel, err := active.train()
 	if err != nil {
 		return nil, err
@@ -193,14 +325,15 @@ func (s *Session) Train() (*FederatedModel, error) {
 		}
 	}
 
+	// Per-party split counts come from the fragments rather than the run's
+	// counters, so a resumed session (which replays only the remaining
+	// rounds) still reports the totals of the whole model.
 	splits := make([]int, len(s.parts))
-	splits[len(s.parts)-1] = int(s.stats.SplitsByB())
-	// Per-passive-party split counts come from their fragments.
-	for i := 0; i < numPassive; i++ {
+	for i := range s.parts {
 		n := 0
 		for _, t := range models[i].Trees {
 			for _, nd := range t.Nodes {
-				if nd.Owner == i {
+				if nd.Owner == i { // each fragment records its own splits
 					n++
 				}
 			}
@@ -219,13 +352,22 @@ func (s *Session) Train() (*FederatedModel, error) {
 // RunPassiveParty runs a single passive party over an arbitrary transport
 // (for example the mq TCP gateway), blocking until Party B shuts the
 // session down. It returns the party's private model fragment.
-func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport) (*PartyModel, error) {
+func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport, opts ...RunOption) (*PartyModel, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
 	p, err := newPassiveParty(index, data, cfg, newLinkPair(tr, tr, cfg.wireCodec(), true), &Stats{})
 	if err != nil {
 		return nil, err
+	}
+	if o.ckpt != nil {
+		if err := p.enableCheckpoints(o.ckpt, o.resume); err != nil {
+			return nil, err
+		}
 	}
 	return p.run()
 }
@@ -234,9 +376,13 @@ func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport)
 // party, and returns B's model fragment plus the run statistics. In this
 // deployment each party keeps its own fragment; assemble a FederatedModel
 // only if the fragments are intentionally co-located.
-func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport) (*PartyModel, *Stats, error) {
+func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport, opts ...RunOption) (*PartyModel, *Stats, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, nil, err
+	}
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
 	}
 	dec, err := newDecryptor(cfg)
 	if err != nil {
@@ -251,6 +397,9 @@ func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport) (*PartyM
 	b, err := newActiveParty(data, cfg, dec, links, stats)
 	if err != nil {
 		return nil, nil, err
+	}
+	if o.ckpt != nil {
+		b.enableCheckpoints(o.ckpt, o.resume)
 	}
 	pm, err := b.train()
 	if err != nil {

@@ -31,6 +31,10 @@ const (
 	idScoreResponse     uint16 = 15
 	idScoreClose        uint16 = 16
 	idScoreCloseAck     uint16 = 17
+	idEnvelope          uint16 = 18
+	idAck               uint16 = 19
+	idHeartbeat         uint16 = 20
+	idResume            uint16 = 21
 )
 
 func init() {
@@ -51,6 +55,10 @@ func init() {
 	wire.Register(idScoreResponse, "MsgScoreResponse", decodeMsg[MsgScoreResponse])
 	wire.Register(idScoreClose, "MsgScoreClose", decodeMsg[MsgScoreClose])
 	wire.Register(idScoreCloseAck, "MsgScoreCloseAck", decodeMsg[MsgScoreCloseAck])
+	wire.Register(idEnvelope, "MsgEnvelope", decodeMsg[MsgEnvelope])
+	wire.Register(idAck, "MsgAck", decodeMsg[MsgAck])
+	wire.Register(idHeartbeat, "MsgHeartbeat", decodeMsg[MsgHeartbeat])
+	wire.Register(idResume, "MsgResume", decodeMsg[MsgResume])
 }
 
 // wireBody is the decode half of a protocol message; every Msg* pointer
@@ -468,4 +476,56 @@ func (m MsgScoreCloseAck) AppendTo(b []byte) []byte { return b }
 
 func (m *MsgScoreCloseAck) DecodeFrom(body []byte) error {
 	return wire.NewDec(body).Finish()
+}
+
+// --- Resilient link family (envelope / ack / heartbeat) ----------------
+
+func (MsgEnvelope) WireID() uint16 { return idEnvelope }
+
+func (m MsgEnvelope) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Seq)
+	return wire.AppendBytes(b, m.Frame)
+}
+
+func (m *MsgEnvelope) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Seq = d.Uvarint()
+	m.Frame = d.Bytes()
+	return d.Finish()
+}
+
+func (MsgAck) WireID() uint16 { return idAck }
+
+func (m MsgAck) AppendTo(b []byte) []byte { return wire.AppendUvarint(b, m.Cum) }
+
+func (m *MsgAck) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Cum = d.Uvarint()
+	return d.Finish()
+}
+
+func (MsgHeartbeat) WireID() uint16 { return idHeartbeat }
+
+func (m MsgHeartbeat) AppendTo(b []byte) []byte { return wire.AppendUvarint(b, m.Cum) }
+
+func (m *MsgHeartbeat) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Cum = d.Uvarint()
+	return d.Finish()
+}
+
+// --- MsgResume ---------------------------------------------------------
+
+func (MsgResume) WireID() uint16 { return idResume }
+
+func (m MsgResume) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Party)
+	return wire.AppendInt(b, m.Trees)
+}
+
+func (m *MsgResume) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Party = d.Int()
+	m.Trees = d.Int()
+	return d.Finish()
 }

@@ -47,6 +47,10 @@ func sampleMessages() []any {
 		MsgScoreResponse{Round: 78, Version: 3, Party: 0, Error: "model version 3 not published"},
 		MsgScoreClose{Reason: "server shutdown"},
 		MsgScoreCloseAck{},
+		MsgResume{Party: 1, Trees: 42},
+		MsgEnvelope{Seq: 9000000000, Frame: []byte{0x01, 0x02, 0x03}},
+		MsgAck{Cum: 8999999999},
+		MsgHeartbeat{Cum: 17},
 	}
 }
 
@@ -98,8 +102,8 @@ func TestEveryMessageTypeHasWireID(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if len(seen) != 17 {
-		t.Errorf("samples cover %d message IDs, protocol has 17", len(seen))
+	if len(seen) != 21 {
+		t.Errorf("samples cover %d message IDs, protocol has 21", len(seen))
 	}
 }
 

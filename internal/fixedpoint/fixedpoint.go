@@ -142,6 +142,16 @@ func (c *Codec) pow(k int) *big.Int {
 	return p
 }
 
+// ReseedExp restarts the exponent-obfuscation stream from a new seed.
+// Callers that reseed at deterministic points (e.g. per boosting round)
+// make the stream position-independent, so a run resumed mid-sequence
+// draws the same exponents an uninterrupted run would.
+func (c *Codec) ReseedExp(seed int64) {
+	c.mu.Lock()
+	c.rng = rand.New(rand.NewSource(seed))
+	c.mu.Unlock()
+}
+
 // RandExp draws an obfuscated exponent from [baseExp, baseExp+spread).
 func (c *Codec) RandExp() int {
 	if c.expSpread == 1 {

@@ -262,26 +262,29 @@ func (c *Consumer) Receive() ([]byte, error) {
 // ReceiveTimeout is Receive with a deadline; it returns a timeout error if
 // no message arrives in time.
 func (c *Consumer) ReceiveTimeout(d time.Duration) ([]byte, error) {
-	deadline := time.Now().Add(d)
 	t := c.topic
-	// sync.Cond has no timed wait; poll with a short interval. The
-	// protocol only uses timeouts on error paths, so this stays cheap.
-	for {
+	// sync.Cond has no timed wait; a one-shot timer flips a flag under the
+	// topic lock and wakes every waiter, so the wait burns no CPU.
+	expired := false
+	timer := time.AfterFunc(d, func() {
 		t.mu.Lock()
-		if len(t.queue) > 0 {
-			m := t.queue[0]
-			t.queue = t.queue[1:]
-			t.mu.Unlock()
-			return m.Payload, nil
-		}
-		closed := t.closed || c.closed
+		expired = true
+		t.cond.Broadcast()
 		t.mu.Unlock()
-		if closed {
+	})
+	defer timer.Stop()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.queue) == 0 {
+		if t.closed || c.closed {
 			return nil, ErrClosed
 		}
-		if time.Now().After(deadline) {
+		if expired {
 			return nil, fmt.Errorf("mq: receive timed out after %v", d)
 		}
-		time.Sleep(200 * time.Microsecond)
+		t.cond.Wait()
 	}
+	m := t.queue[0]
+	t.queue = t.queue[1:]
+	return m.Payload, nil
 }

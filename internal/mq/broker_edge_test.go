@@ -49,6 +49,70 @@ func TestConsumerCloseDuringTimeout(t *testing.T) {
 	}
 }
 
+func TestBrokerCloseWakesBlockedReceive(t *testing.T) {
+	b := NewBroker()
+	c, err := b.Consumer("t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := c.Receive()
+			errs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Errorf("Receive after broker Close = %v, want ErrClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("broker Close did not wake a blocked Receive")
+		}
+	}
+}
+
+func TestReceiveTimeoutWakesOnMessage(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	p, _ := b.Producer("t", "")
+	c, _ := b.Consumer("t", "")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		p.Send([]byte("late"))
+	}()
+	start := time.Now()
+	got, err := c.ReceiveTimeout(10 * time.Second)
+	if err != nil || string(got) != "late" {
+		t.Fatalf("ReceiveTimeout = %q, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("blocked wait took %v; the cond wait is not being woken", elapsed)
+	}
+}
+
+func TestReceiveTimeoutExpiryLeavesConsumerUsable(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	p, _ := b.Producer("t", "")
+	c, _ := b.Consumer("t", "")
+	// A burst of expirations must not poison later receives (the expiry
+	// flag is per-call) or leak armed timers.
+	for i := 0; i < 50; i++ {
+		if _, err := c.ReceiveTimeout(time.Millisecond); err == nil {
+			t.Fatal("ReceiveTimeout on an empty topic returned no error")
+		}
+	}
+	p.Send([]byte("x"))
+	if got, err := c.ReceiveTimeout(time.Second); err != nil || string(got) != "x" {
+		t.Fatalf("receive after expirations = %q, %v", got, err)
+	}
+}
+
 func TestSendAfterTopicDrainedStillWorks(t *testing.T) {
 	b := NewBroker()
 	defer b.Close()

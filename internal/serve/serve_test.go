@@ -530,3 +530,75 @@ func TestServerValidation(t *testing.T) {
 		t.Errorf("empty registry ScoreRows = %v, want ErrNoModel", err)
 	}
 }
+
+// TestWorkerRunLoopSurvivesPeerRestarts: RunLoop must serve a fresh
+// session after each peer departure, and give up only when the dial
+// itself keeps failing.
+func TestWorkerRunLoopSurvivesPeerRestarts(t *testing.T) {
+	parts := twoParts(t, 40, 91)
+	m := trainModel(t, parts, 2)
+	reg := NewRegistry()
+	if err := reg.Publish(Model{Version: 1, Fragment: m.Parties[0]}); err != nil {
+		t.Fatal(err)
+	}
+	worker := NewPassiveWorker(0, parts[0], reg)
+
+	const sessions = 2
+	serverEnds := make(chan core.Transport, sessions)
+	var dials int
+	dial := func() (core.Transport, error) {
+		dials++
+		if dials > sessions {
+			return nil, fmt.Errorf("gateway down")
+		}
+		s, w := pipePair()
+		serverEnds <- s
+		return w, nil
+	}
+
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- worker.RunLoop(dial, time.Millisecond, 5*time.Millisecond, 3)
+	}()
+
+	// Two successive "Party B" lifetimes, each opening and closing its own
+	// session with one scoring round in between.
+	for s := 0; s < sessions; s++ {
+		l := core.NewLink(<-serverEnds)
+		if err := l.Send(core.MsgScoreOpen{Proto: core.ScoreProtoVersion, Session: fmt.Sprintf("s%d", s)}); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := l.Recv(); err != nil {
+			t.Fatal(err)
+		} else if _, ok := msg.(core.MsgScoreOpenAck); !ok {
+			t.Fatalf("session %d: got %T, want open ack", s, msg)
+		}
+		if err := l.Send(core.MsgScoreRequest{Round: uint64(s), Version: 1, Rows: []int32{0, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err := l.Recv(); err != nil {
+			t.Fatal(err)
+		} else if r, ok := msg.(core.MsgScoreResponse); !ok || r.Error != "" {
+			t.Fatalf("session %d: round answer %#v", s, msg)
+		}
+		if err := l.Send(core.MsgScoreClose{Reason: "restart"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// With the gateway "down", the loop must exhaust its redials and stop.
+	select {
+	case err := <-loopDone:
+		if err == nil {
+			t.Fatal("RunLoop returned nil although every dial failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunLoop did not give up after exhausting redials")
+	}
+	if got := worker.Rounds(); got != sessions {
+		t.Errorf("worker served %d rounds across restarts, want %d", got, sessions)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"sync/atomic"
+	"time"
 
 	"vf2boost/internal/core"
 	"vf2boost/internal/dataset"
@@ -98,6 +99,58 @@ func (w *PassiveWorker) Run(tr core.Transport) error {
 		default:
 			return fmt.Errorf("serve: worker got unexpected %T", msg)
 		}
+	}
+}
+
+// RunLoop serves scoring sessions until stopped: every time a session
+// ends cleanly (peer closed, transport dropped) it re-dials and serves
+// the next one, so a sidecar survives Party B restarts. Failed dials back
+// off exponentially between wait and maxWait; maxRedials consecutive
+// failures (or a protocol error from a session) end the loop with an
+// error. Zero values pick defaults (250ms, 5s, 20).
+func (w *PassiveWorker) RunLoop(dial func() (core.Transport, error), wait, maxWait time.Duration, maxRedials int) error {
+	if wait <= 0 {
+		wait = 250 * time.Millisecond
+	}
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	if maxRedials <= 0 {
+		maxRedials = 20
+	}
+	backoff := wait
+	fails := 0
+	for {
+		tr, err := dial()
+		if err != nil {
+			fails++
+			if fails >= maxRedials {
+				return fmt.Errorf("serve: worker %d: redial failed %d times: %w", w.Party, fails, err)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxWait {
+				backoff = maxWait
+			}
+			continue
+		}
+		fails = 0
+		backoff = wait
+		w.logf("serve: worker %d: session open", w.Party)
+		err = w.Run(tr)
+		// Sever the finished session's transport before re-dialing: a
+		// lingering gateway consumer would compete with the next session's
+		// and steal its frames.
+		switch c := tr.(type) {
+		case interface{ Close() error }:
+			c.Close()
+		case interface{ Close() }:
+			c.Close()
+		}
+		if err != nil {
+			return err
+		}
+		w.logf("serve: worker %d: session ended, re-dialing", w.Party)
 	}
 }
 

@@ -21,8 +21,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race (mq, serve, core) =="
-go test -race ./internal/mq/... ./internal/serve/... ./internal/core/...
+echo "== go test -race (mq, serve, core, fault, checkpoint) =="
+go test -race ./internal/mq/... ./internal/serve/... ./internal/core/... \
+  ./internal/fault/... ./internal/checkpoint/...
+
+echo "== chaos smoke (seeded faults must reproduce the fault-free model) =="
+go test -race -run 'TestChaosTrainingMatchesBaseline|TestSessionCheckpointResume' ./internal/core
 
 echo "== fuzz smoke (wire decode) =="
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
