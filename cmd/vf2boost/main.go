@@ -539,26 +539,44 @@ func cmdServe(args []string) {
 	base := fs.Float64("base", 0, "base score added to every margin")
 	maxBatch := fs.Int("max-batch", 64, "flush a micro-batch at this many requests")
 	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "flush a partial micro-batch after this wait")
+	maxQueue := fs.Int("max-queue", 1024, "shed requests beyond this many queued (HTTP 429)")
+	maxInflight := fs.Int("max-inflight", 4, "shed federated rounds beyond this many in flight")
+	deadline := fs.Duration("score-deadline", 2*time.Second, "default per-request scoring budget (X-Score-Deadline overrides)")
+	policy := fs.String("degraded-policy", "failclosed", "when a party is unreachable: failclosed or partial")
+	cooldown := fs.Duration("breaker-cooldown", 2*time.Second, "circuit-breaker open time before a half-open probe")
 	session := fs.String("session", "vf2boost-serve", "session label sent to sidecars")
 	codec := fs.String("codec", "", "wire codec: binary (default) or gob")
 	fs.Parse(args)
 	if *data == "" || *models == "" {
 		log.Fatal("serve: -data and -models are required")
 	}
+	pol, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	d := loadData(*data)
 	reg := buildServeRegistry(*models, *eta, *base)
 	trs := make([]core.Transport, *peers)
+	dialers := make([]func() (core.Transport, error), *peers)
 	for i := 0; i < *peers; i++ {
-		trs[i] = dialParty(*gateway, *secret,
-			fmt.Sprintf("sb2a%d", i), fmt.Sprintf("sa%d2b", i))
+		send, recv := fmt.Sprintf("sb2a%d", i), fmt.Sprintf("sa%d2b", i)
+		trs[i] = dialParty(*gateway, *secret, send, recv)
+		dialers[i] = func() (core.Transport, error) {
+			return dialPartyErr(*gateway, *secret, send, recv)
+		}
 	}
 	srv, err := serve.NewServer(serve.ServerConfig{
-		Data:     d,
-		Registry: reg,
-		Workers:  trs,
-		Batch:    serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
-		Session:  *session,
-		Codec:    *codec,
+		Data:        d,
+		Registry:    reg,
+		Workers:     trs,
+		Dialers:     dialers,
+		Batch:       serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait, MaxQueue: *maxQueue},
+		Deadline:    *deadline,
+		Policy:      pol,
+		MaxInflight: *maxInflight,
+		Breaker:     serve.BreakerConfig{Cooldown: *cooldown},
+		Session:     *session,
+		Codec:       *codec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -571,8 +589,8 @@ func cmdServe(args []string) {
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("serving on http://%s (model v%d, %d sidecars, batch<=%d, wait<=%v)\n",
-		lis.Addr(), reg.CurrentVersion(), *peers, *maxBatch, *maxWait)
+	fmt.Printf("serving on http://%s (model v%d, %d sidecars, batch<=%d, wait<=%v, deadline %v, policy %s)\n",
+		lis.Addr(), reg.CurrentVersion(), *peers, *maxBatch, *maxWait, *deadline, pol)
 	go func() {
 		if err := hs.Serve(lis); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync/atomic"
@@ -242,6 +243,27 @@ func (l *Link) Codec() wire.Codec {
 // Send encodes and transmits one protocol message.
 func (l *Link) Send(m any) error { return l.send(m) }
 
+// SendContext is Send with a deadline: transports that implement
+// SendContext(ctx, payload) (the mq shaper-backed producers) honour the
+// context mid-transmission; others get a best-effort check before the
+// blocking send. An expired context returns its error without touching
+// the transport.
+func (l *Link) SendContext(ctx context.Context, m any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	payload, err := l.Codec().Encode(m)
+	if err != nil {
+		return fmt.Errorf("core: encoding %T: %w", m, err)
+	}
+	if cs, ok := l.out.(interface {
+		SendContext(context.Context, []byte) error
+	}); ok {
+		return cs.SendContext(ctx, payload)
+	}
+	return l.out.Send(payload)
+}
+
 // Recv blocks for the next protocol message.
 func (l *Link) Recv() (any, error) { return l.recv() }
 
@@ -289,15 +311,30 @@ func (p pairTransport) Receive() ([]byte, error) { return p.recv() }
 
 // consumerEndpoint adapts a producer/consumer pair to Transport with a
 // Close that detaches the consumer — the resilient layer needs it to
-// unblock its receive loop on shutdown and redial.
+// unblock its receive loop on shutdown and redial. When sendCtx is set
+// (mq producers expose SendContext) the endpoint forwards deadlines into
+// the WAN shaper.
 type consumerEndpoint struct {
-	send   func([]byte) error
-	recv   func() ([]byte, error)
-	detach func()
+	send    func([]byte) error
+	sendCtx func(context.Context, []byte) error
+	recv    func() ([]byte, error)
+	detach  func()
 }
 
 func (e consumerEndpoint) Send(b []byte) error      { return e.send(b) }
 func (e consumerEndpoint) Receive() ([]byte, error) { return e.recv() }
+
+// SendContext satisfies the optional deadline-aware send interface used
+// by Link.SendContext.
+func (e consumerEndpoint) SendContext(ctx context.Context, b []byte) error {
+	if e.sendCtx != nil {
+		return e.sendCtx(ctx, b)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.send(b)
+}
 func (e consumerEndpoint) Close() {
 	if e.detach != nil {
 		e.detach()

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vf2boost/internal/dataset"
+)
+
+// handFragment builds a two-tree B fragment (parties: passive 0, B = 1):
+// tree 0 is entirely B's (root split with a +inf threshold, so every row
+// lands on the left leaf), tree 1 hinges on a party-0 split.
+func handFragment() *PartyModel {
+	t0 := NewFedTree(1)
+	t0.Nodes[1] = &FedNode{Owner: 1, Feature: 0, Threshold: math.MaxFloat64, Left: 2, Right: 3}
+	t0.Nodes[2] = &FedNode{Owner: OwnerLeaf, Weight: 2}
+	t0.Nodes[3] = &FedNode{Owner: OwnerLeaf, Weight: -5}
+	t1 := NewFedTree(1)
+	t1.Nodes[1] = &FedNode{Owner: 0, Left: 2, Right: 3}
+	t1.Nodes[2] = &FedNode{Owner: OwnerLeaf, Weight: 3}
+	t1.Nodes[3] = &FedNode{Owner: OwnerLeaf, Weight: -3}
+	return &PartyModel{Party: 1, Trees: []*FedTree{t0, t1}}
+}
+
+// TestRoutePartialMarginsHandBuilt pins the whole-tree skip semantics on a
+// fragment small enough to compute by hand.
+func TestRoutePartialMarginsHandBuilt(t *testing.T) {
+	frag := handFragment()
+	bData, err := dataset.Generate(dataset.GenOptions{Rows: 8, Cols: 2, Density: 1, Dense: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []int32{0, 3, 7}
+	const lr, base = 0.5, 1.0
+
+	// All parties present: tree 0 contributes +2, tree 1 (routes: all rows
+	// left) contributes +3.
+	allLeft := packBitmap([]bool{true, true, true})
+	routes := map[RouteKey][]byte{{Party: 0, Tree: 1, Node: 1}: allLeft}
+	full, skipped, err := RoutePartialMargins(frag, lr, base, bData, rows, routes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d with nobody missing, want 0", skipped)
+	}
+	for k, mg := range full {
+		if want := base + lr*(2+3); math.Abs(mg-want) > 1e-12 {
+			t.Errorf("full margin[%d] = %g, want %g", k, mg, want)
+		}
+	}
+
+	// Party 0 missing: tree 1 is skipped whole — no routes needed at all —
+	// and only tree 0's +2 survives.
+	partial, skipped, err := RoutePartialMargins(frag, lr, base, bData, rows, map[RouteKey][]byte{}, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d with party 0 missing, want 1", skipped)
+	}
+	for k, mg := range partial {
+		if want := base + lr*2; math.Abs(mg-want) > 1e-12 {
+			t.Errorf("partial margin[%d] = %g, want %g", k, mg, want)
+		}
+	}
+
+	// An empty missing set is exactly RouteMargins.
+	plain, err := RouteMargins(frag, lr, base, bData, rows, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPartial, _, err := RoutePartialMargins(frag, lr, base, bData, rows, routes, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range plain {
+		if plain[k] != viaPartial[k] {
+			t.Errorf("margin[%d]: RouteMargins %g != RoutePartialMargins %g", k, plain[k], viaPartial[k])
+		}
+	}
+
+	// Present party, absent routes: still a hard error — degradation is an
+	// explicit decision, never an accident of missing data.
+	if _, _, err := RoutePartialMargins(frag, lr, base, bData, rows, map[RouteKey][]byte{}, nil); err == nil {
+		t.Error("missing routing bits for a present party did not error")
+	}
+}
+
+// TestRoutePartialMarginsTrainedModel checks, on a trained model, that the
+// partial margins equal a full routing of the fragment with the skipped
+// trees removed — whole-tree contributions, nothing else.
+func TestRoutePartialMarginsTrainedModel(t *testing.T) {
+	_, parts := twoPartyData(t, 120, 5, 4, 1, true, 86)
+	cfg := quickConfig(SchemeMock)
+	cfg.Trees = 5
+	m, _ := trainFed(t, parts, cfg)
+	b := m.Parties[1]
+	rows := []int32{0, 5, 5, 119, 60}
+
+	nodes, err := ScorePlacements(m.Parties[0], parts[0], rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := make(map[RouteKey][]byte)
+	for _, nb := range nodes {
+		routes[RouteKey{Party: 0, Tree: nb.Tree, Node: nb.Node}] = nb.Bits
+	}
+
+	partial, skipped, err := RoutePartialMargins(b, m.LearningRate, m.BaseScore, parts[1], rows, routes, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the reference fragment: only trees with no party-0 split.
+	kept := &PartyModel{Party: b.Party}
+	for _, tree := range b.Trees {
+		pure := true
+		for _, nd := range tree.Nodes {
+			if nd.Owner != OwnerLeaf && nd.Owner != b.Party {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			kept.Trees = append(kept.Trees, tree)
+		}
+	}
+	if got := len(b.Trees) - len(kept.Trees); got != skipped {
+		t.Fatalf("skipped = %d, but %d trees contain party-0 splits", skipped, got)
+	}
+	if skipped == 0 {
+		t.Skip("trained model has no party-0 splits; partial routing is vacuous here")
+	}
+
+	want, err := RouteMargins(kept, m.LearningRate, m.BaseScore, parts[1], rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rows {
+		if math.Abs(partial[k]-want[k]) > 1e-12 {
+			t.Errorf("partial margin[%d] = %g, want %g (B-pure trees only)", k, partial[k], want[k])
+		}
+	}
+}

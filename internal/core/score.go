@@ -131,9 +131,42 @@ func ScorePlacements(fragment *PartyModel, data *dataset.Dataset, rows []int32) 
 // by passive parties, and returns baseScore + learningRate·Σ leaf weights
 // per row. A nil rows slice scores every shard row in order.
 func RouteMargins(bFragment *PartyModel, learningRate, baseScore float64, bData *dataset.Dataset, rows []int32, routes map[RouteKey][]byte) ([]float64, error) {
+	out, _, err := routeMargins(bFragment, learningRate, baseScore, bData, rows, routes, nil)
+	return out, err
+}
+
+// RoutePartialMargins is RouteMargins for a degraded round: trees that
+// contain a split node owned by any party in missing are skipped whole
+// (a tree is either fully routed or not counted at all — no mid-tree
+// guessing), and the returned count says how many were. With an empty
+// missing set it is exactly RouteMargins.
+func RoutePartialMargins(bFragment *PartyModel, learningRate, baseScore float64, bData *dataset.Dataset, rows []int32, routes map[RouteKey][]byte, missing map[int]bool) ([]float64, int, error) {
+	return routeMargins(bFragment, learningRate, baseScore, bData, rows, routes, missing)
+}
+
+// routeMargins is the shared traversal behind RouteMargins and
+// RoutePartialMargins. missing marks parties whose routing bits are
+// unavailable this round; trees touching them are skipped and counted.
+func routeMargins(bFragment *PartyModel, learningRate, baseScore float64, bData *dataset.Dataset, rows []int32, routes map[RouteKey][]byte, missing map[int]bool) ([]float64, int, error) {
 	n := len(rows)
 	if rows == nil {
 		n = bData.Rows()
+	}
+	// A tree is routable only if every split it contains belongs to B or
+	// to a present party; decide per tree, not per node, so partial
+	// margins stay a sum of whole-tree contributions.
+	skip := make([]bool, len(bFragment.Trees))
+	skipped := 0
+	if len(missing) > 0 {
+		for ti, tree := range bFragment.Trees {
+			for _, nd := range tree.Nodes {
+				if nd.Owner != OwnerLeaf && nd.Owner != bFragment.Party && missing[nd.Owner] {
+					skip[ti] = true
+					skipped++
+					break
+				}
+			}
+		}
 	}
 	out := make([]float64, n)
 	for k := 0; k < n; k++ {
@@ -142,18 +175,21 @@ func RouteMargins(bFragment *PartyModel, learningRate, baseScore float64, bData 
 			r = int(rows[k])
 		}
 		if r < 0 || r >= bData.Rows() {
-			return nil, fmt.Errorf("core: score row %d outside shard of %d rows", r, bData.Rows())
+			return nil, 0, fmt.Errorf("core: score row %d outside shard of %d rows", r, bData.Rows())
 		}
 		margin := baseScore
 		for ti, tree := range bFragment.Trees {
+			if skip[ti] {
+				continue
+			}
 			id := tree.Root
 			for hop := 0; ; hop++ {
 				if hop > 64 {
-					return nil, fmt.Errorf("core: scoring traversal of tree %d did not terminate", ti)
+					return nil, 0, fmt.Errorf("core: scoring traversal of tree %d did not terminate", ti)
 				}
 				nd, ok := tree.Nodes[id]
 				if !ok {
-					return nil, fmt.Errorf("core: tree %d missing node %d", ti, id)
+					return nil, 0, fmt.Errorf("core: tree %d missing node %d", ti, id)
 				}
 				if nd.Owner == OwnerLeaf {
 					margin += learningRate * nd.Weight
@@ -165,7 +201,7 @@ func RouteMargins(bFragment *PartyModel, learningRate, baseScore float64, bData 
 				} else {
 					bits, ok := routes[RouteKey{Party: nd.Owner, Tree: ti, Node: id}]
 					if !ok {
-						return nil, fmt.Errorf("core: no routing bits from party %d for tree %d node %d", nd.Owner, ti, id)
+						return nil, 0, fmt.Errorf("core: no routing bits from party %d for tree %d node %d", nd.Owner, ti, id)
 					}
 					left = bitmapGet(bits, k)
 				}
@@ -178,5 +214,5 @@ func RouteMargins(bFragment *PartyModel, learningRate, baseScore float64, bData 
 		}
 		out[k] = margin
 	}
-	return out, nil
+	return out, skipped, nil
 }

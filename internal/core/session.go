@@ -225,7 +225,7 @@ func (s *Session) Train() (*FederatedModel, error) {
 			if err != nil {
 				return nil, err
 			}
-			return consumerEndpoint{send: prod.Send, recv: cons.Receive, detach: cons.Close}, nil
+			return consumerEndpoint{send: prod.Send, sendCtx: prod.SendContext, recv: cons.Receive, detach: cons.Close}, nil
 		}
 		bEnd, err := newEndpoint(b2a, a2b)
 		if err != nil {

@@ -8,6 +8,7 @@
 package mq
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -201,6 +202,23 @@ func (p *Producer) Send(payload []byte) error {
 	return p.SendWithID(p.seq, payload)
 }
 
+// SendContext is Send with a deadline: if the context expires while the
+// producer is blocked on its WAN transmission slot, the send aborts with
+// the context's error and the message is not enqueued. Used by the
+// scoring server so a congested link cannot pin a round past its budget.
+func (p *Producer) SendContext(ctx context.Context, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.seq++
+	if p.broker.shaper != nil {
+		if err := p.broker.shaper.TransmitContext(ctx, len(payload)); err != nil {
+			return err
+		}
+	}
+	return p.enqueue(p.seq, payload)
+}
+
 // SendWithID publishes with an explicit sequence number; re-sending an
 // already-delivered ID is a no-op (effectively-once semantics, used by
 // retry loops in unreliable transports).
@@ -208,6 +226,11 @@ func (p *Producer) SendWithID(id uint64, payload []byte) error {
 	if p.broker.shaper != nil {
 		p.broker.shaper.Transmit(len(payload))
 	}
+	return p.enqueue(id, payload)
+}
+
+// enqueue appends one message to the topic under dup suppression.
+func (p *Producer) enqueue(id uint64, payload []byte) error {
 	t := p.topic
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,109 @@
+package mq
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTransmitContextAbortsOnDeadline: a sender blocked on the serialized
+// WAN link unblocks when its context expires, but the link reservation is
+// kept — the bytes went on the wire, only the sender stopped waiting.
+func TestTransmitContextAbortsOnDeadline(t *testing.T) {
+	// 1 Mbps = 125000 B/s: 25000 bytes occupy the link for 200ms.
+	s := NewShaper(1, 0)
+
+	// An already-expired context is refused before touching the link.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.TransmitContext(expired, 25000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransmitContext(expired) = %v, want context.Canceled", err)
+	}
+	if s.Bytes() != 0 {
+		t.Fatalf("expired send accounted %d bytes, want 0", s.Bytes())
+	}
+
+	// A 20ms budget cannot cover a 200ms transmission: the sender aborts
+	// near its deadline, far before the transmission slot ends.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	start := time.Now()
+	err := s.TransmitContext(ctx, 25000)
+	elapsed := time.Since(start)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TransmitContext = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("aborted sender waited %v, want ~20ms", elapsed)
+	}
+
+	// The reservation survives the abort: a 10ms transmission that would
+	// clear an idle link immediately still cannot fit in a 50ms budget,
+	// because it queues behind the ~180ms the aborted sender left behind.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if err := s.TransmitContext(ctx2, 1250); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("send behind kept reservation = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestProducerSendContext: a deadline-aborted send never reaches the
+// topic, and an unbounded send on the same producer still goes through.
+func TestProducerSendContext(t *testing.T) {
+	// 80ms per 10000-byte message.
+	b := NewBroker(WithShaper(NewShaper(1, 0)))
+	defer b.Close()
+	prod, err := b.Producer("x", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := b.Consumer("x", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 10000)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	if err := prod.SendContext(ctx, payload); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("congested SendContext = %v, want context.DeadlineExceeded", err)
+	}
+	cancel()
+	if depth := b.TopicDepth("x"); depth != 0 {
+		t.Fatalf("aborted send enqueued: topic depth %d, want 0", depth)
+	}
+
+	if err := prod.SendContext(context.Background(), []byte("after")); err != nil {
+		t.Fatalf("unbounded SendContext: %v", err)
+	}
+	got, err := cons.ReceiveTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("after")) {
+		t.Fatalf("received %q, want %q", got, "after")
+	}
+}
+
+// TestProducerSendContextNoShaper: without a shaper SendContext is just a
+// guarded Send — live contexts pass, dead ones refuse before enqueueing.
+func TestProducerSendContextNoShaper(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	prod, err := b.Producer("y", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.SendContext(context.Background(), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := prod.SendContext(cancelled, []byte("dead")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SendContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if depth := b.TopicDepth("y"); depth != 1 {
+		t.Fatalf("topic depth %d, want 1 (only the live send)", depth)
+	}
+}

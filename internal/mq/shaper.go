@@ -1,6 +1,7 @@
 package mq
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,10 +49,23 @@ func (s *Shaper) SetPerMessageOverhead(n int) { s.overhead.Store(int64(n)) }
 // the configured per-message framing overhead) and the propagation
 // latency, then returns. It also accounts the bytes.
 func (s *Shaper) Transmit(n int) {
+	s.TransmitContext(context.Background(), n)
+}
+
+// TransmitContext is Transmit with a deadline: an already-expired context
+// returns its error without reserving the link, and a context that
+// expires mid-wait unblocks the sender early. The link reservation is
+// kept either way — the bytes were "put on the wire"; only the sender
+// stops waiting for them — so shaping stays consistent for later
+// traffic.
+func (s *Shaper) TransmitContext(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n += int(s.overhead.Load())
 	s.bytes.Add(int64(n))
 	if s.bandwidth <= 0 && s.latency <= 0 {
-		return
+		return nil
 	}
 	var wait time.Duration
 	if s.bandwidth > 0 {
@@ -68,9 +82,21 @@ func (s *Shaper) Transmit(n int) {
 		wait = time.Until(done)
 	}
 	wait += s.latency
-	if wait > 0 {
-		s.waits.Add(int64(wait))
+	if wait <= 0 {
+		return nil
+	}
+	s.waits.Add(int64(wait))
+	if ctx.Done() == nil {
 		time.Sleep(wait)
+		return nil
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// BatcherConfig bounds how long a request may wait for company.
+// BatcherConfig bounds how long a request may wait for company — and,
+// since PR 4, how many requests may wait at all.
 type BatcherConfig struct {
 	// MaxBatch flushes a batch as soon as this many requests are pending
 	// (default 64).
@@ -15,6 +17,11 @@ type BatcherConfig struct {
 	// MaxWait flushes a non-empty batch this long after its first request
 	// arrived, bounding tail latency under light load (default 2ms).
 	MaxWait time.Duration
+	// MaxQueue bounds the number of requests admitted but not yet
+	// answered (pending + in-flight). Beyond it, Score sheds with
+	// ErrOverloaded instead of queueing work that would only time out
+	// (default 1024).
+	MaxQueue int
 }
 
 func (c *BatcherConfig) defaults() {
@@ -24,19 +31,47 @@ func (c *BatcherConfig) defaults() {
 	if c.MaxWait <= 0 {
 		c.MaxWait = 2 * time.Millisecond
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
 }
 
+// BatchResult is one federated round's outcome: margins for the batch,
+// the model version the round was pinned to, and — in degraded mode —
+// the passive parties that could not be consulted (Missing is empty for
+// a full-fidelity round).
+type BatchResult struct {
+	Margins []float64
+	Version uint64
+	Missing []int
+}
+
+// RowResult is one request's scoring outcome.
+type RowResult struct {
+	Margin  float64
+	Version uint64
+	// Missing lists the passive parties absent from the round; non-empty
+	// means Margin is a partial (B-plus-reachable-parties) score.
+	Missing []int
+}
+
+// Partial reports whether the margin omitted any passive party.
+func (r RowResult) Partial() bool { return len(r.Missing) > 0 }
+
 // BatchScorer scores one micro-batch of shard rows in a single federated
-// round and reports the model version the round was pinned to.
-type BatchScorer func(rows []int32) ([]float64, uint64, error)
+// round. The context carries the batch's deadline; implementations must
+// return (not hang) once it expires.
+type BatchScorer func(ctx context.Context, rows []int32) (BatchResult, error)
 
 // Batcher coalesces single-instance scoring requests into micro-batches:
 // one WAN round-trip serves up to MaxBatch requests. A batch flushes when
 // it is full, when the oldest request has waited MaxWait, or when the
-// batcher shuts down (drain, not drop).
+// batcher shuts down (drain, not drop). Admission is bounded by MaxQueue.
 type Batcher struct {
 	cfg   BatcherConfig
 	score BatchScorer
+
+	queued atomic.Int64 // admitted but unanswered requests
 
 	mu     sync.Mutex
 	buf    []pendingScore
@@ -47,14 +82,14 @@ type Batcher struct {
 }
 
 type pendingScore struct {
-	row int32
-	ch  chan scoreResult
+	row      int32
+	deadline time.Time // zero = unbounded
+	ch       chan scoreResult
 }
 
 type scoreResult struct {
-	margin  float64
-	version uint64
-	err     error
+	res RowResult
+	err error
 }
 
 // NewBatcher creates a batcher over a batch scorer.
@@ -63,17 +98,41 @@ func NewBatcher(cfg BatcherConfig, score BatchScorer) *Batcher {
 	return &Batcher{cfg: cfg, score: score}
 }
 
+// Queued returns the number of admitted but unanswered requests — the
+// queue-depth gauge behind Retry-After on shed responses.
+func (b *Batcher) Queued() int64 { return b.queued.Load() }
+
+// MaxQueue returns the admission bound.
+func (b *Batcher) MaxQueue() int { return b.cfg.MaxQueue }
+
 // Score enqueues one row and blocks until its batch is scored, the context
 // is done, or the batcher closes. It returns the margin and the model
 // version the batch was pinned to.
 func (b *Batcher) Score(ctx context.Context, row int32) (float64, uint64, error) {
+	r, err := b.ScoreRow(ctx, row)
+	return r.Margin, r.Version, err
+}
+
+// ScoreRow is Score with the full per-row outcome (including the
+// missing-party list of a degraded round). The request's ctx deadline
+// propagates into the federated round.
+func (b *Batcher) ScoreRow(ctx context.Context, row int32) (RowResult, error) {
 	ch := make(chan scoreResult, 1)
+	p := pendingScore{row: row, ch: ch}
+	if dl, ok := ctx.Deadline(); ok {
+		p.deadline = dl
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return 0, 0, ErrClosed
+		return RowResult{}, ErrClosed
 	}
-	b.buf = append(b.buf, pendingScore{row: row, ch: ch})
+	if b.queued.Load() >= int64(b.cfg.MaxQueue) {
+		b.mu.Unlock()
+		return RowResult{}, ErrOverloaded
+	}
+	b.queued.Add(1)
+	b.buf = append(b.buf, p)
 	if len(b.buf) >= b.cfg.MaxBatch {
 		batch := b.take()
 		b.wg.Add(1)
@@ -88,11 +147,11 @@ func (b *Batcher) Score(ctx context.Context, row int32) (float64, uint64, error)
 	}
 	select {
 	case r := <-ch:
-		return r.margin, r.version, r.err
+		return r.res, r.err
 	case <-ctx.Done():
 		// The batch may still score this row; the waiter just stops
 		// listening (ch is buffered so the flush never blocks on it).
-		return 0, 0, ctx.Err()
+		return RowResult{}, ctx.Err()
 	}
 }
 
@@ -121,22 +180,42 @@ func (b *Batcher) deadline(gen uint64) {
 	b.run(batch)
 }
 
-// run scores one detached batch and fans the results back out.
+// run scores one detached batch and fans the results back out. The round
+// runs under the most patient member's deadline: impatient waiters give
+// up on their own ctx without dragging the whole batch down with them.
 func (b *Batcher) run(batch []pendingScore) {
 	defer b.wg.Done()
+	defer b.queued.Add(-int64(len(batch)))
 	rows := make([]int32, len(batch))
+	var latest time.Time
+	bounded := true
 	for i, p := range batch {
 		rows[i] = p.row
+		if p.deadline.IsZero() {
+			bounded = false
+		} else if p.deadline.After(latest) {
+			latest = p.deadline
+		}
 	}
-	margins, version, err := b.score(rows)
-	if err == nil && len(margins) != len(batch) {
-		err = fmt.Errorf("serve: scorer returned %d margins for %d rows", len(margins), len(batch))
+	ctx := context.Background()
+	if bounded {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, latest)
+		defer cancel()
+	}
+	res, err := b.score(ctx, rows)
+	if err == nil && len(res.Margins) != len(batch) {
+		err = fmt.Errorf("serve: scorer returned %d margins for %d rows", len(res.Margins), len(batch))
 	}
 	for i, p := range batch {
 		if err != nil {
 			p.ch <- scoreResult{err: err}
 		} else {
-			p.ch <- scoreResult{margin: margins[i], version: version}
+			p.ch <- scoreResult{res: RowResult{
+				Margin:  res.Margins[i],
+				Version: res.Version,
+				Missing: res.Missing,
+			}}
 		}
 	}
 }

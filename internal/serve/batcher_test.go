@@ -17,18 +17,18 @@ type recordingScorer struct {
 	err     error
 }
 
-func (s *recordingScorer) score(rows []int32) ([]float64, uint64, error) {
+func (s *recordingScorer) score(_ context.Context, rows []int32) (BatchResult, error) {
 	s.mu.Lock()
 	s.batches = append(s.batches, append([]int32(nil), rows...))
 	s.mu.Unlock()
 	if s.err != nil {
-		return nil, 0, s.err
+		return BatchResult{}, s.err
 	}
 	out := make([]float64, len(rows))
 	for i, r := range rows {
 		out[i] = float64(r) * 2
 	}
-	return out, s.version, nil
+	return BatchResult{Margins: out, Version: s.version}, nil
 }
 
 func (s *recordingScorer) flushes() [][]int32 {
@@ -164,6 +164,110 @@ func TestBatcherErrorFansOut(t *testing.T) {
 	wg.Wait()
 	if errs.Load() != 2 {
 		t.Errorf("%d of 2 waiters saw the round error", errs.Load())
+	}
+}
+
+// TestBatcherQueueBound: requests beyond MaxQueue are shed with
+// ErrOverloaded instead of queueing, and admission re-opens once the
+// queue drains.
+func TestBatcherQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	b := NewBatcher(BatcherConfig{MaxBatch: 1000, MaxWait: time.Hour, MaxQueue: 2},
+		func(_ context.Context, rows []int32) (BatchResult, error) {
+			calls.Add(1)
+			<-release
+			return BatchResult{Margins: make([]float64, len(rows)), Version: 1}, nil
+		})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(row int32) {
+			defer wg.Done()
+			if _, _, err := b.Score(context.Background(), row); err != nil {
+				t.Errorf("admitted request failed: %v", err)
+			}
+		}(int32(i))
+	}
+	// Wait until both are queued (MaxBatch 1000, MaxWait 1h: nothing can
+	// flush them).
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", b.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The 3rd request must shed immediately, not block.
+	start := time.Now()
+	if _, _, err := b.Score(context.Background(), 9); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-quota Score = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("shed decision blocked")
+	}
+	close(release)
+	b.Close() // drains the two queued rows
+	wg.Wait()
+	if b.Queued() != 0 {
+		t.Errorf("queued = %d after drain, want 0", b.Queued())
+	}
+	if calls.Load() == 0 {
+		t.Error("queued rows never scored")
+	}
+}
+
+// TestBatcherPartialFansOut: a degraded round's missing-party list reaches
+// every waiter in the batch.
+func TestBatcherPartialFansOut(t *testing.T) {
+	b := NewBatcher(BatcherConfig{MaxBatch: 2, MaxWait: time.Hour},
+		func(_ context.Context, rows []int32) (BatchResult, error) {
+			return BatchResult{Margins: make([]float64, len(rows)), Version: 5, Missing: []int{0, 2}}, nil
+		})
+	defer b.Close()
+	var wg sync.WaitGroup
+	var partial atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(row int32) {
+			defer wg.Done()
+			res, err := b.ScoreRow(context.Background(), row)
+			if err != nil {
+				t.Errorf("ScoreRow: %v", err)
+				return
+			}
+			if res.Partial() && len(res.Missing) == 2 && res.Version == 5 {
+				partial.Add(1)
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	if partial.Load() != 2 {
+		t.Errorf("%d of 2 waiters saw the partial outcome", partial.Load())
+	}
+}
+
+// TestBatcherDeadlinePropagates: the flush context carries the most
+// patient waiter's deadline.
+func TestBatcherDeadlinePropagates(t *testing.T) {
+	got := make(chan time.Time, 1)
+	b := NewBatcher(BatcherConfig{MaxBatch: 1, MaxWait: time.Hour},
+		func(ctx context.Context, rows []int32) (BatchResult, error) {
+			dl, _ := ctx.Deadline()
+			got <- dl
+			return BatchResult{Margins: make([]float64, len(rows))}, nil
+		})
+	defer b.Close()
+	want := time.Now().Add(250 * time.Millisecond)
+	ctx, cancel := context.WithDeadline(context.Background(), want)
+	defer cancel()
+	if _, _, err := b.Score(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	dl := <-got
+	if dl.IsZero() || dl.After(want.Add(time.Millisecond)) || dl.Before(want.Add(-time.Millisecond)) {
+		t.Errorf("flush deadline %v, want ~%v", dl, want)
 	}
 }
 

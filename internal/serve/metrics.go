@@ -102,14 +102,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Metrics instruments the serving path: request and batch counters plus
-// latency and batch-size histograms, rendered by /metricsz.
+// latency and batch-size histograms, rendered by /metricsz. PR 4 adds the
+// overload/degradation counters (shed, timeouts, degraded, retries) and
+// per-phase latency (WAN round-trip vs local routing) so operators can
+// tell a slow party from a slow tree walk.
 type Metrics struct {
 	start     time.Time
 	requests  atomic.Int64
 	batches   atomic.Int64
 	errors    atomic.Int64
-	latency   *Histogram // per-request latency, milliseconds
-	batchSize *Histogram // federated rounds by batch size
+	shed      atomic.Int64 // requests rejected by admission control
+	timeouts  atomic.Int64 // rounds/requests that blew their deadline
+	degraded  atomic.Int64 // requests answered with partial margins
+	retries   atomic.Int64 // in-round session re-open attempts
+	latency   *Histogram   // per-request latency, milliseconds
+	batchSize *Histogram   // federated rounds by batch size
+	wan       *Histogram   // sidecar round-trip latency, milliseconds
+	route     *Histogram   // local margin-routing latency, milliseconds
 }
 
 // NewMetrics creates zeroed metrics with the default bucket layouts.
@@ -118,6 +127,8 @@ func NewMetrics() *Metrics {
 		start:     time.Now(),
 		latency:   NewHistogram(LatencyBounds()),
 		batchSize: NewHistogram(SizeBounds()),
+		wan:       NewHistogram(LatencyBounds()),
+		route:     NewHistogram(LatencyBounds()),
 	}
 }
 
@@ -137,6 +148,29 @@ func (m *Metrics) ObserveBatch(size int) {
 	m.batchSize.Observe(float64(size))
 }
 
+// ObserveShed records one request rejected by admission control.
+func (m *Metrics) ObserveShed() { m.shed.Add(1) }
+
+// ObserveTimeout records one deadline expiry (a request or a sidecar
+// round that ran out of budget).
+func (m *Metrics) ObserveTimeout() { m.timeouts.Add(1) }
+
+// ObserveDegraded records one request answered with partial margins.
+func (m *Metrics) ObserveDegraded() { m.degraded.Add(1) }
+
+// ObserveRetry records one in-round session re-open attempt.
+func (m *Metrics) ObserveRetry() { m.retries.Add(1) }
+
+// ObserveWAN records one sidecar round-trip's latency.
+func (m *Metrics) ObserveWAN(d time.Duration) {
+	m.wan.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// ObserveRoute records one local margin-routing pass's latency.
+func (m *Metrics) ObserveRoute(d time.Duration) {
+	m.route.Observe(float64(d) / float64(time.Millisecond))
+}
+
 // Requests returns the total requests observed.
 func (m *Metrics) Requests() int64 { return m.requests.Load() }
 
@@ -145,6 +179,18 @@ func (m *Metrics) Batches() int64 { return m.batches.Load() }
 
 // Errors returns the total failed requests.
 func (m *Metrics) Errors() int64 { return m.errors.Load() }
+
+// Shed returns the total requests rejected by admission control.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
+
+// Timeouts returns the total deadline expiries.
+func (m *Metrics) Timeouts() int64 { return m.timeouts.Load() }
+
+// Degraded returns the total partial-margin responses.
+func (m *Metrics) Degraded() int64 { return m.degraded.Load() }
+
+// Retries returns the total in-round session re-open attempts.
+func (m *Metrics) Retries() int64 { return m.retries.Load() }
 
 // QPS returns requests per second since the metrics were created.
 func (m *Metrics) QPS() float64 {
@@ -160,6 +206,12 @@ func (m *Metrics) Latency() *Histogram { return m.latency }
 
 // BatchSize returns the batch-size histogram.
 func (m *Metrics) BatchSize() *Histogram { return m.batchSize }
+
+// WAN returns the sidecar round-trip latency histogram (milliseconds).
+func (m *Metrics) WAN() *Histogram { return m.wan }
+
+// Route returns the local routing latency histogram (milliseconds).
+func (m *Metrics) Route() *Histogram { return m.route }
 
 // Uptime returns the time since the metrics were created.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }

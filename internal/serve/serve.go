@@ -28,7 +28,10 @@
 // instances without shipping features across the boundary.
 package serve
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrClosed is returned by operations on a closed batcher or server.
 var ErrClosed = errors.New("serve: closed")
@@ -36,3 +39,48 @@ var ErrClosed = errors.New("serve: closed")
 // ErrNoModel is returned when scoring is attempted before any model
 // version has been published.
 var ErrNoModel = errors.New("serve: no model version published")
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// batcher queue or the in-flight round limiter is full. HTTP maps it to
+// 429 with a Retry-After derived from the current queue depth.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// ErrPartyUnavailable is returned under the FailClosed policy when a
+// passive party's circuit breaker is open (or its session cannot be
+// re-established), so a full federated round is impossible. HTTP maps it
+// to 503 with a Retry-After derived from the breaker cooldown.
+var ErrPartyUnavailable = errors.New("serve: passive party unavailable (circuit open)")
+
+// DegradedPolicy selects what the scoring server does when a passive
+// party cannot take part in a round (open breaker, dead session).
+type DegradedPolicy int
+
+const (
+	// FailClosed refuses rounds that cannot consult every passive party
+	// — correctness over availability (the default).
+	FailClosed DegradedPolicy = iota
+	// ServePartial serves partial margins from the reachable parties
+	// (trees needing a missing party are skipped), marking the response
+	// "partial": true with the missing-party list — availability over
+	// completeness.
+	ServePartial
+)
+
+// String renders the policy in the -degraded-policy flag syntax.
+func (p DegradedPolicy) String() string {
+	if p == ServePartial {
+		return "partial"
+	}
+	return "failclosed"
+}
+
+// ParsePolicy parses the -degraded-policy CLI value.
+func ParsePolicy(s string) (DegradedPolicy, error) {
+	switch s {
+	case "", "failclosed", "fail-closed":
+		return FailClosed, nil
+	case "partial", "servepartial", "serve-partial":
+		return ServePartial, nil
+	}
+	return FailClosed, fmt.Errorf("serve: unknown degraded policy %q (want failclosed or partial)", s)
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,8 +29,32 @@ type ServerConfig struct {
 	// Workers holds one open transport per passive party, in party-index
 	// order, each with a PassiveWorker serving the other end.
 	Workers []core.Transport
+	// Dialers, when set, lets the server re-open a worker session after a
+	// transport loss or a breaker probe: Dialers[i] re-dials party i.
+	// Without one, a lost link stays lost for the process lifetime.
+	Dialers []func() (core.Transport, error)
 	// Batch bounds the micro-batcher.
 	Batch BatcherConfig
+	// Deadline is the scoring budget applied to requests that carry none
+	// (default 2s). HTTP clients override it per request with the
+	// X-Score-Deadline header, clamped to MaxDeadline.
+	Deadline time.Duration
+	// MaxDeadline caps client-requested budgets (default 30s).
+	MaxDeadline time.Duration
+	// Policy picks what happens when a passive party cannot join a round:
+	// FailClosed (default) refuses, ServePartial serves partial margins.
+	Policy DegradedPolicy
+	// MaxInflight bounds federated rounds contending for the round slot
+	// concurrently; excess rounds wait for a slot within their deadline
+	// (default 4). Load shedding happens at the bounded batcher queue
+	// (Batch.MaxQueue), not here.
+	MaxInflight int
+	// Breaker tunes the per-worker-link circuit breakers.
+	Breaker BreakerConfig
+	// RetryBudget caps in-round session re-open attempts: a token bucket
+	// of this many tokens refilling one per second (default 8), so a
+	// flapping link cannot turn every round into a redial storm.
+	RetryBudget int
 	// Session is an opaque session label sent in the open handshake.
 	Session string
 	// Codec selects the wire encoding for the scoring session: "binary"
@@ -42,22 +69,162 @@ type ServerConfig struct {
 	Trace *trace.Recorder
 }
 
+func (c *ServerConfig) defaults() {
+	c.Batch.defaults()
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+}
+
+// recvMsg is one pumped link delivery.
+type recvMsg struct {
+	msg any
+	err error
+}
+
+// workerState is the server's view of one passive party: the current
+// link (with its receive pump), liveness, and the circuit breaker. Link
+// plumbing is only replaced while holding the server's round slot;
+// alive and the breaker are read concurrently by /readyz.
+type workerState struct {
+	party   int
+	breaker *Breaker
+	alive   atomic.Bool
+
+	tr     core.Transport
+	link   *core.Link
+	recvCh chan recvMsg
+	done   chan struct{}
+}
+
+// attach installs a fresh transport/link pair and starts its pump.
+func (ws *workerState) attach(tr core.Transport, l *core.Link) {
+	ws.tr = tr
+	ws.link = l
+	ws.recvCh = make(chan recvMsg, 16)
+	ws.done = make(chan struct{})
+	go pumpLink(l, ws.recvCh, ws.done)
+}
+
+// pumpLink moves link deliveries onto a channel so round code can select
+// against a deadline; a blocking Recv no longer pins the round. The done
+// channel releases the pump when the link is abandoned mid-delivery.
+func pumpLink(l *core.Link, ch chan<- recvMsg, done <-chan struct{}) {
+	for {
+		m, err := l.Recv()
+		select {
+		case ch <- recvMsg{msg: m, err: err}:
+		case <-done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// recv waits for the next pumped delivery or the round deadline.
+func (ws *workerState) recv(ctx context.Context) (any, error) {
+	select {
+	case rm := <-ws.recvCh:
+		return rm.msg, rm.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// markDead severs the worker's current link: pump released, transport
+// closed (which also unblocks the sidecar into its redial loop). Called
+// only under the round slot; idempotent.
+func (ws *workerState) markDead() {
+	ws.alive.Store(false)
+	select {
+	case <-ws.done:
+	default:
+		close(ws.done)
+	}
+	closeTransport(ws.tr)
+}
+
+// closeTransport severs a transport if it knows how to be severed.
+func closeTransport(tr core.Transport) {
+	switch c := tr.(type) {
+	case interface{ Close() error }:
+		c.Close()
+	case interface{ Close() }:
+		c.Close()
+	}
+}
+
+// workerError is a structured per-round refusal from a healthy worker
+// (unknown model version, out-of-range row) — the link is fine, the
+// round is not.
+type workerError struct {
+	party int
+	round uint64
+	msg   string
+}
+
+func (e *workerError) Error() string {
+	return fmt.Sprintf("serve: worker %d failed round %d: %s", e.party, e.round, e.msg)
+}
+
+// tokenBucket is the retry budget: take() spends one token, tokens
+// refill at one per second up to the cap.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	cap    float64
+	last   time.Time
+}
+
+func newTokenBucket(cap int) *tokenBucket {
+	return &tokenBucket{tokens: float64(cap), cap: float64(cap), last: time.Now()}
+}
+
+func (tb *tokenBucket) take() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens = math.Min(tb.cap, tb.tokens+now.Sub(tb.last).Seconds())
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
 // Server drives online federated scoring from Party B: it pins a model
 // version per micro-batch, issues one scoring round over every worker
 // link, routes instances locally, and serves the result over HTTP. One
 // round is in flight per session at a time (the links are FIFO); the
 // batcher overlaps accumulation of the next batch with the in-flight WAN
-// round-trip.
+// round-trip. Every round runs under a deadline, admission is bounded,
+// and each worker link sits behind a circuit breaker with optional
+// degraded (partial-margin) serving when a party is unreachable.
 type Server struct {
 	cfg     ServerConfig
-	links   []*core.Link
+	codec   wire.Codec
+	workers []*workerState
 	batcher *Batcher
 	met     *Metrics
+	retry   *tokenBucket
 
-	roundMu sync.Mutex // serializes federated rounds over the links
-	round   atomic.Uint64
-	opened  bool
-	closing atomic.Bool
+	inflight chan struct{} // round admission semaphore
+	roundCh  chan struct{} // capacity-1 round slot; ctx-aware mutex
+	round    atomic.Uint64
+	opened   atomic.Bool
+	closing  atomic.Bool
 }
 
 // NewServer validates the wiring; Open performs the session handshake.
@@ -75,158 +242,409 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	s := &Server{cfg: cfg, met: NewMetrics()}
-	for _, tr := range cfg.Workers {
-		s.links = append(s.links, core.NewLinkCodec(tr, codec))
+	cfg.defaults()
+	s := &Server{
+		cfg:      cfg,
+		codec:    codec,
+		met:      NewMetrics(),
+		retry:    newTokenBucket(cfg.RetryBudget),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		roundCh:  make(chan struct{}, 1),
 	}
-	s.batcher = NewBatcher(cfg.Batch, s.ScoreRows)
+	for i, tr := range cfg.Workers {
+		ws := &workerState{party: i, breaker: NewBreaker(cfg.Breaker)}
+		ws.attach(tr, core.NewLinkCodec(tr, codec))
+		s.workers = append(s.workers, ws)
+	}
+	s.batcher = NewBatcher(cfg.Batch, s.ScoreBatch)
 	return s, nil
 }
 
 // Metrics exposes the server's instrumentation.
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Breaker returns party i's circuit breaker (nil if out of range) —
+// exported for tests and operational introspection.
+func (s *Server) Breaker(i int) *Breaker {
+	if i < 0 || i >= len(s.workers) {
+		return nil
+	}
+	return s.workers[i].breaker
+}
+
 // Open performs the session handshake with every worker: protocol version
 // agreement and the instance-alignment check (every party must hold a
 // shard of the same universe).
 func (s *Server) Open() error {
-	for i, l := range s.links {
-		if err := l.Send(core.MsgScoreOpen{Proto: core.ScoreProtoVersion, Session: s.cfg.Session}); err != nil {
+	for i, ws := range s.workers {
+		if err := ws.link.Send(core.MsgScoreOpen{Proto: core.ScoreProtoVersion, Session: s.cfg.Session}); err != nil {
 			return fmt.Errorf("serve: opening session with worker %d: %w", i, err)
 		}
 	}
-	for i, l := range s.links {
-		msg, err := l.Recv()
-		if err != nil {
-			return fmt.Errorf("serve: worker %d open ack: %w", i, err)
+	for i, ws := range s.workers {
+		rm := <-ws.recvCh
+		if rm.err != nil {
+			return fmt.Errorf("serve: worker %d open ack: %w", i, rm.err)
 		}
-		ack, ok := msg.(core.MsgScoreOpenAck)
-		if !ok {
-			return fmt.Errorf("serve: expected MsgScoreOpenAck from worker %d, got %T", i, msg)
+		if err := s.checkOpenAck(i, rm.msg); err != nil {
+			return err
 		}
-		if ack.Error != "" {
-			return fmt.Errorf("serve: worker %d rejected session: %s", i, ack.Error)
-		}
-		if ack.Party != i {
-			return fmt.Errorf("serve: transport %d is connected to party %d; order transports by party index", i, ack.Party)
-		}
-		if ack.Rows != s.cfg.Data.Rows() {
-			return fmt.Errorf("serve: party %d shard has %d rows, B has %d — scoring universes misaligned", i, ack.Rows, s.cfg.Data.Rows())
-		}
+		ws.alive.Store(true)
 	}
-	s.opened = true
+	s.opened.Store(true)
+	return nil
+}
+
+// checkOpenAck validates one worker's session handshake answer.
+func (s *Server) checkOpenAck(i int, msg any) error {
+	ack, ok := msg.(core.MsgScoreOpenAck)
+	if !ok {
+		return fmt.Errorf("serve: expected MsgScoreOpenAck from worker %d, got %T", i, msg)
+	}
+	if ack.Error != "" {
+		return fmt.Errorf("serve: worker %d rejected session: %s", i, ack.Error)
+	}
+	if ack.Party != i {
+		return fmt.Errorf("serve: transport %d is connected to party %d; order transports by party index", i, ack.Party)
+	}
+	if ack.Rows != s.cfg.Data.Rows() {
+		return fmt.Errorf("serve: party %d shard has %d rows, B has %d — scoring universes misaligned", i, ack.Rows, s.cfg.Data.Rows())
+	}
+	return nil
+}
+
+// reopen re-dials party i and redoes the session handshake, spending one
+// retry-budget token. Called under the round slot.
+func (s *Server) reopen(ctx context.Context, i int) error {
+	var dial func() (core.Transport, error)
+	if i < len(s.cfg.Dialers) {
+		dial = s.cfg.Dialers[i]
+	}
+	if dial == nil {
+		return fmt.Errorf("serve: no dialer configured for party %d", i)
+	}
+	if !s.retry.take() {
+		return fmt.Errorf("serve: retry budget exhausted re-opening party %d", i)
+	}
+	s.met.ObserveRetry()
+	tr, err := dial()
+	if err != nil {
+		return fmt.Errorf("serve: re-dialing party %d: %w", i, err)
+	}
+	ws := s.workers[i]
+	ws.markDead() // release the old pump before installing the new link
+	ws.attach(tr, core.NewLinkCodec(tr, s.codec))
+	if err := ws.link.SendContext(ctx, core.MsgScoreOpen{Proto: core.ScoreProtoVersion, Session: s.cfg.Session}); err != nil {
+		ws.markDead()
+		return fmt.Errorf("serve: re-opening session with party %d: %w", i, err)
+	}
+	msg, err := ws.recv(ctx)
+	if err != nil {
+		ws.markDead()
+		return fmt.Errorf("serve: party %d re-open ack: %w", i, err)
+	}
+	if err := s.checkOpenAck(i, msg); err != nil {
+		ws.markDead()
+		return err
+	}
+	ws.alive.Store(true)
 	return nil
 }
 
 // Score enqueues one row into the micro-batcher and blocks for its margin
 // and the model version it was scored with.
 func (s *Server) Score(ctx context.Context, row int32) (float64, uint64, error) {
+	r, err := s.ScoreRow(ctx, row)
+	return r.Margin, r.Version, err
+}
+
+// ScoreRow is Score with the full outcome (partial flag, missing-party
+// list). A context without a deadline gets the server's default budget.
+func (s *Server) ScoreRow(ctx context.Context, row int32) (RowResult, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
 	start := time.Now()
-	margin, version, err := s.batcher.Score(ctx, row)
+	r, err := s.batcher.ScoreRow(ctx, row)
 	s.met.ObserveRequest(time.Since(start), err)
-	return margin, version, err
+	s.observeOutcome(r.Missing, err)
+	return r, err
+}
+
+// observeOutcome feeds the overload/degradation counters from one
+// request's result.
+func (s *Server) observeOutcome(missing []int, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.met.ObserveShed()
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.ObserveTimeout()
+	case err == nil && len(missing) > 0:
+		s.met.ObserveDegraded()
+	}
 }
 
 // ScoreRows issues one federated scoring round for the given rows, pinned
-// to the registry's current model version. All rows in the round are
-// scored against that single version even if a hot-swap lands mid-round.
+// to the registry's current model version. Kept for direct Go callers
+// with the pre-deadline semantics: no budget (the round blocks as long
+// as the links do). Deadline-aware callers use ScoreBatch.
 func (s *Server) ScoreRows(rows []int32) ([]float64, uint64, error) {
+	res, err := s.ScoreBatch(context.Background(), rows)
+	return res.Margins, res.Version, err
+}
+
+// ScoreBatch issues one federated scoring round under the context's
+// deadline. All rows in the round are scored against one pinned model
+// version even if a hot-swap lands mid-round. A worker that cannot
+// answer in budget fails the round (FailClosed) or drops out of it
+// (ServePartial — the result lists it in Missing and margins omit every
+// tree that needed it).
+func (s *Server) ScoreBatch(ctx context.Context, rows []int32) (BatchResult, error) {
 	if s.closing.Load() {
-		return nil, 0, ErrClosed
+		return BatchResult{}, ErrClosed
 	}
 	mv, ok := s.cfg.Registry.Current()
 	if !ok {
-		return nil, 0, ErrNoModel
+		return BatchResult{}, ErrNoModel
 	}
 	if len(rows) == 0 {
-		return nil, mv.Version, nil
+		return BatchResult{Version: mv.Version}, nil
 	}
-	s.roundMu.Lock()
-	defer s.roundMu.Unlock()
-	if !s.opened {
-		return nil, 0, fmt.Errorf("serve: session not opened")
+	// Concurrency limit: only MaxInflight rounds may contend for the round
+	// slot at once; the rest wait here under their own deadline. (Load
+	// shedding already happened at the batcher queue.)
+	select {
+	case s.inflight <- struct{}{}:
+	case <-ctx.Done():
+		s.met.ObserveTimeout()
+		return BatchResult{}, ctx.Err()
 	}
+	defer func() { <-s.inflight }()
+	// The round slot: a capacity-1 channel instead of a mutex so a round
+	// that never gets the links still respects its deadline.
+	select {
+	case s.roundCh <- struct{}{}:
+	case <-ctx.Done():
+		s.met.ObserveTimeout()
+		return BatchResult{}, ctx.Err()
+	}
+	defer func() { <-s.roundCh }()
+	if !s.opened.Load() {
+		return BatchResult{}, fmt.Errorf("serve: session not opened")
+	}
+
 	round := s.round.Add(1)
 	doneBatch := s.cfg.Trace.Span("B:ScoreBatch", fmt.Sprintf("round %d n=%d v=%d", round, len(rows), mv.Version))
 	defer doneBatch()
 
-	// One WAN round-trip: fan the request out to every worker, then
-	// collect all responses.
 	req := core.MsgScoreRequest{Round: round, Version: mv.Version, Rows: rows}
+	missing := make(map[int]bool)
+	active := make([]bool, len(s.workers))
+
+	// Which workers take part: breaker admission first, then session
+	// liveness (a dead session is re-opened on the spot when a dialer
+	// and retry budget allow — a breaker probe rides the same path).
+	for i, ws := range s.workers {
+		allow, _ := ws.breaker.Allow()
+		if !allow {
+			missing[i] = true
+			continue
+		}
+		if !ws.alive.Load() {
+			if err := s.reopen(ctx, i); err != nil {
+				ws.breaker.Failure(false)
+				missing[i] = true
+				continue
+			}
+		}
+		active[i] = true
+	}
+
+	wanStart := time.Now()
 	doneWAN := s.cfg.Trace.Span("B:ScoreWAN", fmt.Sprintf("round %d", round))
-	for i, l := range s.links {
-		if err := l.Send(req); err != nil {
-			doneWAN()
-			return nil, 0, fmt.Errorf("serve: sending round %d to worker %d: %w", round, i, err)
+	for i, ws := range s.workers {
+		if !active[i] {
+			continue
+		}
+		if err := ws.link.SendContext(ctx, req); err != nil {
+			if ctx.Err() != nil {
+				ws.breaker.Failure(true)
+				s.met.ObserveTimeout()
+			} else {
+				ws.markDead()
+				ws.breaker.Failure(false)
+				if e := s.reopen(ctx, i); e == nil && ws.link.SendContext(ctx, req) == nil {
+					continue // re-opened and re-sent within budget
+				}
+			}
+			active[i] = false
+			missing[i] = true
 		}
 	}
+
 	routes := make(map[core.RouteKey][]byte)
-	for i, l := range s.links {
-		msg, err := l.Recv()
+	var appErr error
+	for i := range s.workers {
+		if !active[i] {
+			continue
+		}
+		nodes, err := s.collectWorker(ctx, i, round, mv.Version, req)
 		if err != nil {
-			doneWAN()
-			return nil, 0, fmt.Errorf("serve: round %d response from worker %d: %w", round, i, err)
+			var we *workerError
+			if errors.As(err, &we) && appErr == nil {
+				appErr = err
+			}
+			missing[i] = true
+			continue
 		}
-		resp, ok := msg.(core.MsgScoreResponse)
-		if !ok {
-			doneWAN()
-			return nil, 0, fmt.Errorf("serve: expected MsgScoreResponse from worker %d, got %T", i, msg)
-		}
-		if resp.Round != round || resp.Version != mv.Version {
-			doneWAN()
-			return nil, 0, fmt.Errorf("serve: worker %d answered round %d v%d, expected round %d v%d",
-				i, resp.Round, resp.Version, round, mv.Version)
-		}
-		if resp.Error != "" {
-			doneWAN()
-			return nil, 0, fmt.Errorf("serve: worker %d failed round %d: %s", i, round, resp.Error)
-		}
-		for _, nb := range resp.Nodes {
+		for _, nb := range nodes {
 			routes[core.RouteKey{Party: i, Tree: nb.Tree, Node: nb.Node}] = nb.Bits
 		}
 	}
 	doneWAN()
+	s.met.ObserveWAN(time.Since(wanStart))
 
+	if len(missing) > 0 && s.cfg.Policy != ServePartial {
+		if appErr != nil {
+			return BatchResult{}, appErr
+		}
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+		return BatchResult{}, fmt.Errorf("%w: parties %v", ErrPartyUnavailable, sortedParties(missing))
+	}
+
+	routeStart := time.Now()
 	doneRoute := s.cfg.Trace.Span("B:ScoreRoute", fmt.Sprintf("round %d", round))
-	margins, err := core.RouteMargins(mv.Fragment, mv.LearningRate, mv.BaseScore, s.cfg.Data, rows, routes)
+	margins, _, err := core.RoutePartialMargins(mv.Fragment, mv.LearningRate, mv.BaseScore, s.cfg.Data, rows, routes, missing)
 	doneRoute()
+	s.met.ObserveRoute(time.Since(routeStart))
 	if err != nil {
-		return nil, 0, err
+		return BatchResult{}, err
 	}
 	s.met.ObserveBatch(len(rows))
-	return margins, mv.Version, nil
+	res := BatchResult{Margins: margins, Version: mv.Version}
+	if len(missing) > 0 {
+		res.Missing = sortedParties(missing)
+	}
+	return res, nil
+}
+
+// collectWorker waits for worker i's answer to the round, feeding its
+// breaker. Stale answers to earlier (timed-out) rounds are discarded —
+// that is what lets a session survive a timeout and recover. One
+// transport loss is retried with a budgeted session re-open.
+func (s *Server) collectWorker(ctx context.Context, i int, round, version uint64, req core.MsgScoreRequest) ([]core.PredictNodeBits, error) {
+	ws := s.workers[i]
+	retried := false
+	for {
+		msg, err := ws.recv(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Out of budget; the session may be merely slow, so it
+				// stays open — the stale answer is discarded next round.
+				ws.breaker.Failure(true)
+				s.met.ObserveTimeout()
+				return nil, ctx.Err()
+			}
+			ws.markDead()
+			ws.breaker.Failure(false)
+			if retried {
+				return nil, fmt.Errorf("serve: round %d: worker %d link lost: %w", round, i, err)
+			}
+			retried = true
+			if e := s.reopen(ctx, i); e != nil {
+				return nil, fmt.Errorf("serve: round %d: worker %d link lost (%v), re-open failed: %w", round, i, err, e)
+			}
+			if e := ws.link.SendContext(ctx, req); e != nil {
+				ws.markDead()
+				return nil, fmt.Errorf("serve: round %d: resending to worker %d: %w", round, i, e)
+			}
+			continue
+		}
+		resp, ok := msg.(core.MsgScoreResponse)
+		if !ok {
+			ws.breaker.Failure(false)
+			ws.markDead()
+			return nil, fmt.Errorf("serve: expected MsgScoreResponse from worker %d, got %T", i, msg)
+		}
+		if resp.Round < round {
+			continue // answer to a round that already gave up on it
+		}
+		if resp.Round != round || resp.Version != version {
+			ws.breaker.Failure(false)
+			ws.markDead()
+			return nil, fmt.Errorf("serve: worker %d answered round %d v%d, expected round %d v%d",
+				i, resp.Round, resp.Version, round, version)
+		}
+		if resp.Error != "" {
+			// The link is healthy — the refusal is the application's.
+			ws.breaker.Success()
+			return nil, &workerError{party: i, round: round, msg: resp.Error}
+		}
+		ws.breaker.Success()
+		return resp.Nodes, nil
+	}
+}
+
+func sortedParties(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Close drains the batcher, then closes the scoring session on every
-// worker with an acknowledged MsgScoreClose. Safe to call once.
+// live worker with an acknowledged MsgScoreClose. Safe to call once.
 func (s *Server) Close() error {
 	if s.closing.Swap(true) {
 		return nil
 	}
 	s.batcher.Close()
-	s.roundMu.Lock()
-	defer s.roundMu.Unlock()
-	if !s.opened {
+	s.roundCh <- struct{}{}
+	defer func() { <-s.roundCh }()
+	if !s.opened.Load() {
 		return nil
 	}
 	var firstErr error
-	for i, l := range s.links {
-		if err := l.Send(core.MsgScoreClose{Reason: "server shutdown"}); err != nil {
+	for i, ws := range s.workers {
+		if !ws.alive.Load() {
+			continue
+		}
+		if err := ws.link.Send(core.MsgScoreClose{Reason: "server shutdown"}); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("serve: closing worker %d: %w", i, err)
 			}
 			continue
 		}
-		if msg, err := l.Recv(); err == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Deadline)
+		for {
+			msg, err := ws.recv(ctx)
+			if err != nil {
+				break
+			}
+			if _, ok := msg.(core.MsgScoreResponse); ok {
+				continue // stale round answer ahead of the close ack
+			}
 			if _, ok := msg.(core.MsgScoreCloseAck); !ok && firstErr == nil {
 				firstErr = fmt.Errorf("serve: worker %d answered close with %T", i, msg)
 			}
+			break
 		}
+		cancel()
 	}
 	return firstErr
 }
 
 // --- HTTP front end ---------------------------------------------------
+
+// DeadlineHeader carries a per-request scoring budget as a Go duration
+// ("750ms") or an integer millisecond count.
+const DeadlineHeader = "X-Score-Deadline"
 
 type scoreRequest struct {
 	Row  *int32  `json:"row,omitempty"`
@@ -237,6 +655,10 @@ type scoreResponse struct {
 	Margin  *float64  `json:"margin,omitempty"`
 	Margins []float64 `json:"margins,omitempty"`
 	Version uint64    `json:"version"`
+	// Partial marks a degraded answer: Missing lists the passive parties
+	// whose trees the margins omit.
+	Partial bool  `json:"partial,omitempty"`
+	Missing []int `json:"missing,omitempty"`
 }
 
 type errorResponse struct {
@@ -245,11 +667,13 @@ type errorResponse struct {
 
 // Handler serves the HTTP API: POST /score scores one row (through the
 // micro-batcher) or an explicit row list (one direct round); GET /healthz
-// and GET /metricsz expose liveness and instrumentation.
+// is process liveness, GET /readyz is serving readiness, GET /metricsz
+// exposes instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /score", s.handleScore)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
 }
@@ -260,33 +684,115 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorResponse{Error: msg})
 }
 
+// requestDeadline resolves one request's scoring budget: header value if
+// present (clamped to MaxDeadline), the server default otherwise.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return s.cfg.Deadline, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		ms, err2 := strconv.Atoi(h)
+		if err2 != nil {
+			return 0, fmt.Errorf("bad %s header %q: want a duration or milliseconds", DeadlineHeader, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad %s header %q: budget must be positive", DeadlineHeader, h)
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d, nil
+}
+
+// retryAfterQueue estimates seconds until the queue drains enough to
+// admit again — the Retry-After on a 429.
+func (s *Server) retryAfterQueue() int {
+	rounds := float64(s.batcher.Queued()) / float64(s.cfg.Batch.MaxBatch)
+	secs := int(math.Ceil(rounds * s.cfg.Batch.MaxWait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfterBreaker is the longest remaining breaker cooldown — after
+// that a probe may close the circuit, so it is the honest 503 hint.
+func (s *Server) retryAfterBreaker() int {
+	var max time.Duration
+	for _, ws := range s.workers {
+		if d := ws.breaker.CooldownRemaining(); d > max {
+			max = d
+		}
+	}
+	secs := int(math.Ceil(max.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeScoreError maps a scoring error to its status, with Retry-After
+// on backpressure responses.
+func (s *Server) writeScoreError(w http.ResponseWriter, err error) {
+	code := scoreStatus(err)
+	switch code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterQueue()))
+	case http.StatusServiceUnavailable:
+		if errors.Is(err, ErrPartyUnavailable) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterBreaker()))
+		} else {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	httpError(w, code, err.Error())
+}
+
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req scoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	budget, err := s.requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
 	var resp scoreResponse
 	switch {
 	case req.Row != nil && req.Rows == nil:
-		margin, version, err := s.Score(r.Context(), *req.Row)
+		res, err := s.ScoreRow(ctx, *req.Row)
 		if err != nil {
-			httpError(w, scoreStatus(err), err.Error())
+			s.writeScoreError(w, err)
 			return
 		}
-		resp = scoreResponse{Margin: &margin, Version: version}
+		resp = scoreResponse{Margin: &res.Margin, Version: res.Version, Partial: res.Partial(), Missing: res.Missing}
 	case req.Rows != nil && req.Row == nil:
 		start := time.Now()
-		margins, version, err := s.ScoreRows(req.Rows)
+		res, err := s.ScoreBatch(ctx, req.Rows)
 		s.met.ObserveRequest(time.Since(start), err)
+		s.observeOutcome(res.Missing, err)
 		if err != nil {
-			httpError(w, scoreStatus(err), err.Error())
+			s.writeScoreError(w, err)
 			return
 		}
-		if margins == nil {
-			margins = []float64{}
+		if res.Margins == nil {
+			res.Margins = []float64{}
 		}
-		resp = scoreResponse{Margins: margins, Version: version}
+		resp = scoreResponse{Margins: res.Margins, Version: res.Version, Partial: len(res.Missing) > 0, Missing: res.Missing}
 	default:
 		httpError(w, http.StatusBadRequest, `body must carry exactly one of "row" or "rows"`)
 		return
@@ -296,24 +802,59 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func scoreStatus(err error) int {
-	switch err {
-	case ErrClosed:
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPartyUnavailable),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, ErrNoModel):
 		return http.StatusServiceUnavailable
-	case ErrNoModel:
-		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
+// handleHealthz is process liveness only: the process is up and not
+// shutting down. Whether it can actually serve is /readyz's question.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	switch {
-	case s.closing.Load():
+	if s.closing.Load() {
 		http.Error(w, "closing", http.StatusServiceUnavailable)
-	case s.cfg.Registry.CurrentVersion() == 0:
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is serving readiness: a published model version and an
+// open scoring session, with every party reachable — or, under
+// ServePartial, at least the ability to answer degraded.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.closing.Load() {
+		http.Error(w, "closing", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.Registry.CurrentVersion() == 0 {
 		http.Error(w, "no model published", http.StatusServiceUnavailable)
-	default:
+		return
+	}
+	if !s.opened.Load() {
+		http.Error(w, "scoring session not open", http.StatusServiceUnavailable)
+		return
+	}
+	var down []int
+	for i, ws := range s.workers {
+		if !ws.alive.Load() || ws.breaker.State() == BreakerOpen {
+			down = append(down, i)
+		}
+	}
+	switch {
+	case len(down) == 0:
 		fmt.Fprintln(w, "ok")
+	case s.cfg.Policy == ServePartial:
+		fmt.Fprintf(w, "ok (degraded: parties %v unavailable)\n", down)
+	default:
+		http.Error(w, fmt.Sprintf("parties %v unavailable", down), http.StatusServiceUnavailable)
 	}
 }
 
@@ -326,13 +867,36 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "serve_requests_total %d\n", m.Requests())
 	fmt.Fprintf(w, "serve_batches_total %d\n", m.Batches())
 	fmt.Fprintf(w, "serve_errors_total %d\n", m.Errors())
+	fmt.Fprintf(w, "serve_shed_total %d\n", m.Shed())
+	fmt.Fprintf(w, "serve_timeouts_total %d\n", m.Timeouts())
+	fmt.Fprintf(w, "serve_degraded_total %d\n", m.Degraded())
+	fmt.Fprintf(w, "serve_retries_total %d\n", m.Retries())
+	fmt.Fprintf(w, "serve_queue_depth %d\n", s.batcher.Queued())
+	fmt.Fprintf(w, "serve_queue_max %d\n", s.batcher.MaxQueue())
+	fmt.Fprintf(w, "serve_degraded_policy %q\n", s.cfg.Policy)
 	fmt.Fprintf(w, "serve_qps %.2f\n", m.QPS())
 	for _, q := range []float64{0.50, 0.95, 0.99} {
 		fmt.Fprintf(w, "serve_request_latency_ms{q=%q} %.4f\n", fmt.Sprintf("%.2f", q), m.Latency().Quantile(q))
 	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		fmt.Fprintf(w, "serve_wan_latency_ms{q=%q} %.4f\n", fmt.Sprintf("%.2f", q), m.WAN().Quantile(q))
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		fmt.Fprintf(w, "serve_route_latency_ms{q=%q} %.4f\n", fmt.Sprintf("%.2f", q), m.Route().Quantile(q))
+	}
 	fmt.Fprintf(w, "serve_batch_size_avg %.2f\n", m.BatchSize().Mean())
 	for _, q := range []float64{0.50, 0.95, 0.99} {
 		fmt.Fprintf(w, "serve_batch_size{q=%q} %.2f\n", fmt.Sprintf("%.2f", q), m.BatchSize().Quantile(q))
+	}
+	for _, ws := range s.workers {
+		party := strconv.Itoa(ws.party)
+		fmt.Fprintf(w, "serve_breaker_state{party=%q,state=%q} 1\n", party, ws.breaker.State())
+		fmt.Fprintf(w, "serve_breaker_opens_total{party=%q} %d\n", party, ws.breaker.Opens())
+		alive := 0
+		if ws.alive.Load() {
+			alive = 1
+		}
+		fmt.Fprintf(w, "serve_worker_alive{party=%q} %d\n", party, alive)
 	}
 	if s.cfg.Broker != nil {
 		depths := s.cfg.Broker.TopicDepths()

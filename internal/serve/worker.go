@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,11 @@ type PassiveWorker struct {
 	// Logger, when set, receives session diagnostics (e.g. a close ack
 	// the peer never saw); nil falls back to the standard logger.
 	Logger *log.Logger
+	// RedialSeed seeds RunLoop's backoff jitter. Restarted sidecar fleets
+	// share the same backoff schedule; distinct seeds spread their
+	// re-dials so they don't thunder-herd Party B. Zero derives a seed
+	// from the party index.
+	RedialSeed int64
 
 	rounds atomic.Int64
 	errors atomic.Int64
@@ -105,7 +111,10 @@ func (w *PassiveWorker) Run(tr core.Transport) error {
 // RunLoop serves scoring sessions until stopped: every time a session
 // ends cleanly (peer closed, transport dropped) it re-dials and serves
 // the next one, so a sidecar survives Party B restarts. Failed dials back
-// off exponentially between wait and maxWait; maxRedials consecutive
+// off exponentially between wait and maxWait with seeded jitter (see
+// RedialSeed); the backoff resets only after a session that answered at
+// least one round, so a peer that accepts dials but never gets a round
+// through cannot hold the sidecar at the floor. maxRedials consecutive
 // failures (or a protocol error from a session) end the loop with an
 // error. Zero values pick defaults (250ms, 5s, 20).
 func (w *PassiveWorker) RunLoop(dial func() (core.Transport, error), wait, maxWait time.Duration, maxRedials int) error {
@@ -118,6 +127,22 @@ func (w *PassiveWorker) RunLoop(dial func() (core.Transport, error), wait, maxWa
 	if maxRedials <= 0 {
 		maxRedials = 20
 	}
+	seed := w.RedialSeed
+	if seed == 0 {
+		seed = int64(w.Party) + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// jitter spreads a sleep to 75–125% of its nominal value.
+	jitter := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+	}
+	escalate := func(backoff time.Duration) time.Duration {
+		backoff *= 2
+		if backoff > maxWait {
+			backoff = maxWait
+		}
+		return backoff
+	}
 	backoff := wait
 	fails := 0
 	for {
@@ -127,16 +152,13 @@ func (w *PassiveWorker) RunLoop(dial func() (core.Transport, error), wait, maxWa
 			if fails >= maxRedials {
 				return fmt.Errorf("serve: worker %d: redial failed %d times: %w", w.Party, fails, err)
 			}
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > maxWait {
-				backoff = maxWait
-			}
+			time.Sleep(jitter(backoff))
+			backoff = escalate(backoff)
 			continue
 		}
 		fails = 0
-		backoff = wait
 		w.logf("serve: worker %d: session open", w.Party)
+		before := w.rounds.Load()
 		err = w.Run(tr)
 		// Sever the finished session's transport before re-dialing: a
 		// lingering gateway consumer would compete with the next session's
@@ -149,6 +171,16 @@ func (w *PassiveWorker) RunLoop(dial func() (core.Transport, error), wait, maxWa
 		}
 		if err != nil {
 			return err
+		}
+		if w.rounds.Load() > before {
+			// A healthy session: start the next dial cycle at the floor.
+			backoff = wait
+		} else {
+			// The session never carried a round — the peer is flapping.
+			// Keep (and escalate) the backoff so a restarted fleet does
+			// not hammer a struggling Party B, and sleep before re-dialing.
+			time.Sleep(jitter(backoff))
+			backoff = escalate(backoff)
 		}
 		w.logf("serve: worker %d: session ended, re-dialing", w.Party)
 	}

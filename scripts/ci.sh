@@ -28,6 +28,11 @@ go test -race ./internal/mq/... ./internal/serve/... ./internal/core/... \
 echo "== chaos smoke (seeded faults must reproduce the fault-free model) =="
 go test -race -run 'TestChaosTrainingMatchesBaseline|TestSessionCheckpointResume' ./internal/core
 
+echo "== serve chaos smoke (overload, breaker trip/recover, no-hang contract) =="
+go test -race -timeout 120s \
+  -run 'TestServeChaosHTTPNeverHangs|TestServeHardCutRedialRecovery|TestServeBreakerTimeoutTripAndRecover|TestBreaker|TestBatcherQueueBound' \
+  ./internal/serve
+
 echo "== fuzz smoke (wire decode) =="
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
 

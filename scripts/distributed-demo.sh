@@ -59,11 +59,14 @@ SIDECAR_PID=$!
   -eta 0.1 -max-batch 16 -max-wait 5ms &
 SERVE_PID=$!
 
+# Wait on /readyz, not /healthz: liveness comes up before the worker
+# session and model registry do, and scoring needs all three.
 for i in $(seq 1 30); do
-  curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz" >/dev/null 2>&1 && break
+  curl -fsS "http://127.0.0.1:$HTTP_PORT/readyz" >/dev/null 2>&1 && break
   sleep 0.3
 done
 curl -fsS "http://127.0.0.1:$HTTP_PORT/healthz"
+curl -fsS "http://127.0.0.1:$HTTP_PORT/readyz"
 
 echo "-- scoring a few rows over HTTP --"
 for r in 0 1 2 3; do
