@@ -1,0 +1,205 @@
+// Command benchfmt turns `go test -bench` output into a stable JSON
+// document, so benchmark baselines can be committed, diffed, and checked in
+// CI. It reads the bench text from stdin (or -in), writes JSON to stdout
+// (or -out), and derives the obfuscator speedup — baseline r^n versus
+// fixed-base h^x — per key size when both benchmarks are present.
+//
+// With -check FILE it instead validates that FILE parses as a benchfmt
+// document with at least one benchmark, exiting non-zero otherwise; CI uses
+// this to guarantee the committed BENCH_crypto.json never rots.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark.../...-P  N  x ns/op [...]` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the committed baseline format.
+type Document struct {
+	Date       string             `json:"date,omitempty"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	date := flag.String("date", "", "date stamp recorded in the document")
+	check := flag.String("check", "", "validate FILE as a benchfmt document and exit")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchfmt: %s ok\n", *check)
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	doc := Document{
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+		Derived:    deriveSpeedups(benches),
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts benchmark result lines, ignoring everything else that
+// `go test -bench` prints (goos/pkg headers, PASS, ok lines).
+func parse(r io.Reader) ([]Benchmark, error) {
+	var benches []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Shape: Benchmark<Name>-P  iterations  value unit [value unit ...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: stripProcSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", sc.Text(), fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+		benches = append(benches, b)
+	}
+	return benches, sc.Err()
+}
+
+// stripProcSuffix drops the trailing -GOMAXPROCS from a benchmark name so
+// baselines recorded on machines with different core counts stay diffable.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// deriveSpeedups computes obfuscator_speedup/bits=N =
+// baseline ns_per_op / fixed-base ns_per_op for every key size measured
+// under both benchmarks. This ratio is the headline number of the fast
+// obfuscation change, so it is recorded explicitly rather than left for
+// readers to divide by hand.
+func deriveSpeedups(benches []Benchmark) map[string]float64 {
+	const (
+		basePrefix = "BenchmarkObfuscatorBaseline/"
+		fastPrefix = "BenchmarkObfuscatorFixedBase/"
+	)
+	baseline := map[string]float64{}
+	fast := map[string]float64{}
+	for _, b := range benches {
+		if s, ok := strings.CutPrefix(b.Name, basePrefix); ok && b.NsPerOp > 0 {
+			baseline[s] = b.NsPerOp
+		}
+		if s, ok := strings.CutPrefix(b.Name, fastPrefix); ok && b.NsPerOp > 0 {
+			fast[s] = b.NsPerOp
+		}
+	}
+	derived := map[string]float64{}
+	for size, bn := range baseline {
+		if fn, ok := fast[size]; ok {
+			derived["obfuscator_speedup/"+size] = bn / fn
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	return derived
+}
+
+func checkFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("document has no benchmarks")
+	}
+	for i, b := range doc.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d has no name", i)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q has non-positive ns_per_op", b.Name)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+	os.Exit(1)
+}

@@ -87,6 +87,7 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 	scheme := fs.String("scheme", "paillier", "crypto scheme: paillier or mock")
 	keyBits := fs.Int("keybits", 1024, "Paillier modulus size S")
 	baseline := fs.Bool("baseline", false, "disable all VF2Boost optimizations (VF-GBDT)")
+	fastObf := fs.Bool("fastobf", true, "DJN fast obfuscation: h^x obfuscators from fixed-base tables (off under -baseline)")
 	seed := fs.Int64("seed", 1, "seed for exponent obfuscation")
 	codec := fs.String("codec", "", "wire codec: binary (default) or gob")
 	return func() core.Config {
@@ -94,6 +95,7 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 		if *baseline {
 			cfg = core.BaselineConfig()
 		}
+		cfg.FastObfuscation = *fastObf && !*baseline
 		cfg.Trees = *trees
 		cfg.LearningRate = *eta
 		cfg.MaxDepth = *depth

@@ -99,6 +99,16 @@ type Config struct {
 	// often than it won), the next tree falls back to the sequential
 	// schedule. Ignored unless OptimisticSplit is set.
 	AdaptiveOptimism bool
+	// FastObfuscation replaces the per-encryption Paillier obfuscator
+	// r^n mod n² with a DJN-style short-exponent h^x served from
+	// precomputed fixed-base tables (internal/paillier/fixedbase.go):
+	// the base h = r₀^n is derived once at session setup and shipped to
+	// passive parties in the setup message, cutting obfuscator cost on
+	// every party by roughly an order of magnitude. An extension beyond
+	// the paper, whose cost model assumes full r^n obfuscation; turn it
+	// off (BaselineConfig does) for the exact-paper baseline. Ignored by
+	// the mock scheme.
+	FastObfuscation bool
 	// HistogramSubtraction applies the classic sibling-subtraction trick
 	// to the passive parties' *encrypted* histograms: only the child
 	// with fewer instances is accumulated; the sibling's bins are
@@ -145,6 +155,7 @@ func DefaultConfig() Config {
 		HistogramPacking:      true,
 		AdaptivePacking:       true,
 		AdaptiveOptimism:      true,
+		FastObfuscation:       true,
 		HistogramSubtraction:  true,
 		Seed:                  1,
 	}
@@ -160,6 +171,7 @@ func BaselineConfig() Config {
 	c.HistogramPacking = false
 	c.AdaptivePacking = false
 	c.AdaptiveOptimism = false
+	c.FastObfuscation = false
 	c.HistogramSubtraction = false
 	return c
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/he"
+)
+
+// TestFastObfuscationMatchesBaselineModel trains the same split with DJN
+// fast obfuscation on and off: obfuscation only re-randomizes ciphertexts,
+// so with the shared deterministic training order the two models must be
+// byte-identical. This is the end-to-end equivalence check for the
+// extension — any drift here means the fast path leaked into plaintexts.
+func TestFastObfuscationMatchesBaselineModel(t *testing.T) {
+	_, parts := twoPartyData(t, 300, 3, 3, 1, true, 11)
+
+	fast := quickConfig(SchemePaillier)
+	fast.FastObfuscation = true
+	mFast, _ := trainFed(t, parts, fast)
+
+	base := quickConfig(SchemePaillier)
+	base.FastObfuscation = false
+	mBase, _ := trainFed(t, parts, base)
+
+	if !bytes.Equal(modelJSON(t, mFast), modelJSON(t, mBase)) {
+		t.Error("fast-obfuscation model differs from baseline model")
+	}
+	// The shared test key must be back on the baseline path after the
+	// fast session (partyb.setup disables it for baseline configs).
+	if sharedKey.FastObfuscation() {
+		t.Error("baseline session left fast obfuscation enabled on the shared key")
+	}
+}
+
+// TestDecryptFeatureRejectsGarbage drives hostile histogram payloads
+// through the active party's decrypt path — the enchist ingress a malicious
+// passive party controls. Every case must surface an error, never a panic.
+func TestDecryptFeatureRejectsGarbage(t *testing.T) {
+	dec := testDecryptor(t)
+	codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(1))
+	plan, err := planPacking(codec, 100, 1.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &activeParty{cfg: quickConfig(SchemePaillier), dec: dec, codec: codec, plan: plan}
+
+	n := dec.N()
+	n2 := new(big.Int).Mul(n, n)
+	garbage := [][]byte{
+		{0},        // zero: not a unit mod n²
+		n2.Bytes(), // == n²
+		new(big.Int).Add(n2, big.NewInt(3)).Bytes(),   // > n²
+		bytes.Repeat([]byte{0xFF}, len(n2.Bytes())+4), // way out of range
+	}
+
+	for i, raw := range garbage {
+		if _, err := b.decryptBin(raw, 0); err == nil {
+			t.Errorf("case %d: decryptBin accepted garbage", i)
+		}
+		unpacked := FeatHist{
+			NumBins: 2,
+			GBins:   [][]byte{raw, nil}, HBins: [][]byte{nil, raw},
+			GExp: []int16{0, 0}, HExp: []int16{0, 0},
+		}
+		if _, _, err := b.decryptFeature(unpacked); err == nil {
+			t.Errorf("case %d: decryptFeature accepted garbage bins", i)
+		}
+		packed := FeatHist{
+			NumBins: 2, Packed: true,
+			PackedG: [][]byte{raw}, PackedH: [][]byte{raw},
+		}
+		if _, _, err := b.decryptFeature(packed); err == nil {
+			t.Errorf("case %d: decryptFeature accepted garbage packed payload", i)
+		}
+		nh := NodeHist{Node: 1, Feats: []FeatHist{unpacked, packed}}
+		if _, _, err := b.decryptNodeHist(nh); err == nil {
+			t.Errorf("case %d: decryptNodeHist accepted garbage", i)
+		}
+	}
+
+	// Empty bins remain legal (zero contribution), so hardening must not
+	// reject the protocol's own encoding of an empty bin.
+	if v, err := b.decryptBin(nil, 0); err != nil || v != 0 {
+		t.Errorf("decryptBin(nil) = %g, %v; want 0, nil", v, err)
+	}
+}
+
+// TestSetupRejectsHostileObfuscationBase: a passive party receiving a
+// malformed base in MsgSetup must fail setup loudly instead of encrypting
+// with a degenerate obfuscator.
+func TestSetupRejectsHostileObfuscationBase(t *testing.T) {
+	dec := testDecryptor(t)
+	scheme := dec.(interface{ PublicScheme() *he.PaillierScheme }).PublicScheme()
+	n2 := new(big.Int).Mul(dec.N(), dec.N())
+	for i, h := range []*big.Int{big.NewInt(1), big.NewInt(0), n2} {
+		if err := scheme.SetObfuscationBase(h, 224); err == nil {
+			t.Errorf("case %d: hostile obfuscation base accepted", i)
+		}
+	}
+}

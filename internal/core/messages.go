@@ -25,6 +25,13 @@ type MsgSetup struct {
 	ExpSpread int
 	PackBits  int
 	Shift     float64 // histogram-packing shift N·Bound
+	// ObfBase, when non-empty, is the DJN fast-obfuscation base
+	// h = r₀^n mod n² derived by B at key setup; passive parties install
+	// it and obfuscate with short-exponent h^x instead of full r^n.
+	// ObfBits is the short-exponent length in bits. Empty/zero selects
+	// the paper-exact baseline obfuscation.
+	ObfBase []byte
+	ObfBits int
 }
 
 // MsgReady is a passive party's answer to MsgSetup: its shape, which B

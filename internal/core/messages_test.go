@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -40,7 +41,7 @@ func drivenLink() (*link, chanTransport) {
 func TestLinkRoundTripAllMessageTypes(t *testing.T) {
 	l := loopbackLink()
 	msgs := []any{
-		MsgSetup{Scheme: "paillier", N: []byte{1, 2, 3}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 1000},
+		MsgSetup{Scheme: "paillier", N: []byte{1, 2, 3}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 1000, ObfBase: []byte{7, 7}, ObfBits: 224},
 		MsgReady{Party: 2, Features: 10, Rows: 100},
 		MsgGradBatch{Tree: 1, Start: 5, G: [][]byte{{9}}, H: [][]byte{{8}}, GExp: []int16{8}, HExp: []int16{9}, Last: true},
 		MsgHistograms{Tree: 1, Layer: 2, Nodes: []NodeHist{{
@@ -71,7 +72,7 @@ func TestLinkRoundTripAllMessageTypes(t *testing.T) {
 		switch want := m.(type) {
 		case MsgSetup:
 			g := got.(MsgSetup)
-			if g.Scheme != want.Scheme || g.Bits != want.Bits || g.PackBits != want.PackBits || g.Shift != want.Shift {
+			if g.Scheme != want.Scheme || g.Bits != want.Bits || g.PackBits != want.PackBits || g.Shift != want.Shift || !bytes.Equal(g.ObfBase, want.ObfBase) || g.ObfBits != want.ObfBits {
 				t.Errorf("MsgSetup round trip: %+v", g)
 			}
 		case MsgGradBatch:

@@ -163,7 +163,17 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 	switch m.Scheme {
 	case SchemePaillier:
 		n := new(big.Int).SetBytes(m.N)
-		p.scheme = he.NewPaillierPublic(paillier.NewPublicKey(n))
+		pk := paillier.NewPublicKey(n)
+		if len(m.ObfBase) > 0 {
+			// B derived a DJN fast-obfuscation base at key setup; install
+			// it so this party's encryptions use short-exponent h^x
+			// obfuscators too. The base is validated — a malformed one
+			// fails the session here rather than corrupting obfuscation.
+			if err := pk.SetObfuscationBase(new(big.Int).SetBytes(m.ObfBase), m.ObfBits); err != nil {
+				return fmt.Errorf("core: party %d installing obfuscation base: %w", p.index, err)
+			}
+		}
+		p.scheme = he.NewPaillierPublic(pk)
 	case SchemeMock:
 		p.scheme = he.NewMock(m.Bits)
 	default:
@@ -566,10 +576,19 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		}
 		p.send(MsgHistograms{Tree: tree, Layer: layer, Nodes: []NodeHist{smallNH}})
 
-		// Sibling = parent - small, bin by bin.
+		// Sibling = parent - small, bin by bin. Both histograms came from
+		// B's own range-validated gradient stream, so a failed subtraction
+		// is a protocol invariant violation, not a runtime condition —
+		// same contract as wireNodeHist below.
 		start := time.Now()
-		sg := subtractBins(p.codec, parent.g, g)
-		sh := subtractBins(p.codec, parent.h, h)
+		sg, err := subtractBins(p.codec, parent.g, g)
+		if err != nil {
+			panic(err)
+		}
+		sh, err := subtractBins(p.codec, parent.h, h)
+		if err != nil {
+			panic(err)
+		}
 		addDur(&p.stats.buildHistTime, time.Since(start))
 		if task.aborted.Load() {
 			return
@@ -621,21 +640,25 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h
 // subtractBins computes parent - child per bin. A child can only have
 // mass where its parent does (child instances are a subset), so a nil
 // parent bin forces a nil child bin.
-func subtractBins(codec *fixedpoint.Codec, parent, child []fixedpoint.EncNum) []fixedpoint.EncNum {
+func subtractBins(codec *fixedpoint.Codec, parent, child []fixedpoint.EncNum) ([]fixedpoint.EncNum, error) {
 	out := make([]fixedpoint.EncNum, len(parent))
 	for i := range parent {
 		switch {
 		case parent[i].Ct == nil && child[i].Ct == nil:
 			// stays nil (zero)
 		case parent[i].Ct == nil:
-			panic("core: child histogram has mass in a bin its parent lacks")
+			return nil, fmt.Errorf("core: child histogram has mass in bin %d its parent lacks", i)
 		case child[i].Ct == nil:
 			out[i] = parent[i]
 		default:
-			out[i] = codec.SubEnc(parent[i], child[i])
+			var err error
+			out[i], err = codec.SubEnc(parent[i], child[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: subtracting bin %d: %w", i, err)
+			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // scheduleHist launches an abortable histogram build for one node; the

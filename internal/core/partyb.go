@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/big"
 	"sync"
 	"time"
 
@@ -210,6 +211,15 @@ func newActiveParty(data *dataset.Dataset, cfg Config, dec he.Decryptor, links [
 	return b, nil
 }
 
+// fastObfuscationScheme is the optional capability a decryptor exposes
+// when it can switch to DJN-style fast obfuscation (he.PaillierDecryptor
+// does; the mock scheme has nothing to speed up).
+type fastObfuscationScheme interface {
+	EnableFastObfuscation() error
+	ObfuscationBase() *big.Int
+	ObfuscationBits() int
+}
+
 // setup shares the cryptographic context and learns each passive party's
 // feature count (for the global feature order).
 func (b *activeParty) setup() error {
@@ -219,6 +229,23 @@ func (b *activeParty) setup() error {
 		Bits:      b.dec.Bits(),
 		BaseExp:   b.cfg.BaseExp,
 		ExpSpread: b.cfg.ExpSpread,
+	}
+	if b.cfg.FastObfuscation {
+		if fo, ok := b.dec.(fastObfuscationScheme); ok {
+			// Derive the obfuscation base before any encryption happens
+			// and ship it with the public key so the passive parties'
+			// pool-less encrypt path gets the same speedup.
+			if err := fo.EnableFastObfuscation(); err != nil {
+				return fmt.Errorf("core: enabling fast obfuscation: %w", err)
+			}
+			setup.ObfBase = fo.ObfuscationBase().Bytes()
+			setup.ObfBits = fo.ObfuscationBits()
+		}
+	} else if fo, ok := b.dec.(interface{ DisableFastObfuscation() }); ok {
+		// A decryptor shared across sessions (benchmarks do this) may
+		// still carry a fast base from a previous run; a baseline session
+		// must pay the paper's full r^n cost.
+		fo.DisableFastObfuscation()
 	}
 	if b.packing {
 		setup.PackBits = b.plan.bits

@@ -14,7 +14,11 @@ import "vf2boost/internal/wire"
 // count byte each): binary and gob round trips must produce deep-equal
 // values for any representable message, which the equivalence tests check.
 const (
-	idSetup             uint16 = 1
+	// idSetupV1 (= 1) carried the pre-obfuscation-base MsgSetup layout.
+	// Per the append-only rule above, extending the message meant
+	// retiring the ID rather than changing the layout in place; 1 stays
+	// reserved and must not be reused.
+	idSetupV1           uint16 = 1
 	idReady             uint16 = 2
 	idGradBatch         uint16 = 3
 	idHistograms        uint16 = 4
@@ -35,10 +39,18 @@ const (
 	idAck               uint16 = 19
 	idHeartbeat         uint16 = 20
 	idResume            uint16 = 21
+	// idSetupV2 extends the setup body with the fast-obfuscation base
+	// (ObfBase, ObfBits) appended after Shift.
+	idSetupV2 uint16 = 22
 )
 
+// All ends of a deployment ship the same binary, so only the current
+// setup layout is registered; a frame carrying the retired idSetupV1
+// fails decoding loudly instead of being misread.
+var _ = idSetupV1
+
 func init() {
-	wire.Register(idSetup, "MsgSetup", decodeMsg[MsgSetup])
+	wire.Register(idSetupV2, "MsgSetup", decodeMsg[MsgSetup])
 	wire.Register(idReady, "MsgReady", decodeMsg[MsgReady])
 	wire.Register(idGradBatch, "MsgGradBatch", decodeMsg[MsgGradBatch])
 	wire.Register(idHistograms, "MsgHistograms", decodeMsg[MsgHistograms])
@@ -82,7 +94,7 @@ func decodeMsg[M any, PM interface {
 
 // --- MsgSetup ----------------------------------------------------------
 
-func (MsgSetup) WireID() uint16 { return idSetup }
+func (MsgSetup) WireID() uint16 { return idSetupV2 }
 
 func (m MsgSetup) AppendTo(b []byte) []byte {
 	b = wire.AppendString(b, m.Scheme)
@@ -91,7 +103,9 @@ func (m MsgSetup) AppendTo(b []byte) []byte {
 	b = wire.AppendInt(b, m.BaseExp)
 	b = wire.AppendInt(b, m.ExpSpread)
 	b = wire.AppendInt(b, m.PackBits)
-	return wire.AppendFloat64(b, m.Shift)
+	b = wire.AppendFloat64(b, m.Shift)
+	b = wire.AppendBytes(b, m.ObfBase)
+	return wire.AppendInt(b, m.ObfBits)
 }
 
 func (m *MsgSetup) DecodeFrom(body []byte) error {
@@ -103,6 +117,8 @@ func (m *MsgSetup) DecodeFrom(body []byte) error {
 	m.ExpSpread = d.Int()
 	m.PackBits = d.Int()
 	m.Shift = d.Float64()
+	m.ObfBase = d.Bytes()
+	m.ObfBits = d.Int()
 	return d.Finish()
 }
 

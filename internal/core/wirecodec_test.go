@@ -14,7 +14,7 @@ import (
 // matching what both codecs produce on decode.
 func sampleMessages() []any {
 	return []any{
-		MsgSetup{Scheme: "paillier", N: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 12345.678},
+		MsgSetup{Scheme: "paillier", N: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 12345.678, ObfBase: []byte{0xCA, 0xFE, 0x01}, ObfBits: 224},
 		MsgSetup{Scheme: "mock", Bits: 256},
 		MsgReady{Party: 2, Features: 17, Rows: 100000},
 		MsgGradBatch{Tree: 3, Start: 2048, G: [][]byte{{1, 2}, {3, 4}}, H: [][]byte{{5, 6}, {7, 8}}, GExp: []int16{-8, -7}, HExp: []int16{-8, -8}, Last: true},

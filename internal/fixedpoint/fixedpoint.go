@@ -310,15 +310,21 @@ func (c *Codec) AddEncInto(dst *EncNum, b EncNum) {
 	dst.Ct = c.scheme.AddInto(dst.Ct, b.Ct)
 }
 
-// SubEnc returns a - b with exponent alignment.
-func (c *Codec) SubEnc(a, b EncNum) EncNum {
+// SubEnc returns a - b with exponent alignment. It propagates the
+// scheme's subtraction error (a Paillier subtrahend with no modular
+// inverse) instead of panicking on hostile ciphertexts.
+func (c *Codec) SubEnc(a, b EncNum) (EncNum, error) {
 	if a.Exp < b.Exp {
 		a = c.ScaleEnc(a, b.Exp)
 	} else if b.Exp < a.Exp {
 		b = c.ScaleEnc(b, a.Exp)
 	}
 	c.stats.addHAdd(1)
-	return EncNum{Exp: a.Exp, Ct: c.scheme.Sub(a.Ct, b.Ct)}
+	ct, err := c.scheme.Sub(a.Ct, b.Ct)
+	if err != nil {
+		return EncNum{}, err
+	}
+	return EncNum{Exp: a.Exp, Ct: ct}, nil
 }
 
 // AddPlain adds two encoded plaintext numbers with exponent alignment.

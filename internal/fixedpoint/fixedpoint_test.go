@@ -196,7 +196,11 @@ func TestSubEnc(t *testing.T) {
 	c, dec := paillierCodec(t)
 	ea, _ := c.EncryptValue(5.5)
 	eb, _ := c.EncryptValue(2.25)
-	got, err := c.Decrypt(dec, c.SubEnc(ea, eb))
+	ed, err := c.SubEnc(ea, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decrypt(dec, ed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,5 +407,68 @@ func TestDecodeShifted(t *testing.T) {
 	n, _ := c.EncodeAt(3.75, 8)
 	if got := c.DecodeShifted(n.Man, 8); math.Abs(got-3.75) > 1e-9 {
 		t.Errorf("DecodeShifted = %g, want 3.75", got)
+	}
+}
+
+// TestFastObfuscationEquivalence encodes/encrypts/decrypts across signs and
+// exponents with DJN fast obfuscation enabled and checks the results match
+// the baseline path bit for bit after decryption — the obfuscator variant
+// must be invisible above the he layer.
+func TestFastObfuscationEquivalence(t *testing.T) {
+	c, dec := paillierCodec(t)
+	if err := dec.EnableFastObfuscation(); err != nil {
+		t.Fatal(err)
+	}
+	// paillierCodec shares one cached private key across the package's
+	// tests; restore baseline obfuscation so later tests see paper-exact
+	// behavior.
+	defer dec.DisableFastObfuscation()
+
+	values := []float64{0, 1, -1, 0.5, -0.5, 3.14159, -1e-6, 12345.678, -98765.4321}
+	for _, v := range values {
+		// Encode once and push the same Num through the encrypted pipeline,
+		// so any difference is attributable to the obfuscation variant alone
+		// (not to the codec's per-call exponent randomization).
+		n, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", v, err)
+		}
+		e, err := c.Encrypt(n)
+		if err != nil {
+			t.Fatalf("Encrypt(%g) under fast obfuscation: %v", v, err)
+		}
+		got, err := c.Decrypt(dec, e)
+		if err != nil {
+			t.Fatalf("Decrypt(%g): %v", v, err)
+		}
+		want := c.Decode(n) // exactly what the baseline path decrypts to
+		if got != want {
+			t.Errorf("fast-obfuscated %g decrypts to %g, baseline %g", v, got, want)
+		}
+	}
+
+	// Homomorphic ops over fast-obfuscated ciphertexts, including SubEnc
+	// across exponent alignment.
+	a, err := c.EncryptValue(10.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.EncryptValue(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := c.SubEnc(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Decrypt(dec, diff); err != nil || math.Abs(got-6.75) > 1e-6 {
+		t.Errorf("SubEnc = %g, %v; want 6.75", got, err)
+	}
+	sum, err := c.Decrypt(dec, c.AddEnc(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-13.75) > 1e-6 {
+		t.Errorf("AddEnc = %g, want 13.75", sum)
 	}
 }

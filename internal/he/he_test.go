@@ -3,6 +3,8 @@ package he
 import (
 	"math/big"
 	"testing"
+
+	"vf2boost/internal/paillier"
 )
 
 // schemes under test: every Scheme must satisfy the same contract so the
@@ -50,7 +52,11 @@ func TestSchemeContract(t *testing.T) {
 				t.Errorf("Add: %v, want 42", sum)
 			}
 
-			diff, err := s.Decrypt(s.Sub(b, a))
+			subCt, err := s.Sub(b, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff, err := s.Decrypt(subCt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,6 +161,89 @@ func TestPaillierPooledEncryption(t *testing.T) {
 		}
 		if v.Int64() != int64(i) {
 			t.Errorf("pooled encrypt %d decrypts to %v", i, v)
+		}
+	}
+}
+
+// TestPaillierUnmarshalRejectsOutOfRange: Unmarshal is the validation gate
+// for ciphertexts arriving from the wire, so anything outside (0, n²) must
+// be rejected here rather than panic downstream.
+func TestPaillierUnmarshalRejectsOutOfRange(t *testing.T) {
+	p, err := NewPaillier(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n2 := new(big.Int).Mul(p.N(), p.N())
+	bad := [][]byte{
+		{0},        // zero
+		n2.Bytes(), // == n²
+		new(big.Int).Add(n2, big.NewInt(7)).Bytes(), // > n²
+	}
+	for i, raw := range bad {
+		if _, err := p.Unmarshal(raw); err == nil {
+			t.Errorf("case %d: Unmarshal accepted out-of-range ciphertext", i)
+		}
+	}
+	ct, err := p.Encrypt(big.NewInt(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Unmarshal(p.Marshal(ct)); err != nil {
+		t.Errorf("Unmarshal rejected a genuine ciphertext: %v", err)
+	}
+}
+
+// TestPaillierFastObfuscationRoundTrip exercises the decryptor-side enable
+// path — with and without a pool — plus the passive-party install via
+// SetObfuscationBase, and the disable path back to baseline.
+func TestPaillierFastObfuscationRoundTrip(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		p, err := NewPaillier(256, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		if err := p.EnableFastObfuscation(); err != nil {
+			t.Fatal(err)
+		}
+		if p.ObfuscationBase() == nil || p.ObfuscationBits() <= 0 {
+			t.Fatal("fast obfuscation not reported after enable")
+		}
+		for i := int64(0); i < 5; i++ {
+			ct, err := p.Encrypt(big.NewInt(i))
+			if err != nil {
+				t.Fatalf("workers=%d Encrypt(%d): %v", workers, i, err)
+			}
+			if v, err := p.Decrypt(ct); err != nil || v.Int64() != i {
+				t.Fatalf("workers=%d round trip %d = %v, %v", workers, i, v, err)
+			}
+		}
+
+		// Passive party installs the shipped base and its ciphertexts stay
+		// decryptable by the key owner.
+		passive := NewPaillierPublic(paillier.NewPublicKey(p.N()))
+		if err := passive.SetObfuscationBase(p.ObfuscationBase(), p.ObfuscationBits()); err != nil {
+			t.Fatal(err)
+		}
+		ct, err := passive.Encrypt(big.NewInt(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Decrypt(ct); err != nil || v.Int64() != 31 {
+			t.Fatalf("passive fast ciphertext = %v, %v; want 31", v, err)
+		}
+
+		p.DisableFastObfuscation()
+		if p.ObfuscationBase() != nil {
+			t.Fatal("base still reported after disable")
+		}
+		ct2, err := p.Encrypt(big.NewInt(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Decrypt(ct2); err != nil || v.Int64() != 8 {
+			t.Fatalf("baseline round trip after disable = %v, %v; want 8", v, err)
 		}
 	}
 }

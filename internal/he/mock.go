@@ -62,10 +62,10 @@ func (s *MockScheme) AddInto(dst, b Ciphertext) Ciphertext {
 	return d
 }
 
-func (s *MockScheme) Sub(a, b Ciphertext) Ciphertext {
+func (s *MockScheme) Sub(a, b Ciphertext) (Ciphertext, error) {
 	v := new(big.Int).Sub(a.(mockCt).v, b.(mockCt).v)
 	v.Mod(v, s.n)
-	return mockCt{v}
+	return mockCt{v}, nil
 }
 
 func (s *MockScheme) MulScalar(a Ciphertext, k *big.Int) Ciphertext {
@@ -79,7 +79,11 @@ func (s *MockScheme) Marshal(ct Ciphertext) []byte {
 }
 
 func (s *MockScheme) Unmarshal(b []byte) (Ciphertext, error) {
-	return mockCt{new(big.Int).SetBytes(b)}, nil
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(s.n) >= 0 {
+		return nil, fmt.Errorf("he: mock ciphertext out of range")
+	}
+	return mockCt{v}, nil
 }
 
 // CiphertextBytes reflects that VF-MOCK ships plaintext-sized values.

@@ -26,7 +26,8 @@ type PaillierScheme struct {
 // one.
 type PaillierDecryptor struct {
 	PaillierScheme
-	priv *paillier.PrivateKey
+	priv        *paillier.PrivateKey
+	poolWorkers int
 }
 
 // NewPaillier generates a fresh S-bit key pair and returns the decryptor
@@ -52,12 +53,59 @@ func NewPaillierFromKey(priv *paillier.PrivateKey, poolWorkers int) *PaillierDec
 	d := &PaillierDecryptor{
 		PaillierScheme: PaillierScheme{pk: priv.Public()},
 		priv:           priv,
+		poolWorkers:    poolWorkers,
 	}
 	if poolWorkers > 0 {
 		d.pool = paillier.NewObfuscatorPool(priv.Public(), poolWorkers, 8*poolWorkers, nil)
 	}
 	return d
 }
+
+// EnableFastObfuscation derives the DJN obfuscation base h = r₀^n mod n²
+// and switches every encryption path — pooled or not — to short-exponent
+// h^x obfuscators. Call it during session setup, before concurrent use;
+// the obfuscator pool, if any, is restarted so its workers produce the
+// cheap terms. ObfuscationBase then returns the base to ship to passive
+// parties. Idempotent.
+func (d *PaillierDecryptor) EnableFastObfuscation() error {
+	if err := d.pk.EnableFastObfuscation(rand.Reader, 0); err != nil {
+		return err
+	}
+	if d.pool != nil {
+		d.pool.Close()
+		d.pool = paillier.NewObfuscatorPool(d.pk, d.poolWorkers, 8*d.poolWorkers, nil)
+	}
+	return nil
+}
+
+// DisableFastObfuscation reverts to baseline r^n obfuscation (and flushes
+// the pool's precomputed fast terms), so one key can serve both a fast and
+// an exact-paper baseline session.
+func (d *PaillierDecryptor) DisableFastObfuscation() {
+	if !d.pk.FastObfuscation() {
+		return
+	}
+	d.pk.DisableFastObfuscation()
+	if d.pool != nil {
+		d.pool.Close()
+		d.pool = paillier.NewObfuscatorPool(d.pk, d.poolWorkers, 8*d.poolWorkers, nil)
+	}
+}
+
+// SetObfuscationBase installs a base received at session setup, enabling
+// fast obfuscation on a passive party's encrypt-only scheme. expBits <= 0
+// selects the default short-exponent length.
+func (s *PaillierScheme) SetObfuscationBase(h *big.Int, expBits int) error {
+	return s.pk.SetObfuscationBase(h, expBits)
+}
+
+// ObfuscationBase returns the fast-obfuscation base, or nil when the
+// baseline r^n path is active.
+func (s *PaillierScheme) ObfuscationBase() *big.Int { return s.pk.ObfuscationBase() }
+
+// ObfuscationBits returns the short-exponent length in bits, or 0 when
+// fast obfuscation is disabled.
+func (s *PaillierScheme) ObfuscationBits() int { return s.pk.ObfuscationBits() }
 
 // PublicScheme returns the encrypt-only view that is shared with passive
 // parties.
@@ -104,23 +152,43 @@ func (s *PaillierScheme) AddInto(dst, b Ciphertext) Ciphertext {
 	return d
 }
 
-func (s *PaillierScheme) Sub(a, b Ciphertext) Ciphertext {
-	return paillierCt{s.pk.Sub(a.(paillierCt).ct, b.(paillierCt).ct)}
+func (s *PaillierScheme) Sub(a, b Ciphertext) (Ciphertext, error) {
+	ct, err := s.pk.Sub(a.(paillierCt).ct, b.(paillierCt).ct)
+	if err != nil {
+		return nil, err
+	}
+	return paillierCt{ct}, nil
 }
 
 func (s *PaillierScheme) MulScalar(a Ciphertext, k *big.Int) Ciphertext {
-	return paillierCt{s.pk.MulScalar(a.(paillierCt).ct, k)}
+	ct, err := s.pk.MulScalar(a.(paillierCt).ct, k)
+	if err != nil {
+		// Unreachable for scheme-produced ciphertexts: Encrypt outputs
+		// and Unmarshal inputs are both range-validated. Failing here is
+		// caller misuse on par with mixing ciphertexts across schemes,
+		// which the type assertion above already treats as a panic.
+		panic(err)
+	}
+	return paillierCt{ct}
 }
 
 func (s *PaillierScheme) Marshal(ct Ciphertext) []byte {
 	return ct.(paillierCt).ct.Bytes()
 }
 
+// Unmarshal rejects byte strings that do not decode to an element of
+// (0, n²). This is the validation gate for every ciphertext arriving from
+// the wire: downstream homomorphic operations and decryption may assume
+// range-valid inputs because nothing out of range gets past here.
 func (s *PaillierScheme) Unmarshal(b []byte) (Ciphertext, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("he: empty paillier ciphertext")
 	}
-	return paillierCt{paillier.CiphertextFromBytes(b)}, nil
+	ct := paillier.CiphertextFromBytes(b)
+	if err := s.pk.ValidateCiphertext(ct); err != nil {
+		return nil, fmt.Errorf("he: %w", err)
+	}
+	return paillierCt{ct}, nil
 }
 
 func (s *PaillierScheme) CiphertextBytes() int { return 2 * s.pk.Bits() / 8 }

@@ -1,0 +1,212 @@
+package paillier
+
+// Windowed fixed-base exponentiation and DJN-style fast obfuscation.
+//
+// The baseline obfuscator r^n mod n² costs a full S-bit exponentiation per
+// encryption — the dominant term of the paper's Enc cost model. Following
+// Damgård–Jurik–Nielsen (CT-RSA 2010, §4.2), a single random n-th residue
+// h = r₀^n mod n² is derived at key setup; each obfuscator is then h^x for
+// a short random exponent x. Because h generates (a large subgroup of) the
+// n-th residues, h^x is itself an n-th residue, and under the standard
+// short-exponent indistinguishability assumption a 2·112-bit x makes h^x
+// computationally indistinguishable from a fresh r^n (112 bits being the
+// NIST security level of a 2048-bit modulus).
+//
+// The short exponentiation is served by a FixedBase table: with window
+// width w, precomputed entries h^(j·2^(w·i)) reduce h^x to at most
+// ⌈bits(x)/w⌉ modular multiplications and zero squarings. At w = 4 and a
+// 224-bit exponent that is ≤ 56 multiplications mod n² versus the ~3·S/2
+// operations of the full r^n ladder — an order of magnitude cheaper, which
+// is the speedup BENCH_crypto.json tracks.
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DefaultObfuscationBits is the short-exponent length used by fast
+// obfuscation when the caller does not choose one: twice the 112-bit
+// symmetric-equivalent strength of a 2048-bit modulus, the usual margin
+// for short-exponent subgroup assumptions.
+const DefaultObfuscationBits = 224
+
+// fixedBaseWindow is the window width w; 2^w−1 table entries per window.
+// Width 4 balances table size (15 entries per window, ~430 KiB at
+// S = 2048) against multiplication count (one per non-zero window).
+const fixedBaseWindow = 4
+
+// FixedBase holds precomputed power tables for exponentiating one fixed
+// base modulo one fixed modulus. It is safe for concurrent use after
+// construction (Exp only reads the tables).
+type FixedBase struct {
+	base   *big.Int
+	mod    *big.Int
+	tables [][]*big.Int // tables[i][j-1] = base^(j·2^(w·i)) mod m
+}
+
+// NewFixedBase precomputes tables covering exponents up to maxBits bits.
+// The one-time cost is roughly one full exponentiation's worth of modular
+// multiplications; every subsequent Exp is ⌈maxBits/w⌉ multiplications.
+func NewFixedBase(base, mod *big.Int, maxBits int) *FixedBase {
+	if maxBits < 1 {
+		maxBits = 1
+	}
+	numWindows := (maxBits + fixedBaseWindow - 1) / fixedBaseWindow
+	fb := &FixedBase{
+		base:   new(big.Int).Set(base),
+		mod:    new(big.Int).Set(mod),
+		tables: make([][]*big.Int, numWindows),
+	}
+	cur := new(big.Int).Mod(base, mod)
+	for i := range fb.tables {
+		row := make([]*big.Int, (1<<fixedBaseWindow)-1)
+		row[0] = new(big.Int).Set(cur)
+		for j := 1; j < len(row); j++ {
+			row[j] = new(big.Int).Mul(row[j-1], cur)
+			row[j].Mod(row[j], mod)
+		}
+		fb.tables[i] = row
+		if i+1 < len(fb.tables) {
+			// base^(2^(w·(i+1))) = row[2^w−1] · cur.
+			cur = new(big.Int).Mul(row[len(row)-1], cur)
+			cur.Mod(cur, mod)
+		}
+	}
+	return fb
+}
+
+// MaxBits is the largest exponent width the tables cover.
+func (fb *FixedBase) MaxBits() int { return len(fb.tables) * fixedBaseWindow }
+
+// Exp computes base^x mod m for non-negative x. Exponents wider than
+// MaxBits fall back to math/big's general ladder, so the result is always
+// correct; only the precomputed range is fast.
+func (fb *FixedBase) Exp(x *big.Int) *big.Int {
+	if x.Sign() < 0 || x.BitLen() > fb.MaxBits() {
+		return new(big.Int).Exp(fb.base, x, fb.mod)
+	}
+	acc := big.NewInt(1)
+	bits := x.BitLen()
+	for i := 0; i*fixedBaseWindow < bits; i++ {
+		v := 0
+		for b := fixedBaseWindow - 1; b >= 0; b-- {
+			v = v<<1 | int(x.Bit(i*fixedBaseWindow+b))
+		}
+		if v != 0 {
+			acc.Mul(acc, fb.tables[i][v-1])
+			acc.Mod(acc, fb.mod)
+		}
+	}
+	return acc
+}
+
+// fastObfuscator produces obfuscators as h^x over a FixedBase table.
+type fastObfuscator struct {
+	h       *big.Int
+	expBits int
+	expMax  *big.Int // 2^expBits, exclusive bound for the short exponent
+	fb      *FixedBase
+}
+
+func newFastObfuscator(h *big.Int, expBits int, n2 *big.Int) *fastObfuscator {
+	if expBits <= 0 {
+		expBits = DefaultObfuscationBits
+	}
+	return &fastObfuscator{
+		h:       new(big.Int).Set(h),
+		expBits: expBits,
+		expMax:  new(big.Int).Lsh(one, uint(expBits)),
+		fb:      NewFixedBase(h, n2, expBits),
+	}
+}
+
+// obfuscator draws a short random exponent x ∈ [1, 2^expBits) and returns
+// h^x mod n².
+func (f *fastObfuscator) obfuscator(random io.Reader) (*big.Int, error) {
+	for {
+		x, err := rand.Int(random, f.expMax)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: drawing obfuscation exponent: %w", err)
+		}
+		if x.Sign() != 0 {
+			return f.fb.Exp(x), nil
+		}
+	}
+}
+
+// EnableFastObfuscation derives a random obfuscation base h = r₀^n mod n²
+// and switches Obfuscator (and everything built on it: Encrypt,
+// EncryptBatch, ObfuscatorPool) to the fast h^x path. expBits <= 0 selects
+// DefaultObfuscationBits; random nil selects crypto/rand.Reader.
+//
+// Enable the fast path before the key is used concurrently (it is a plain
+// configuration write, deliberately not synchronized against in-flight
+// encryptions). Calling it again is a no-op.
+func (pk *PublicKey) EnableFastObfuscation(random io.Reader, expBits int) error {
+	if pk.fast != nil {
+		return nil
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		h, err := pk.BaselineObfuscator(random)
+		if err != nil {
+			return err
+		}
+		// r₀ = 1 would fix every obfuscator to 1; redraw (probability 1/n).
+		if h.Cmp(one) != 0 {
+			pk.fast = newFastObfuscator(h, expBits, pk.NSquared)
+			return nil
+		}
+	}
+}
+
+// SetObfuscationBase installs an obfuscation base received from the key
+// owner (the session-setup message), enabling fast obfuscation on a
+// passive party's reconstructed public key. The base is validated to be a
+// unit of Z*_{n²}: a malformed or hostile base must not crash encryption
+// or silently disable obfuscation.
+func (pk *PublicKey) SetObfuscationBase(h *big.Int, expBits int) error {
+	if h == nil || h.Sign() <= 0 || h.Cmp(pk.NSquared) >= 0 {
+		return errors.New("paillier: obfuscation base out of range")
+	}
+	if h.Cmp(one) == 0 {
+		return errors.New("paillier: obfuscation base is the identity")
+	}
+	if new(big.Int).GCD(nil, nil, h, pk.N).Cmp(one) != 0 {
+		return errors.New("paillier: obfuscation base shares a factor with n")
+	}
+	pk.fast = newFastObfuscator(h, expBits, pk.NSquared)
+	return nil
+}
+
+// DisableFastObfuscation reverts Obfuscator to the baseline r^n path, so
+// a key shared across sessions can serve an exact-paper baseline run after
+// a fast one. Like the enable calls, it is a setup step.
+func (pk *PublicKey) DisableFastObfuscation() { pk.fast = nil }
+
+// FastObfuscation reports whether the fast h^x path is enabled.
+func (pk *PublicKey) FastObfuscation() bool { return pk.fast != nil }
+
+// ObfuscationBase returns the derived base h = r₀^n mod n², or nil when
+// fast obfuscation is disabled. The caller must treat it as read-only; it
+// is public material, shipped to passive parties at session setup.
+func (pk *PublicKey) ObfuscationBase() *big.Int {
+	if pk.fast == nil {
+		return nil
+	}
+	return pk.fast.h
+}
+
+// ObfuscationBits returns the short-exponent length in bits, or 0 when
+// fast obfuscation is disabled.
+func (pk *PublicKey) ObfuscationBits() int {
+	if pk.fast == nil {
+		return 0
+	}
+	return pk.fast.expBits
+}

@@ -13,9 +13,22 @@
 //     p² and q²;
 //   - homomorphic addition (HAdd) is a single modular multiplication and
 //     scalar multiplication (SMul) a modular exponentiation, exactly the
-//     cost model of Section 5 of the VF²Boost paper.
+//     cost model of Section 5 of the VF²Boost paper;
+//   - optionally, EnableFastObfuscation replaces the full r^n ladder with
+//     DJN-style short-exponent obfuscators h^x served from precomputed
+//     fixed-base tables (see fixedbase.go), cutting obfuscator cost by
+//     roughly an order of magnitude. The exact-paper baseline stays
+//     available as BaselineObfuscator.
 //
-// All operations on PublicKey and PrivateKey are safe for concurrent use.
+// GenerateKey draws two distinct random primes of equal size and requires
+// n = p·q to have exactly the requested bit length with gcd(n, φ(n)) = 1.
+// The primes are ordinary random primes, not safe primes: nothing in the
+// scheme needs p and q to be safe, and safe-prime generation would slow
+// setup by orders of magnitude.
+//
+// All operations on PublicKey and PrivateKey are safe for concurrent use
+// once configured; EnableFastObfuscation / SetObfuscationBase are setup
+// steps that must complete before concurrent use begins.
 package paillier
 
 import (
@@ -28,6 +41,10 @@ import (
 
 var one = big.NewInt(1)
 
+// ErrInvalidCiphertext is returned when a ciphertext lies outside (0, n²) —
+// the well-formedness every operation requires of wire inputs.
+var ErrInvalidCiphertext = errors.New("paillier: ciphertext out of range")
+
 // PublicKey holds the public parameters of a Paillier key pair. The
 // generator is fixed to g = n+1, which is the common choice and admits the
 // fast encryption path.
@@ -38,6 +55,9 @@ type PublicKey struct {
 	NSquared *big.Int
 	// halfN is n/2, used to decide the sign of decoded values.
 	halfN *big.Int
+	// fast, when non-nil, serves obfuscators as h^x from fixed-base
+	// tables instead of the full r^n ladder (see fixedbase.go).
+	fast *fastObfuscator
 }
 
 // PrivateKey holds the factorization of n and the CRT precomputation used
@@ -173,9 +193,22 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 	}
 }
 
-// Obfuscator computes a fresh obfuscation term r^n mod n². This is the
-// expensive part of encryption; ObfuscatorPool amortizes it.
+// Obfuscator computes a fresh obfuscation term. By default that is
+// r^n mod n² — the expensive part of encryption, which ObfuscatorPool
+// amortizes; after EnableFastObfuscation it is the much cheaper h^x from
+// the fixed-base tables.
 func (pk *PublicKey) Obfuscator(random io.Reader) (*big.Int, error) {
+	if f := pk.fast; f != nil {
+		return f.obfuscator(random)
+	}
+	return pk.BaselineObfuscator(random)
+}
+
+// BaselineObfuscator always computes the full r^n mod n² of the paper's
+// cost model, regardless of whether fast obfuscation is enabled. It is the
+// reference the fast path is benchmarked against, and the source of the
+// derived base h.
+func (pk *PublicKey) BaselineObfuscator(random io.Reader) (*big.Int, error) {
 	r, err := pk.randomUnit(random)
 	if err != nil {
 		return nil, fmt.Errorf("paillier: drawing obfuscation randomness: %w", err)
@@ -232,23 +265,51 @@ func (pk *PublicKey) AddInto(dst *Ciphertext, b Ciphertext) {
 	dst.C.Mod(dst.C, pk.NSquared)
 }
 
+// ValidateCiphertext rejects ciphertexts outside (0, n²). Every ciphertext
+// deserialized from the wire must pass through this check before being fed
+// to homomorphic operations; a value outside the group is either
+// corruption or an attack, never a legal ciphertext.
+func (pk *PublicKey) ValidateCiphertext(ct Ciphertext) error {
+	if ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(pk.NSquared) >= 0 {
+		return ErrInvalidCiphertext
+	}
+	return nil
+}
+
 // Sub returns the homomorphic difference a - b, computed by multiplying a
-// with the modular inverse of b.
-func (pk *PublicKey) Sub(a, b Ciphertext) Ciphertext {
+// with the modular inverse of b. It errors — never panics — on
+// out-of-range inputs and on a subtrahend that is not invertible modulo n²
+// (gcd(b, n) ≠ 1 would reveal a factor of n; such a value can only come
+// from a corrupted or hostile peer).
+func (pk *PublicKey) Sub(a, b Ciphertext) (Ciphertext, error) {
+	if err := pk.ValidateCiphertext(a); err != nil {
+		return Ciphertext{}, err
+	}
+	if err := pk.ValidateCiphertext(b); err != nil {
+		return Ciphertext{}, err
+	}
 	inv := new(big.Int).ModInverse(b.C, pk.NSquared)
+	if inv == nil {
+		return Ciphertext{}, errors.New("paillier: subtrahend not invertible modulo n²")
+	}
 	inv.Mul(inv, a.C)
 	inv.Mod(inv, pk.NSquared)
-	return Ciphertext{C: inv}
+	return Ciphertext{C: inv}, nil
 }
 
 // MulScalar returns the ciphertext of k·m given the ciphertext of m: the
-// SMul operation. Negative k is reduced modulo n first.
-func (pk *PublicKey) MulScalar(ct Ciphertext, k *big.Int) Ciphertext {
+// SMul operation. Any k outside [0, n) — negative or oversized, as packing
+// shifts can be — is reduced modulo n first, so the exponentiation never
+// pays for more than n's width. Invalid ciphertexts error, never panic.
+func (pk *PublicKey) MulScalar(ct Ciphertext, k *big.Int) (Ciphertext, error) {
+	if err := pk.ValidateCiphertext(ct); err != nil {
+		return Ciphertext{}, err
+	}
 	e := k
-	if k.Sign() < 0 {
+	if k.Sign() < 0 || k.Cmp(pk.N) >= 0 {
 		e = new(big.Int).Mod(k, pk.N)
 	}
-	return Ciphertext{C: new(big.Int).Exp(ct.C, e, pk.NSquared)}
+	return Ciphertext{C: new(big.Int).Exp(ct.C, e, pk.NSquared)}, nil
 }
 
 // EncryptZero returns a deterministic, non-obfuscated encryption of zero
@@ -261,8 +322,8 @@ func (pk *PublicKey) EncryptZero() Ciphertext {
 
 // Decrypt recovers the plaintext in [0, n) using CRT acceleration.
 func (priv *PrivateKey) Decrypt(ct Ciphertext) (*big.Int, error) {
-	if ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(priv.NSquared) >= 0 {
-		return nil, errors.New("paillier: ciphertext out of range")
+	if err := priv.ValidateCiphertext(ct); err != nil {
+		return nil, err
 	}
 	// mp = L_p(c^{p-1} mod p²)·hp mod p
 	cp := new(big.Int).Exp(ct.C, priv.pOrder, priv.pSquared)

@@ -76,7 +76,11 @@ func TestHomomorphicSubtraction(t *testing.T) {
 	priv := testKey(t, 256)
 	ca, _ := priv.EncryptInt64(rand.Reader, 100)
 	cb, _ := priv.EncryptInt64(rand.Reader, 342)
-	got, err := priv.DecryptInt64(priv.Sub(ca, cb))
+	diff, err := priv.Sub(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := priv.DecryptInt64(diff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +96,10 @@ func TestScalarMultiplicationProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prod := priv.MulScalar(cv, big.NewInt(int64(k)))
+		prod, err := priv.MulScalar(cv, big.NewInt(int64(k)))
+		if err != nil {
+			return false
+		}
 		got, err := priv.DecryptInt64(prod)
 		if err != nil {
 			return false
@@ -330,6 +337,8 @@ func BenchmarkSMul(b *testing.B) {
 	k := big.NewInt(1 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		priv.MulScalar(ct, k)
+		if _, err := priv.MulScalar(ct, k); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -2,23 +2,30 @@ package paillier
 
 import (
 	"crypto/rand"
+	"errors"
 	"io"
 	"math/big"
 	"runtime"
 	"sync"
 )
 
+// ErrPoolClosed is returned by Next once the pool has been closed and its
+// remaining precomputed terms have been drained.
+var ErrPoolClosed = errors.New("paillier: obfuscator pool closed")
+
 // ObfuscatorPool precomputes obfuscation terms r^n mod n² in background
 // goroutines so that the encryption hot path is reduced to two modular
 // multiplications. This mirrors the "high-performance library" component of
 // VF²Boost: the expensive exponentiations are produced off the critical
-// path while the producer is otherwise idle.
+// path while the producer is otherwise idle. When fast obfuscation is
+// enabled on the key, the workers produce the cheap h^x terms instead.
 type ObfuscatorPool struct {
-	pk     *PublicKey
-	out    chan poolItem
-	stop   chan struct{}
-	wg     sync.WaitGroup
-	random io.Reader
+	pk        *PublicKey
+	out       chan poolItem
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	random    io.Reader
 }
 
 type poolItem struct {
@@ -59,9 +66,10 @@ func (p *ObfuscatorPool) worker() {
 		rn, err := p.pk.Obfuscator(p.random)
 		select {
 		case p.out <- poolItem{rn: rn, err: err}:
-			if err != nil {
-				return
-			}
+			// An error (a transient RNG failure) is surfaced to one
+			// caller, but the worker keeps running: the next draw may
+			// well succeed, and silently shrinking the worker set would
+			// starve the pool for the rest of the session.
 		case <-p.stop:
 			return
 		}
@@ -69,14 +77,30 @@ func (p *ObfuscatorPool) worker() {
 }
 
 // Next returns a fresh obfuscation term, blocking until one is available.
+// After Close it drains any remaining precomputed terms and then returns
+// ErrPoolClosed instead of blocking forever.
 func (p *ObfuscatorPool) Next() (*big.Int, error) {
-	item := <-p.out
-	return item.rn, item.err
+	select {
+	case item := <-p.out:
+		return item.rn, item.err
+	case <-p.stop:
+		// The pool is closed, but workers may have left finished terms in
+		// the buffer; hand those out before reporting closure.
+		select {
+		case item := <-p.out:
+			return item.rn, item.err
+		default:
+			return nil, ErrPoolClosed
+		}
+	}
 }
 
-// Close stops the background workers. Pending precomputed terms are
-// discarded.
+// Close stops the background workers. Buffered precomputed terms remain
+// drainable through Next; after that, Next returns ErrPoolClosed. Close is
+// idempotent.
 func (p *ObfuscatorPool) Close() {
-	close(p.stop)
-	p.wg.Wait()
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+	})
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Reproducible crypto/serving benchmark harness. Runs the Paillier
+# primitive benchmarks (Enc, Dec, HAdd, SMul, obfuscator generation
+# baseline vs fixed-base), the paper's Fig. 7 histogram-accumulation
+# benches, and the online-scoring BenchmarkScoreBatch, then pipes the lot
+# through cmd/benchfmt into a committed JSON baseline.
+#
+# Usage: scripts/bench.sh [-short] [-out FILE]
+#   -short    small key sizes and minimal bench time: the CI smoke leg.
+#             Writes nowhere by default (stdout) so it cannot clobber the
+#             committed baseline.
+#   -out FILE JSON output path. The full run defaults to BENCH_crypto.json
+#             at the repo root — the committed baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=0
+out=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -short) short=1 ;;
+    -out) out="$2"; shift ;;
+    *) echo "usage: scripts/bench.sh [-short] [-out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ "$short" -eq 1 ]; then
+  benchtime="20x"
+  # Small moduli only: 2048-bit keygen alone takes longer than the whole
+  # smoke budget.
+  obf_filter='BenchmarkObfuscator(Baseline|FixedBase)/bits=(256|512)$'
+  prim_filter='BenchmarkEncrypt$|BenchmarkEncryptWithPool$|BenchmarkEncryptFastObfuscation$|BenchmarkDecryptCRT$|BenchmarkHAdd$|BenchmarkSMul$'
+else
+  benchtime="1s"
+  obf_filter='BenchmarkObfuscator(Baseline|FixedBase)'
+  prim_filter='BenchmarkEncrypt$|BenchmarkEncryptWithPool$|BenchmarkEncryptFastObfuscation$|BenchmarkDecryptCRT$|BenchmarkHAdd$|BenchmarkSMul$'
+  [ -n "$out" ] || out="BENCH_crypto.json"
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== paillier primitives ==" >&2
+go test -run '^$' -bench "$prim_filter" -benchtime "$benchtime" ./internal/paillier | tee -a "$tmp" >&2
+
+echo "== obfuscator generation: baseline r^n vs fixed-base h^x ==" >&2
+go test -run '^$' -bench "$obf_filter" -benchtime "$benchtime" -timeout 30m ./internal/paillier | tee -a "$tmp" >&2
+
+echo "== histogram accumulation (Fig. 7) ==" >&2
+go test -run '^$' -bench 'BenchmarkFig7' -benchtime "$benchtime" . | tee -a "$tmp" >&2
+
+echo "== online scoring ==" >&2
+go test -run '^$' -bench 'BenchmarkScoreBatch' -benchtime "$benchtime" . | tee -a "$tmp" >&2
+
+echo "== benchfmt ==" >&2
+if [ -n "$out" ]; then
+  go run ./cmd/benchfmt -in "$tmp" -date "$(date -u +%Y-%m-%d)" -out "$out"
+  echo "wrote $out" >&2
+else
+  go run ./cmd/benchfmt -in "$tmp" -date "$(date -u +%Y-%m-%d)"
+fi

@@ -36,4 +36,16 @@ go test -race -timeout 120s \
 echo "== fuzz smoke (wire decode) =="
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
 
+echo "== fuzz smoke (ciphertext ops: arbitrary bytes must never panic) =="
+go test -run='^$' -fuzz=FuzzCiphertextOps -fuzztime=10s ./internal/paillier
+
+echo "== bench smoke (harness runs, output parses, baseline not rotted) =="
+bench_json=$(mktemp)
+trap 'rm -f "$bench_json"' EXIT
+scripts/bench.sh -short -out "$bench_json" >/dev/null 2>&1
+go run ./cmd/benchfmt -check "$bench_json"
+if [ -f BENCH_crypto.json ]; then
+  go run ./cmd/benchfmt -check BENCH_crypto.json
+fi
+
 echo "== ci ok =="
