@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/big"
 	"testing"
 
@@ -99,5 +100,98 @@ func TestSetupRejectsHostileObfuscationBase(t *testing.T) {
 		if err := scheme.SetObfuscationBase(h, 224); err == nil {
 			t.Errorf("case %d: hostile obfuscation base accepted", i)
 		}
+	}
+	// A hostile ObfBits rides the same unvalidated setup frame: a huge
+	// value must be rejected before it sizes the fixed-base tables, not
+	// OOM or hang the party.
+	for i, bits := range []int{1 << 20, 1 << 30} {
+		if err := scheme.SetObfuscationBase(big.NewInt(4), bits); err == nil {
+			t.Errorf("case %d: hostile ObfBits=%d accepted", i, bits)
+		}
+	}
+}
+
+// TestPassivePartyAbortsOnTaskFailure: a background histogram task hitting
+// an unrecoverable input error (fail) must notify B with MsgAbort and
+// surface the error from run — never panic the process.
+func TestPassivePartyAbortsOnTaskFailure(t *testing.T) {
+	_, parts := twoPartyData(t, 30, 2, 2, 1, true, 73)
+	in := chanTransport{ch: make(chan []byte, 16)}
+	out := chanTransport{ch: make(chan []byte, 16)}
+	l := &link{out: out, in: in}
+	p, err := newPassiveParty(0, parts[0], mustNormalize(t, quickConfig(SchemeMock)), l, &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.run()
+		done <- err
+	}()
+
+	cause := fmt.Errorf("core: subtracting bin 3: ciphertext not invertible")
+	p.fail(cause)
+	p.fail(fmt.Errorf("secondary failure")) // only the first is kept
+
+	// B is told to abort the session.
+	got, err := (&link{in: out}).recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, ok := got.(MsgAbort)
+	if !ok {
+		t.Fatalf("first message after fail = %T, want MsgAbort", got)
+	}
+	if ab.Party != 0 || ab.Reason != cause.Error() {
+		t.Errorf("MsgAbort = %+v", ab)
+	}
+
+	// The run loop surfaces the recorded root cause once it unblocks.
+	if err := (&link{out: in, in: in}).send(MsgTreeDone{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || err.Error() != cause.Error() {
+		t.Errorf("run returned %v, want %v", err, cause)
+	}
+}
+
+// TestPumpFailsSessionOnAbort: Party B's demultiplexer must turn a passive
+// party's MsgAbort into the session error every pending wait observes.
+func TestPumpFailsSessionOnAbort(t *testing.T) {
+	l, feed := drivenLink()
+	pump := startPump(l)
+	sender := &link{out: feed, in: feed}
+	if err := sender.send(MsgAbort{Party: 1, Reason: "hostile histogram"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pump.histFor(0, 1); err == nil {
+		t.Error("histFor returned no error after MsgAbort")
+	}
+}
+
+// TestPassivePartyRejectsHostileGradientExponent: exponents in the
+// gradient stream index histogram slot rows; out-of-range values must be
+// rejected at ingress as a session error, not panic deep in accumulation.
+func TestPassivePartyRejectsHostileGradientExponent(t *testing.T) {
+	_, parts := twoPartyData(t, 30, 2, 2, 1, true, 74)
+	l, feed := drivenLink()
+	p, err := newPassiveParty(0, parts[0], mustNormalize(t, quickConfig(SchemeMock)), l, &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := &link{out: feed, in: feed}
+	if err := sender.send(MsgSetup{Scheme: SchemeMock, Bits: 512, BaseExp: 8, ExpSpread: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.send(MsgGradBatch{
+		Tree: 0, Start: 0,
+		G: [][]byte{{1}}, H: [][]byte{{1}},
+		GExp: []int16{99}, HExp: []int16{8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.run(); err == nil {
+		t.Error("out-of-range gradient exponent accepted")
 	}
 }

@@ -173,6 +173,17 @@ type MsgTreeDone struct {
 // MsgShutdown ends the session.
 type MsgShutdown struct{}
 
+// MsgAbort is sent by a passive party when one of its background
+// histogram tasks hits an unrecoverable input error — e.g. a range-valid
+// but non-invertible ciphertext in the gradient stream, which only
+// surfaces when a homomorphic subtraction fails. Party B fails the
+// session with the carried reason; the task goroutines must never panic
+// the passive process on hostile wire input.
+type MsgAbort struct {
+	Party  int
+	Reason string
+}
+
 // The gob registrations back the fallback codec (wire.Gob); the binary
 // codec's registrations live in wirecodec.go.
 func init() {
@@ -189,6 +200,7 @@ func init() {
 	gob.Register(MsgAck{})
 	gob.Register(MsgHeartbeat{})
 	gob.Register(MsgResume{})
+	gob.Register(MsgAbort{})
 }
 
 // Transport is the minimal producer/consumer pair the engine needs; both

@@ -39,6 +39,11 @@ type passiveParty struct {
 	sendMu sync.Mutex // serializes link sends from tasks and the main loop
 	stats  *Stats
 
+	// failMu guards failErr, the first unrecoverable failure hit by a
+	// background histogram task; see fail.
+	failMu  sync.Mutex
+	failErr error
+
 	// offsets are the per-feature bin offsets of this party's mapper.
 	offsets []int
 
@@ -117,7 +122,16 @@ func (p *passiveParty) run() (*PartyModel, error) {
 		msg, err := p.link.recv()
 		addDur(&p.stats.aIdleTime, time.Since(idleStart))
 		if err != nil {
+			// A task failure usually surfaces here: B aborts the session on
+			// MsgAbort and the link dies. Report the root cause, not the
+			// secondary transport error.
+			if ferr := p.failed(); ferr != nil {
+				return nil, ferr
+			}
 			return nil, fmt.Errorf("core: party %d receive: %w", p.index, err)
+		}
+		if ferr := p.failed(); ferr != nil {
+			return nil, ferr
 		}
 		switch m := msg.(type) {
 		case MsgSetup:
@@ -156,6 +170,32 @@ func (p *passiveParty) send(m any) error {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
 	return p.link.send(m)
+}
+
+// fail records the first unrecoverable failure hit by a background
+// histogram task and notifies B so the whole session aborts. Hostile or
+// corrupt wire input — e.g. a range-valid but non-invertible ciphertext
+// in the gradient stream, which only a failed ModInverse can expose —
+// must surface as a session error on both sides, never as a panic of the
+// passive process. The recorded error is what run returns once its
+// receive loop unblocks (B tears the link down on MsgAbort).
+func (p *passiveParty) fail(err error) {
+	p.failMu.Lock()
+	first := p.failErr == nil
+	if first {
+		p.failErr = err
+	}
+	p.failMu.Unlock()
+	if first {
+		p.send(MsgAbort{Party: p.index, Reason: err.Error()})
+	}
+}
+
+// failed returns the first recorded task failure, or nil.
+func (p *passiveParty) failed() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	return p.failErr
 }
 
 // handleSetup installs the shared cryptographic context.
@@ -234,7 +274,22 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	if m.Start+len(m.G) > n {
 		return fmt.Errorf("core: gradient batch [%d,%d) out of range", m.Start, m.Start+len(m.G))
 	}
+	if len(m.H) != len(m.G) || len(m.GExp) != len(m.G) || len(m.HExp) != len(m.G) {
+		return fmt.Errorf("core: gradient batch with mismatched lengths g=%d h=%d gexp=%d hexp=%d",
+			len(m.G), len(m.H), len(m.GExp), len(m.HExp))
+	}
+	// The session codec only produces exponents in [BaseExp,
+	// BaseExp+ExpSpread); anything else is corrupt or hostile input and
+	// must be rejected here — downstream accumulation indexes slot rows by
+	// exponent and treats out-of-range values as a programming error.
+	minExp, maxExp := p.codec.BaseExp(), p.codec.BaseExp()+p.codec.ExpSpread()
 	for k := range m.G {
+		if e := int(m.GExp[k]); e < minExp || e >= maxExp {
+			return fmt.Errorf("core: gradient exponent %d outside codec range [%d,%d)", e, minExp, maxExp)
+		}
+		if e := int(m.HExp[k]); e < minExp || e >= maxExp {
+			return fmt.Errorf("core: hessian exponent %d outside codec range [%d,%d)", e, minExp, maxExp)
+		}
 		gc, err := p.scheme.Unmarshal(m.G[k])
 		if err != nil {
 			return err
@@ -569,25 +624,30 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		}
 		smallNH, err := p.wireNodeHist(smallID, g, h)
 		if err != nil {
-			panic(err)
+			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, smallID, err))
+			return
 		}
 		if task.aborted.Load() {
 			return
 		}
 		p.send(MsgHistograms{Tree: tree, Layer: layer, Nodes: []NodeHist{smallNH}})
 
-		// Sibling = parent - small, bin by bin. Both histograms came from
-		// B's own range-validated gradient stream, so a failed subtraction
-		// is a protocol invariant violation, not a runtime condition —
-		// same contract as wireNodeHist below.
+		// Sibling = parent - small, bin by bin. Range validation on the
+		// gradient stream cannot prove invertibility: the key owner (who
+		// knows p and q) can ship a range-valid ciphertext with
+		// gcd(c, n) ≠ 1, and the failure only shows up here when Sub's
+		// ModInverse returns nil. That is hostile input, not a protocol
+		// bug — fail the session instead of panicking.
 		start := time.Now()
 		sg, err := subtractBins(p.codec, parent.g, g)
 		if err != nil {
-			panic(err)
+			p.fail(fmt.Errorf("core: party %d sibling histogram for node %d: %w", p.index, bigID, err))
+			return
 		}
 		sh, err := subtractBins(p.codec, parent.h, h)
 		if err != nil {
-			panic(err)
+			p.fail(fmt.Errorf("core: party %d sibling histogram for node %d: %w", p.index, bigID, err))
+			return
 		}
 		addDur(&p.stats.buildHistTime, time.Since(start))
 		if task.aborted.Load() {
@@ -595,7 +655,8 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		}
 		bigNH, err := p.wireNodeHist(bigID, sg, sh)
 		if err != nil {
-			panic(err)
+			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, bigID, err))
+			return
 		}
 		if task.aborted.Load() {
 			return
@@ -682,9 +743,11 @@ func (p *passiveParty) scheduleHist(node int32, layer int, insts []int32) {
 		}
 		nh, err := p.wireNodeHist(node, g, h)
 		if err != nil {
-			// Packing invariants are validated at setup; a failure here
-			// is a protocol bug, not a runtime condition.
-			panic(err)
+			// Serialization works over ciphertexts accumulated from the
+			// wire gradient stream; treat any failure as hostile input and
+			// abort the session rather than crash the process.
+			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, node, err))
+			return
 		}
 		if task.aborted.Load() {
 			return

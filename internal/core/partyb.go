@@ -111,6 +111,11 @@ func startPump(l *link) *pump {
 				p.ready <- m
 			case MsgResume:
 				p.resume <- m
+			case MsgAbort:
+				// The passive party hit an unrecoverable input error (see
+				// passiveParty.fail); surface it as the session failure.
+				p.errs <- fmt.Errorf("core: party %d aborted session: %s", m.Party, m.Reason)
+				return
 			default:
 				p.errs <- fmt.Errorf("core: party B: unexpected message %T", msg)
 				return

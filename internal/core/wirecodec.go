@@ -42,6 +42,7 @@ const (
 	// idSetupV2 extends the setup body with the fast-obfuscation base
 	// (ObfBase, ObfBits) appended after Shift.
 	idSetupV2 uint16 = 22
+	idAbort   uint16 = 23
 )
 
 // All ends of a deployment ship the same binary, so only the current
@@ -71,6 +72,7 @@ func init() {
 	wire.Register(idAck, "MsgAck", decodeMsg[MsgAck])
 	wire.Register(idHeartbeat, "MsgHeartbeat", decodeMsg[MsgHeartbeat])
 	wire.Register(idResume, "MsgResume", decodeMsg[MsgResume])
+	wire.Register(idAbort, "MsgAbort", decodeMsg[MsgAbort])
 }
 
 // wireBody is the decode half of a protocol message; every Msg* pointer
@@ -356,6 +358,22 @@ func (m MsgShutdown) AppendTo(b []byte) []byte { return b }
 
 func (m *MsgShutdown) DecodeFrom(body []byte) error {
 	return wire.NewDec(body).Finish()
+}
+
+// --- MsgAbort ----------------------------------------------------------
+
+func (MsgAbort) WireID() uint16 { return idAbort }
+
+func (m MsgAbort) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Party)
+	return wire.AppendString(b, m.Reason)
+}
+
+func (m *MsgAbort) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Party = d.Int()
+	m.Reason = d.String()
+	return d.Finish()
 }
 
 // --- MsgPredictStart / MsgPredictPlacements ---------------------------

@@ -48,6 +48,7 @@ func sampleMessages() []any {
 		MsgScoreClose{Reason: "server shutdown"},
 		MsgScoreCloseAck{},
 		MsgResume{Party: 1, Trees: 42},
+		MsgAbort{Party: 2, Reason: "core: subtracting bin 7: ciphertext not invertible"},
 		MsgEnvelope{Seq: 9000000000, Frame: []byte{0x01, 0x02, 0x03}},
 		MsgAck{Cum: 8999999999},
 		MsgHeartbeat{Cum: 17},
@@ -102,8 +103,8 @@ func TestEveryMessageTypeHasWireID(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if len(seen) != 21 {
-		t.Errorf("samples cover %d message IDs, protocol has 21", len(seen))
+	if len(seen) != 22 {
+		t.Errorf("samples cover %d message IDs, protocol has 22", len(seen))
 	}
 }
 

@@ -68,14 +68,22 @@ func NewPaillierFromKey(priv *paillier.PrivateKey, poolWorkers int) *PaillierDec
 // cheap terms. ObfuscationBase then returns the base to ship to passive
 // parties. Idempotent.
 func (d *PaillierDecryptor) EnableFastObfuscation() error {
-	if err := d.pk.EnableFastObfuscation(rand.Reader, 0); err != nil {
-		return err
+	if d.pk.FastObfuscation() {
+		return nil
 	}
+	// Stop (and join) the pool workers before toggling pk.fast: workers
+	// read the fast-obfuscator pointer on every draw, so flipping it under
+	// a live pool is a data race. Close blocks until the workers exit.
 	if d.pool != nil {
 		d.pool.Close()
+	}
+	err := d.pk.EnableFastObfuscation(rand.Reader, 0)
+	if d.pool != nil {
+		// Restart the pool either way — on error the key stays in its
+		// previous (baseline) mode and encryption must keep working.
 		d.pool = paillier.NewObfuscatorPool(d.pk, d.poolWorkers, 8*d.poolWorkers, nil)
 	}
-	return nil
+	return err
 }
 
 // DisableFastObfuscation reverts to baseline r^n obfuscation (and flushes
@@ -85,9 +93,13 @@ func (d *PaillierDecryptor) DisableFastObfuscation() {
 	if !d.pk.FastObfuscation() {
 		return
 	}
-	d.pk.DisableFastObfuscation()
+	// Same ordering as EnableFastObfuscation: join the workers first so
+	// none of them reads pk.fast while it is being cleared.
 	if d.pool != nil {
 		d.pool.Close()
+	}
+	d.pk.DisableFastObfuscation()
+	if d.pool != nil {
 		d.pool = paillier.NewObfuscatorPool(d.pk, d.poolWorkers, 8*d.poolWorkers, nil)
 	}
 }

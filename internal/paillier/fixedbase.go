@@ -27,11 +27,39 @@ import (
 	"math/big"
 )
 
-// DefaultObfuscationBits is the short-exponent length used by fast
-// obfuscation when the caller does not choose one: twice the 112-bit
-// symmetric-equivalent strength of a 2048-bit modulus, the usual margin
-// for short-exponent subgroup assumptions.
+// DefaultObfuscationBits is the short-exponent length fast obfuscation
+// uses for moduli up to 2048 bits: twice the 112-bit symmetric-equivalent
+// strength of a 2048-bit modulus, the usual margin for short-exponent
+// subgroup assumptions. Larger moduli get longer exponents — see
+// DefaultObfuscationBitsFor.
 const DefaultObfuscationBits = 224
+
+// DefaultObfuscationBitsFor returns the short-exponent length used when
+// the caller does not choose one: twice the NIST symmetric-equivalent
+// strength of the modulus size (SP 800-57: 2048→112, 3072→128, 7680→192,
+// 15360→256 bits of strength). Moduli below 3072 bits — including the
+// small keys the tests use — take the 2048-bit figure; the short exponent
+// must never promise more strength than the modulus itself delivers.
+func DefaultObfuscationBitsFor(modBits int) int {
+	switch {
+	case modBits >= 15360:
+		return 512
+	case modBits >= 7680:
+		return 384
+	case modBits >= 3072:
+		return 256
+	default:
+		return DefaultObfuscationBits
+	}
+}
+
+// maxObfuscationBits bounds the short-exponent length a caller (or, via
+// the session-setup message, a remote peer) may select: an exponent as
+// wide as n² itself. Beyond that, extra width buys no entropy — the
+// subgroup order divides λ(n²) — while the fixed-base tables grow
+// linearly in expBits, so an unbounded value is a memory-exhaustion
+// vector on whoever builds the tables.
+func maxObfuscationBits(modBits int) int { return 2 * modBits }
 
 // fixedBaseWindow is the window width w; 2^w−1 table entries per window.
 // Width 4 balances table size (15 entries per window, ~430 KiB at
@@ -111,10 +139,10 @@ type fastObfuscator struct {
 	fb      *FixedBase
 }
 
+// newFastObfuscator builds the table set for base h. expBits must be
+// positive and pre-bounded by the caller (resolveObfuscationBits): table
+// size is linear in expBits.
 func newFastObfuscator(h *big.Int, expBits int, n2 *big.Int) *fastObfuscator {
-	if expBits <= 0 {
-		expBits = DefaultObfuscationBits
-	}
 	return &fastObfuscator{
 		h:       new(big.Int).Set(h),
 		expBits: expBits,
@@ -137,10 +165,25 @@ func (f *fastObfuscator) obfuscator(random io.Reader) (*big.Int, error) {
 	}
 }
 
+// resolveObfuscationBits applies the modulus-derived default and rejects
+// lengths past the table-size bound. Every path that builds a
+// fastObfuscator resolves through here, so no caller-supplied (or
+// wire-supplied) value can size the precomputation tables unchecked.
+func (pk *PublicKey) resolveObfuscationBits(expBits int) (int, error) {
+	if expBits <= 0 {
+		return DefaultObfuscationBitsFor(pk.Bits()), nil
+	}
+	if max := maxObfuscationBits(pk.Bits()); expBits > max {
+		return 0, fmt.Errorf("paillier: obfuscation exponent length %d exceeds bound %d for a %d-bit modulus", expBits, max, pk.Bits())
+	}
+	return expBits, nil
+}
+
 // EnableFastObfuscation derives a random obfuscation base h = r₀^n mod n²
 // and switches Obfuscator (and everything built on it: Encrypt,
 // EncryptBatch, ObfuscatorPool) to the fast h^x path. expBits <= 0 selects
-// DefaultObfuscationBits; random nil selects crypto/rand.Reader.
+// the modulus-derived default (DefaultObfuscationBitsFor); random nil
+// selects crypto/rand.Reader.
 //
 // Enable the fast path before the key is used concurrently (it is a plain
 // configuration write, deliberately not synchronized against in-flight
@@ -148,6 +191,10 @@ func (f *fastObfuscator) obfuscator(random io.Reader) (*big.Int, error) {
 func (pk *PublicKey) EnableFastObfuscation(random io.Reader, expBits int) error {
 	if pk.fast != nil {
 		return nil
+	}
+	expBits, err := pk.resolveObfuscationBits(expBits)
+	if err != nil {
+		return err
 	}
 	if random == nil {
 		random = rand.Reader
@@ -167,10 +214,25 @@ func (pk *PublicKey) EnableFastObfuscation(random io.Reader, expBits int) error 
 
 // SetObfuscationBase installs an obfuscation base received from the key
 // owner (the session-setup message), enabling fast obfuscation on a
-// passive party's reconstructed public key. The base is validated to be a
-// unit of Z*_{n²}: a malformed or hostile base must not crash encryption
-// or silently disable obfuscation.
+// passive party's reconstructed public key. Both wire-supplied values are
+// validated before any allocation: the base must be a unit of Z*_{n²} and
+// expBits must be within the table-size bound (expBits <= 0 selects the
+// modulus-derived default) — a malformed or hostile setup frame must not
+// crash encryption, exhaust memory building tables, or silently disable
+// obfuscation.
+//
+// What cannot be validated here: that h really is an n-th residue.
+// Deciding n-th residuosity without the factorization of n is exactly the
+// DCR problem Paillier's security rests on, so a passive party must trust
+// the key owner to derive h honestly (a non-residue base would let the
+// key owner bias decrypted plaintexts by a chosen offset and void the
+// short-exponent indistinguishability argument). This is inherent to the
+// DJN scheme; see docs/PROTOCOL.md §Session setup for the trust model.
 func (pk *PublicKey) SetObfuscationBase(h *big.Int, expBits int) error {
+	expBits, err := pk.resolveObfuscationBits(expBits)
+	if err != nil {
+		return err
+	}
 	if h == nil || h.Sign() <= 0 || h.Cmp(pk.NSquared) >= 0 {
 		return errors.New("paillier: obfuscation base out of range")
 	}

@@ -159,6 +159,72 @@ func TestSetObfuscationBaseValidation(t *testing.T) {
 	}
 }
 
+// TestObfuscationBitsBounded covers the hostile-ObfBits ingress: the
+// exponent length arrives from the network in MsgSetup, and an unbounded
+// value sizes the fixed-base tables (and a 2^expBits Lsh), so anything
+// past the 2·|n| bound must be rejected before any allocation.
+func TestObfuscationBitsBounded(t *testing.T) {
+	priv := testKey(t, 256)
+	owner := NewPublicKey(priv.N)
+	if err := owner.EnableFastObfuscation(rand.Reader, 0); err != nil {
+		t.Fatal(err)
+	}
+	h := owner.ObfuscationBase()
+
+	pk := NewPublicKey(priv.N)
+	hostile := []int{2*pk.Bits() + 1, 1 << 20, 1 << 30, int(^uint(0) >> 1)}
+	for _, bits := range hostile {
+		if err := pk.SetObfuscationBase(h, bits); err == nil {
+			t.Errorf("SetObfuscationBase accepted expBits=%d", bits)
+		}
+		if pk.FastObfuscation() {
+			t.Fatalf("expBits=%d left fast obfuscation enabled", bits)
+		}
+	}
+	if err := NewPublicKey(priv.N).EnableFastObfuscation(rand.Reader, 1<<30); err == nil {
+		t.Error("EnableFastObfuscation accepted expBits=1<<30")
+	}
+	// The bound itself is still accepted, and the installed key encrypts
+	// decryptable ciphertexts.
+	if err := pk.SetObfuscationBase(h, 2*pk.Bits()); err != nil {
+		t.Fatalf("SetObfuscationBase at the bound rejected: %v", err)
+	}
+	ct, err := pk.Encrypt(rand.Reader, big.NewInt(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := priv.DecryptInt64(ct); err != nil || v != 55 {
+		t.Errorf("round trip at the bound = %d, %v; want 55", v, err)
+	}
+}
+
+// TestDefaultObfuscationBitsFor pins the modulus-size → short-exponent
+// mapping: twice the SP 800-57 symmetric-equivalent strength, so larger
+// keys are not silently handed the 2048-bit margin.
+func TestDefaultObfuscationBitsFor(t *testing.T) {
+	cases := []struct{ mod, want int }{
+		{256, 224}, {1024, 224}, {2048, 224},
+		{3072, 256}, {4096, 256},
+		{7680, 384}, {8192, 384},
+		{15360, 512}, {16384, 512},
+	}
+	for _, c := range cases {
+		if got := DefaultObfuscationBitsFor(c.mod); got != c.want {
+			t.Errorf("DefaultObfuscationBitsFor(%d) = %d, want %d", c.mod, got, c.want)
+		}
+	}
+	// The zero-value path through the enable call resolves to the same
+	// mapping.
+	priv := testKey(t, 256)
+	pk := NewPublicKey(priv.N)
+	if err := pk.EnableFastObfuscation(rand.Reader, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pk.ObfuscationBits(), DefaultObfuscationBitsFor(pk.Bits()); got != want {
+		t.Errorf("ObfuscationBits = %d, want %d", got, want)
+	}
+}
+
 func TestDisableFastObfuscation(t *testing.T) {
 	priv := testKey(t, 256)
 	pk := NewPublicKey(priv.N)
