@@ -30,6 +30,8 @@ func main() {
 		scale   = flag.Float64("scale", 0, "override dataset scale divisor (0 = per-experiment default)")
 		keyBits = flag.Int("keybits", 512, "Paillier modulus size S")
 		trees   = flag.Int("trees", 0, "override tree count (0 = per-experiment default)")
+		oocRows = flag.Int("ooc-rows", 0, "override oocscale row count (0 = default)")
+		jsonOut = flag.String("json", "", "write oocscale results to this JSON file (BENCH_ooc.json schema)")
 	)
 	flag.Parse()
 
@@ -177,7 +179,39 @@ func main() {
 		return nil
 	})
 
+	// oocscale is opt-in (not part of "all"): it streams millions of rows
+	// to disk, which dominates the default suite's runtime.
+	if want["oocscale"] {
+		do("oocscale", func() error {
+			tc := experiments.DefaultOOC()
+			if *oocRows > 0 {
+				tc.Rows = *oocRows
+			}
+			if *trees > 0 {
+				tc.Trees = *trees
+			}
+			build, rows, err := experiments.OOCScale(tc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintOOC(os.Stdout, tc, build, rows)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				date := time.Now().UTC().Format("2006-01-02")
+				if err := experiments.WriteOOCJSON(f, date, tc, build, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonOut)
+			}
+			return nil
+		})
+	}
+
 	if ran == 0 {
-		log.Fatalf("unknown experiment selection %q; valid: fig7,table1,table2,fig10,table4,table5,table6,gantt,ablation,all", *run)
+		log.Fatalf("unknown experiment selection %q; valid: fig7,table1,table2,fig10,table4,table5,table6,gantt,ablation,oocscale,all", *run)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/metrics"
 	"vf2boost/internal/mq"
+	"vf2boost/internal/ooc"
 	"vf2boost/internal/serve"
 )
 
@@ -111,6 +112,72 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 	}
 }
 
+// oocFlags registers the out-of-core flags shared by the training
+// subcommands and returns a loader for the resolved settings.
+func oocFlags(fs *flag.FlagSet) func() oocSettings {
+	dir := fs.String("ooc", "", "train out-of-core: build (if absent) and use a binned shard store under this directory")
+	budget := fs.String("mem-budget", "256MiB", "resident shard-cache cap for -ooc (bytes, or with K/M/G[iB] suffix; 0 = unlimited)")
+	chunkRows := fs.Int("chunk-rows", 1<<16, "shard height in rows for -ooc store builds")
+	prefetch := fs.Bool("prefetch", true, "next-shard readahead at shallow tree depth (-ooc)")
+	return func() oocSettings {
+		b, err := parseBytes(*budget)
+		if err != nil {
+			log.Fatalf("bad -mem-budget: %v", err)
+		}
+		return oocSettings{dir: *dir, budget: b, chunkRows: *chunkRows, prefetch: *prefetch}
+	}
+}
+
+type oocSettings struct {
+	dir       string
+	budget    int64
+	chunkRows int
+	prefetch  bool
+}
+
+// openStore builds the store from src if dir has no manifest yet, then
+// opens it under the configured budget. An existing store is reused
+// as-is (delete the directory to force a rebuild).
+func (s oocSettings) openStore(src ooc.Source, maxBins int) *ooc.Store {
+	st, err := ooc.Open(s.dir, ooc.Options{MemBudget: s.budget, Prefetch: s.prefetch})
+	if err == nil {
+		fmt.Printf("ooc: reusing store %s (%d rows, %d shards)\n", s.dir, st.Rows(), st.NumShards())
+		return st
+	}
+	start := time.Now()
+	if err := ooc.Build(s.dir, src, ooc.BuildOptions{MaxBins: maxBins, ChunkRows: s.chunkRows}); err != nil {
+		log.Fatalf("ooc: building %s: %v", s.dir, err)
+	}
+	st, err = ooc.Open(s.dir, ooc.Options{MemBudget: s.budget, Prefetch: s.prefetch})
+	if err != nil {
+		log.Fatalf("ooc: opening %s: %v", s.dir, err)
+	}
+	fmt.Printf("ooc: built store %s in %v (%d rows, %d shards, budget %d bytes)\n",
+		s.dir, time.Since(start).Round(time.Millisecond), st.Rows(), st.NumShards(), s.budget)
+	return st
+}
+
+// parseBytes parses a byte count with an optional K/M/G, KB/MB/GB or
+// KiB/MiB/GiB suffix (all binary multiples).
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	shift := 0
+	upper := strings.ToUpper(t)
+	for suf, sh := range map[string]int{"KIB": 10, "MIB": 20, "GIB": 30, "KB": 10, "MB": 20, "GB": 30, "K": 10, "M": 20, "G": 30} {
+		if strings.HasSuffix(upper, suf) && len(upper) > len(suf) {
+			if sh > shift {
+				shift = sh
+				t = strings.TrimSpace(t[:len(t)-len(suf)])
+			}
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a byte count", s)
+	}
+	return n << shift, nil
+}
+
 func loadData(path string) *dataset.Dataset {
 	d, err := dataset.LoadLibSVMFile(path, 0)
 	if err != nil {
@@ -135,12 +202,12 @@ func cmdLocal(args []string) {
 	fs := flag.NewFlagSet("local", flag.ExitOnError)
 	data := fs.String("data", "", "labeled LibSVM training file")
 	out := fs.String("out", "model.json", "model output path")
+	oocFn := oocFlags(fs)
 	cfgFn := trainFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
 		log.Fatal("local: -data is required")
 	}
-	d := loadData(*data)
 	cfg := cfgFn()
 	p := gbdt.DefaultParams()
 	p.NumTrees = cfg.Trees
@@ -149,6 +216,35 @@ func cmdLocal(args []string) {
 	p.MaxBins = cfg.MaxBins
 	p.Split = cfg.Split
 	p.Workers = cfg.Workers
+
+	if oc := oocFn(); oc.dir != "" {
+		// Out-of-core: the raw rows never materialize, so the train-AUC
+		// report (which needs raw feature values) is skipped.
+		src, err := ooc.NewLibSVMSource(*data, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := oc.openStore(src, p.MaxBins)
+		labels, err := st.Labels()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		m, err := gbdt.TrainBinned(st, labels, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs := st.Stats()
+		fmt.Printf("trained %d trees out-of-core in %v; cache: %d loads, %d prefetches, %d evictions, peak %d bytes\n",
+			cfg.Trees, time.Since(start).Round(time.Millisecond), cs.Loads, cs.Prefetches, cs.Evictions, cs.PeakBytes)
+		if err := m.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model written to %s\n", *out)
+		return
+	}
+
+	d := loadData(*data)
 	start := time.Now()
 	m, err := gbdt.Train(d, p)
 	if err != nil {
@@ -174,6 +270,7 @@ func cmdSim(args []string) {
 	chaos := fs.String("chaos", "", "seeded fault injection spec, e.g. seed=7,drop=0.05,dup=0.02,reorder=0.02,delay=0.1,delayfor=2ms,cut=500")
 	ckptDir := fs.String("checkpoint-dir", "", "snapshot every party's training state here after each tree")
 	resume := fs.Bool("resume", false, "resume from the newest checkpoint under -checkpoint-dir")
+	oocFn := oocFlags(fs)
 	cfgFn := trainFlags(fs)
 	fs.Parse(args)
 	if *data == "" || *split == "" {
@@ -181,11 +278,6 @@ func cmdSim(args []string) {
 	}
 	if *resume && *ckptDir == "" {
 		log.Fatal("sim: -resume requires -checkpoint-dir")
-	}
-	d := loadData(*data)
-	parts, err := d.VerticalSplit(parseSplit(*split), len(parseSplit(*split))-1)
-	if err != nil {
-		log.Fatal(err)
 	}
 	cfg := cfgFn()
 	var opts []core.SessionOption
@@ -205,7 +297,56 @@ func cmdSim(args []string) {
 	if *resume {
 		opts = append(opts, core.WithResume())
 	}
-	sess, err := core.NewSession(parts, cfg, opts...)
+
+	var sess *core.Session
+	var err error
+	var trainLabels []float64
+	var parts []*dataset.Dataset
+	if oc := oocFn(); oc.dir != "" {
+		// Out-of-core sim: every party trains against its own disk-backed
+		// store, built from a column slice of the joined row stream — the
+		// joined dataset is never materialized.
+		counts := parseSplit(*split)
+		base, serr := ooc.NewLibSVMSource(*data, 0)
+		if serr != nil {
+			log.Fatal(serr)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != base.Cols() {
+			log.Fatalf("sim: -split %v covers %d features, %s has %d", counts, total, *data, base.Cols())
+		}
+		views := make([]gbdt.BinView, len(counts))
+		lo := 0
+		for i, c := range counts {
+			labeled := i == len(counts)-1
+			slice, serr := ooc.NewColumnSlice(base, lo, lo+c, labeled)
+			if serr != nil {
+				log.Fatal(serr)
+			}
+			ps := oc
+			ps.dir = filepath.Join(oc.dir, fmt.Sprintf("party%d", i))
+			st := ps.openStore(slice, cfg.MaxBins)
+			views[i] = st
+			if labeled {
+				if trainLabels, serr = st.Labels(); serr != nil {
+					log.Fatal(serr)
+				}
+			}
+			lo += c
+		}
+		sess, err = core.NewViewSession(views, trainLabels, cfg, opts...)
+	} else {
+		d := loadData(*data)
+		parts, err = d.VerticalSplit(parseSplit(*split), len(parseSplit(*split))-1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainLabels = d.Labels
+		sess, err = core.NewSession(parts, cfg, opts...)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -215,16 +356,20 @@ func cmdSim(args []string) {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	margins, err := m.PredictAll(parts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	auc, _ := metrics.AUC(margins, d.Labels)
-	ll, _ := metrics.LogLoss(margins, d.Labels)
 	st := sess.Stats()
 	fmt.Printf("federated training: %v (%v/tree)\n", elapsed.Round(time.Millisecond),
 		(elapsed / time.Duration(cfg.Trees)).Round(time.Millisecond))
-	fmt.Printf("  train AUC %.4f, logloss %.4f\n", auc, ll)
+	if parts != nil {
+		// Train-AUC needs raw feature values, which the out-of-core path
+		// never materializes — only reported for the in-memory path.
+		margins, perr := m.PredictAll(parts)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		auc, _ := metrics.AUC(margins, trainLabels)
+		ll, _ := metrics.LogLoss(margins, trainLabels)
+		fmt.Printf("  train AUC %.4f, logloss %.4f\n", auc, ll)
+	}
 	fmt.Printf("  encrypt %v, decrypt %v, build-hist %v, idle(B) %v\n",
 		st.EncryptTime().Round(time.Millisecond), st.DecryptTime().Round(time.Millisecond),
 		st.BuildHistTime().Round(time.Millisecond), st.BIdleTime().Round(time.Millisecond))
@@ -333,6 +478,7 @@ func cmdParty(args []string) {
 	peerTimeout := fs.Duration("peer-timeout", 30*time.Second, "declare the peer dead after this silence (with -resilient)")
 	ckptDir := fs.String("checkpoint-dir", "", "snapshot this party's training state here after each tree")
 	resume := fs.Bool("resume", false, "resume from the newest checkpoint under -checkpoint-dir")
+	oocFn := oocFlags(fs)
 	cfgFn := trainFlags(fs)
 	fs.Parse(args)
 	if *data == "" {
@@ -341,8 +487,30 @@ func cmdParty(args []string) {
 	if *resume && *ckptDir == "" {
 		log.Fatal("party: -resume requires -checkpoint-dir")
 	}
-	d := loadData(*data)
 	cfg := cfgFn()
+	oc := oocFn()
+
+	// With -ooc this party trains against a disk-backed store built from
+	// its shard file; the raw rows never materialize.
+	var view gbdt.BinView
+	var viewLabels []float64
+	var d *dataset.Dataset
+	if oc.dir != "" {
+		src, err := ooc.NewLibSVMSource(*data, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := oc.openStore(src, cfg.MaxBins)
+		view = st
+		if *role == "b" {
+			var err error
+			if viewLabels, err = st.Labels(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		d = loadData(*data)
+	}
 
 	rcfg := core.DefaultResilientConfig()
 	rcfg.Heartbeat = *heartbeat
@@ -383,11 +551,18 @@ func cmdParty(args []string) {
 
 	switch *role {
 	case "a":
-		// Passive shards must not carry labels.
-		d.Labels = nil
 		tr := wrap(fmt.Sprintf("a%d2b", *index), fmt.Sprintf("b2a%d", *index))
-		pm, err := core.RunPassiveParty(*index, d, cfg, tr,
-			runOpts(fmt.Sprintf("passive%d", *index))...)
+		var pm *core.PartyModel
+		var err error
+		if view != nil {
+			pm, err = core.RunPassivePartyView(*index, view, cfg, tr,
+				runOpts(fmt.Sprintf("passive%d", *index))...)
+		} else {
+			// Passive shards must not carry labels.
+			d.Labels = nil
+			pm, err = core.RunPassiveParty(*index, d, cfg, tr,
+				runOpts(fmt.Sprintf("passive%d", *index))...)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -400,7 +575,14 @@ func cmdParty(args []string) {
 			trs[i] = wrap(fmt.Sprintf("b2a%d", i), fmt.Sprintf("a%d2b", i))
 		}
 		start := time.Now()
-		pm, st, err := core.RunActiveParty(d, cfg, trs, runOpts("active")...)
+		var pm *core.PartyModel
+		var st *core.Stats
+		var err error
+		if view != nil {
+			pm, st, err = core.RunActivePartyView(view, viewLabels, cfg, trs, runOpts("active")...)
+		} else {
+			pm, st, err = core.RunActiveParty(d, cfg, trs, runOpts("active")...)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -61,7 +61,7 @@ func (eh *EncHistogram) totalBins() int { return eh.offsets[len(eh.offsets)-1] }
 // Accumulate sweeps the given instances of the binned matrix into the
 // histogram. It is not safe for concurrent use; parallel builders use one
 // histogram per shard and merge.
-func (eh *EncHistogram) Accumulate(bm *gbdt.BinnedMatrix, insts []int32, gh *encGH) {
+func (eh *EncHistogram) Accumulate(bm gbdt.BinView, insts []int32, gh *encGH) {
 	for _, i := range insts {
 		cols, bins := bm.Row(int(i))
 		for k, j := range cols {

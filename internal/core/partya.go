@@ -24,10 +24,14 @@ import (
 type passiveParty struct {
 	index int
 	cfg   Config
-	data  *dataset.Dataset
 
+	// view is the binned feature matrix the engine sweeps: the in-memory
+	// BinnedMatrix in the default path, or the disk-backed shard store of
+	// internal/ooc when training out of core. cols caches the feature
+	// count (len(mapper.Cuts)).
+	view   gbdt.BinView
+	cols   int
 	mapper *gbdt.BinMapper
-	bm     *gbdt.BinnedMatrix
 
 	scheme  he.Scheme
 	codec   *fixedpoint.Codec
@@ -90,19 +94,26 @@ func newPassiveParty(index int, data *dataset.Dataset, cfg Config, lk *link, sta
 	if err != nil {
 		return nil, err
 	}
+	return newPassivePartyView(index, gbdt.NewBinnedMatrix(data, mapper), cfg, lk, stats)
+}
+
+// newPassivePartyView builds a passive engine over an already-binned
+// view — the out-of-core entry point, where no Dataset ever exists.
+func newPassivePartyView(index int, view gbdt.BinView, cfg Config, lk *link, stats *Stats) (*passiveParty, error) {
+	mapper := view.Mapper()
 	p := &passiveParty{
 		index:  index,
 		cfg:    cfg,
-		data:   data,
+		view:   view,
+		cols:   len(mapper.Cuts),
 		mapper: mapper,
-		bm:     gbdt.NewBinnedMatrix(data, mapper),
 		link:   lk,
 		stats:  stats,
 		sem:    make(chan struct{}, cfg.Workers),
 		model:  &PartyModel{Party: index},
 	}
-	p.offsets = make([]int, data.Cols()+1)
-	for j := 0; j < data.Cols(); j++ {
+	p.offsets = make([]int, p.cols+1)
+	for j := 0; j < p.cols; j++ {
 		p.offsets[j+1] = p.offsets[j] + mapper.NumBins(j)
 	}
 	return p, nil
@@ -236,7 +247,7 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 		}
 		p.shiftCt = ct
 	}
-	if err := p.send(MsgReady{Party: p.index, Features: p.data.Cols(), Rows: p.data.Rows()}); err != nil {
+	if err := p.send(MsgReady{Party: p.index, Features: p.cols, Rows: p.view.Rows()}); err != nil {
 		return err
 	}
 	// Announce the resume point: how many completed rounds the restored
@@ -252,7 +263,7 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	if p.scheme == nil {
 		return fmt.Errorf("core: gradients before setup")
 	}
-	n := p.data.Rows()
+	n := p.view.Rows()
 	if p.gh == nil || p.tree != m.Tree {
 		// A replayed round (B resumed behind this party's checkpoint)
 		// invalidates the trees recorded at or after it: discard them and
@@ -330,7 +341,7 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			p.rootParts[w].Accumulate(p.bm, insts[lo:hi], p.gh)
+			p.rootParts[w].Accumulate(p.view, insts[lo:hi], p.gh)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -392,8 +403,8 @@ func (p *passiveParty) wireNodeHist(node int32, g, h []fixedpoint.EncNum) (NodeH
 		p.binCache[node] = &cachedBins{g: g, h: h}
 		p.binCacheMu.Unlock()
 	}
-	nh := NodeHist{Node: node, Feats: make([]FeatHist, p.data.Cols())}
-	for j := 0; j < p.data.Cols(); j++ {
+	nh := NodeHist{Node: node, Feats: make([]FeatHist, p.cols)}
+	for j := 0; j < p.cols; j++ {
 		lo, hi := p.offsets[j], p.offsets[j+1]
 		fh := FeatHist{NumBins: hi - lo}
 		if p.packing && p.shouldPack(g[lo:hi], h[lo:hi]) {
@@ -566,7 +577,7 @@ func (p *passiveParty) recordSplit(node int32, feature int32, threshold float64,
 // partition splits an instance list on one of this party's features.
 func (p *passiveParty) partition(insts []int32, feature, bin int32) (left, right []int32) {
 	for _, i := range insts {
-		if gbdt.GoesLeft(p.bm, i, feature, bin) {
+		if gbdt.GoesLeft(p.view, i, feature, bin) {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
@@ -675,6 +686,9 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h
 	if task.aborted.Load() {
 		return nil, nil, false
 	}
+	if dh, ok := p.view.(gbdt.DepthHinter); ok {
+		dh.HintDepth(task.layer)
+	}
 	start := time.Now()
 	endSpan := p.rec.Span(p.lane("BuildHist"), fmt.Sprintf("node %d", task.node))
 	defer endSpan()
@@ -688,7 +702,7 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h
 		if hi > len(insts) {
 			hi = len(insts)
 		}
-		eh.Accumulate(p.bm, insts[lo:hi], gh)
+		eh.Accumulate(p.view, insts[lo:hi], gh)
 	}
 	addDur(&p.stats.buildHistTime, time.Since(start))
 	if task.aborted.Load() {

@@ -18,11 +18,14 @@ import (
 // key, orchestrates the training routine, decrypts passive histograms and
 // arbitrates the globally best split of every node.
 type activeParty struct {
-	cfg  Config
-	data *dataset.Dataset
+	cfg Config
 
+	// view is B's binned feature matrix (in-memory or out-of-core);
+	// labels and rows are its label vector and instance count.
+	view   gbdt.BinView
+	labels []float64
+	rows   int
 	mapper *gbdt.BinMapper
-	bm     *gbdt.BinnedMatrix
 
 	dec   he.Decryptor
 	codec *fixedpoint.Codec
@@ -192,11 +195,25 @@ func newActiveParty(data *dataset.Dataset, cfg Config, dec he.Decryptor, links [
 	if err != nil {
 		return nil, err
 	}
+	return newActivePartyView(gbdt.NewBinnedMatrix(data, mapper), data.Labels, cfg, dec, links, stats)
+}
+
+// newActivePartyView builds Party B over an already-binned view and its
+// label vector — the out-of-core entry point, where no Dataset ever
+// exists.
+func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.Decryptor, links []*link, stats *Stats) (*activeParty, error) {
+	if labels == nil {
+		return nil, fmt.Errorf("core: party B has no labels")
+	}
+	if len(labels) != view.Rows() {
+		return nil, fmt.Errorf("core: party B has %d labels for %d rows", len(labels), view.Rows())
+	}
 	b := &activeParty{
 		cfg:    cfg,
-		data:   data,
-		mapper: mapper,
-		bm:     gbdt.NewBinnedMatrix(data, mapper),
+		view:   view,
+		labels: labels,
+		rows:   view.Rows(),
+		mapper: view.Mapper(),
 		dec:    dec,
 		codec: fixedpoint.NewCodec(dec,
 			fixedpoint.WithExponents(cfg.BaseExp, cfg.ExpSpread),
@@ -206,7 +223,7 @@ func newActiveParty(data *dataset.Dataset, cfg Config, dec he.Decryptor, links [
 		model: &PartyModel{Party: len(links)},
 	}
 	if cfg.HistogramPacking {
-		plan, err := planPacking(b.codec, data.Rows(), cfg.Loss.GradBound(), fixedpoint.DefaultPackBits)
+		plan, err := planPacking(b.codec, b.rows, cfg.Loss.GradBound(), fixedpoint.DefaultPackBits)
 		if err != nil {
 			return nil, err
 		}
@@ -270,9 +287,9 @@ func (b *activeParty) setup() error {
 	for i, p := range b.pumps {
 		select {
 		case r := <-p.ready:
-			if r.Rows != b.data.Rows() {
+			if r.Rows != b.rows {
 				return fmt.Errorf("core: party %d has %d rows, party B has %d (instances not aligned)",
-					i, r.Rows, b.data.Rows())
+					i, r.Rows, b.rows)
 			}
 			b.offsets[i] = off
 			off += int32(r.Features)
@@ -300,7 +317,7 @@ func (b *activeParty) train() (*PartyModel, error) {
 	if err := b.setup(); err != nil {
 		return nil, err
 	}
-	n := b.data.Rows()
+	n := b.rows
 	b.margins = make([]float64, n)
 	b.grads = make([]float64, n)
 	b.hess = make([]float64, n)
@@ -330,7 +347,7 @@ func (b *activeParty) train() (*PartyModel, error) {
 		b.codec.ReseedExp(b.cfg.Seed + int64(t+1)*0x5DEECE66D)
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			b.grads[i], b.hess[i] = b.cfg.Loss.GradHess(b.data.Labels[i], b.margins[i])
+			b.grads[i], b.hess[i] = b.cfg.Loss.GradHess(b.labels[i], b.margins[i])
 		}
 		if err := b.sendGradients(t); err != nil {
 			return nil, err
@@ -387,7 +404,7 @@ func (b *activeParty) train() (*PartyModel, error) {
 // the passive parties overlap (Section 4.1); without it one bulk batch is
 // sent after all encryption finishes.
 func (b *activeParty) sendGradients(t int) error {
-	n := b.data.Rows()
+	n := b.rows
 	batch := b.cfg.BatchSize
 	if !b.cfg.BlasterEncryption {
 		batch = n
@@ -643,7 +660,7 @@ func (b *activeParty) placementBitmap(insts []int32, feature, bin int32) ([]byte
 	bits := make([]bool, len(insts))
 	var left, right []int32
 	for k, i := range insts {
-		if gbdt.GoesLeft(b.bm, i, feature, bin) {
+		if gbdt.GoesLeft(b.view, i, feature, bin) {
 			bits[k] = true
 			left = append(left, i)
 		} else {
@@ -666,5 +683,5 @@ func (b *activeParty) buildOwnHistograms(nodes []*bNode) []*gbdt.Histogram {
 	for k, nd := range nodes {
 		lists[k] = nd.insts
 	}
-	return gbdt.BuildHistograms(b.bm, lists, b.grads, b.hess, b.cfg.Workers)
+	return gbdt.BuildHistograms(b.view, lists, b.grads, b.hess, b.cfg.Workers)
 }

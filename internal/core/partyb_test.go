@@ -55,7 +55,7 @@ func TestPlacementBitmapPartition(t *testing.T) {
 		t.Fatalf("partition lost instances: %d + %d", len(left), len(right))
 	}
 	for k, inst := range insts {
-		wantLeft := gbdt.GoesLeft(b.bm, inst, 0, 0)
+		wantLeft := gbdt.GoesLeft(b.view, inst, 0, 0)
 		if bitmapGet(bits, k) != wantLeft {
 			t.Fatalf("bitmap bit %d disagrees with GoesLeft", k)
 		}

@@ -124,7 +124,7 @@ func (b *activeParty) buildTreeSequential(t int) (*FedTree, []leafResult, error)
 func (b *activeParty) startTree() (*FedTree, *bNode) {
 	b.nextID = rootID
 	tree := NewFedTree(rootID)
-	n := b.data.Rows()
+	n := b.rows
 	all := make([]int32, n)
 	var g0, h0 float64
 	for i := range all {

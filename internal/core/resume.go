@@ -159,7 +159,7 @@ func (b *activeParty) resumePoint() (int, *TrainState, error) {
 	if latest < limit {
 		limit = latest
 	}
-	n := b.data.Rows()
+	n := b.rows
 	for k := limit; k > 0; k-- {
 		var ts TrainState
 		if err := b.ckpt.Load(k, &ts); err != nil {

@@ -9,6 +9,7 @@ import (
 	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fault"
+	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
 	"vf2boost/internal/mq"
 	"vf2boost/internal/trace"
@@ -20,8 +21,13 @@ import (
 // WAN-shaped, or fronted by the TCP gateway — the protocol engines cannot
 // tell the difference.
 type Session struct {
-	cfg    Config
-	parts  []*dataset.Dataset
+	cfg   Config
+	parts []*dataset.Dataset
+	// views/labels replace parts when the session trains over pre-binned
+	// views (the out-of-core path): passive views first, B's view last,
+	// labels belonging to the last view.
+	views  []gbdt.BinView
+	labels []float64
 	stats  *Stats
 	shaper *mq.Shaper
 	broker *mq.Broker
@@ -126,6 +132,43 @@ func NewSession(parts []*dataset.Dataset, cfg Config, opts ...SessionOption) (*S
 	return s, nil
 }
 
+// NewViewSession prepares a session over pre-binned views instead of
+// datasets — the out-of-core entry point, where each party's features
+// live in a disk-backed shard store and no Dataset is ever materialized.
+// Views are ordered passive parties first; labels belong to the last
+// view (Party B).
+func NewViewSession(views []gbdt.BinView, labels []float64, cfg Config, opts ...SessionOption) (*Session, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(views) < 2 {
+		return nil, fmt.Errorf("core: need at least two parties, got %d", len(views))
+	}
+	rows := views[0].Rows()
+	for i, v := range views {
+		if v.Rows() != rows {
+			return nil, fmt.Errorf("core: party %d has %d rows, want %d (align instances with PSI first)", i, v.Rows(), rows)
+		}
+	}
+	if len(labels) != rows {
+		return nil, fmt.Errorf("core: %d labels for %d rows", len(labels), rows)
+	}
+	s := &Session{cfg: cfg, views: views, labels: labels, stats: &Stats{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// numParties returns the party count regardless of which backing
+// (datasets or views) the session was built over.
+func (s *Session) numParties() int {
+	if s.views != nil {
+		return len(s.views)
+	}
+	return len(s.parts)
+}
+
 // Stats returns the session's phase and protocol counters.
 func (s *Session) Stats() *Stats { return s.stats }
 
@@ -185,7 +228,7 @@ func (s *Session) Train() (*FederatedModel, error) {
 		rcfg.normalize()
 	}
 
-	numPassive := len(s.parts) - 1
+	numPassive := s.numParties() - 1
 	var stores struct {
 		active  *checkpoint.Store
 		passive []*checkpoint.Store
@@ -279,7 +322,12 @@ func (s *Session) Train() (*FederatedModel, error) {
 		// session); the passive side adapts to whatever B speaks.
 		bLinks[i] = NewLinkCodec(bEnd, s.cfg.wireCodec())
 		aLink := newLinkPair(aEnd, aEnd, s.cfg.wireCodec(), true)
-		party, err := newPassiveParty(i, s.parts[i], s.cfg, aLink, s.stats)
+		var party *passiveParty
+		if s.views != nil {
+			party, err = newPassivePartyView(i, s.views[i], s.cfg, aLink, s.stats)
+		} else {
+			party, err = newPassiveParty(i, s.parts[i], s.cfg, aLink, s.stats)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +343,13 @@ func (s *Session) Train() (*FederatedModel, error) {
 		}(i)
 	}
 
-	active, err := newActiveParty(s.parts[len(s.parts)-1], s.cfg, s.dec, bLinks, s.stats)
+	var active *activeParty
+	var err error
+	if s.views != nil {
+		active, err = newActivePartyView(s.views[len(s.views)-1], s.labels, s.cfg, s.dec, bLinks, s.stats)
+	} else {
+		active, err = newActiveParty(s.parts[len(s.parts)-1], s.cfg, s.dec, bLinks, s.stats)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -309,8 +363,9 @@ func (s *Session) Train() (*FederatedModel, error) {
 	}
 	s.perTreeTime = active.perTreeTime
 
-	models := make([]*PartyModel, len(s.parts))
-	models[len(s.parts)-1] = bModel
+	numParties := s.numParties()
+	models := make([]*PartyModel, numParties)
+	models[numParties-1] = bModel
 	for i := 0; i < numPassive; i++ {
 		r := <-results
 		if r.err != nil {
@@ -328,8 +383,8 @@ func (s *Session) Train() (*FederatedModel, error) {
 	// Per-party split counts come from the fragments rather than the run's
 	// counters, so a resumed session (which replays only the remaining
 	// rounds) still reports the totals of the whole model.
-	splits := make([]int, len(s.parts))
-	for i := range s.parts {
+	splits := make([]int, numParties)
+	for i := 0; i < numParties; i++ {
 		n := 0
 		for _, t := range models[i].Trees {
 			for _, nd := range t.Nodes {
@@ -372,6 +427,28 @@ func RunPassiveParty(index int, data *dataset.Dataset, cfg Config, tr Transport,
 	return p.run()
 }
 
+// RunPassivePartyView runs a passive party over an already-binned view —
+// the out-of-core variant of RunPassiveParty.
+func RunPassivePartyView(index int, view gbdt.BinView, cfg Config, tr Transport, opts ...RunOption) (*PartyModel, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p, err := newPassivePartyView(index, view, cfg, newLinkPair(tr, tr, cfg.wireCodec(), true), &Stats{})
+	if err != nil {
+		return nil, err
+	}
+	if o.ckpt != nil {
+		if err := p.enableCheckpoints(o.ckpt, o.resume); err != nil {
+			return nil, err
+		}
+	}
+	return p.run()
+}
+
 // RunActiveParty runs Party B over arbitrary transports, one per passive
 // party, and returns B's model fragment plus the run statistics. In this
 // deployment each party keeps its own fragment; assemble a FederatedModel
@@ -395,6 +472,39 @@ func RunActiveParty(data *dataset.Dataset, cfg Config, trs []Transport, opts ...
 	}
 	stats := &Stats{}
 	b, err := newActiveParty(data, cfg, dec, links, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.ckpt != nil {
+		b.enableCheckpoints(o.ckpt, o.resume)
+	}
+	pm, err := b.train()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pm, stats, nil
+}
+
+// RunActivePartyView runs Party B over an already-binned view and its
+// labels — the out-of-core variant of RunActiveParty.
+func RunActivePartyView(view gbdt.BinView, labels []float64, cfg Config, trs []Transport, opts ...RunOption) (*PartyModel, *Stats, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	dec, err := newDecryptor(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	links := make([]*link, len(trs))
+	for i, tr := range trs {
+		links[i] = NewLinkCodec(tr, cfg.wireCodec())
+	}
+	stats := &Stats{}
+	b, err := newActivePartyView(view, labels, cfg, dec, links, stats)
 	if err != nil {
 		return nil, nil, err
 	}

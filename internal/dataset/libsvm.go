@@ -5,22 +5,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// ReadLibSVM parses the LibSVM text format ("label idx:val idx:val ...",
-// 1-based indices). cols <= 0 infers the column count from the data.
-func ReadLibSVM(r io.Reader, cols int) (*Dataset, error) {
-	type row struct {
-		idx   []int32
-		vals  []float64
-		label float64
-	}
-	var rows []row
-	maxCol := int32(0)
+// ScanLibSVM streams the LibSVM text format ("label idx:val idx:val ...",
+// 1-based indices) through a row callback without materializing a
+// Dataset — the ingestion primitive of the out-of-core path, where a file
+// can be far larger than memory. Each row's entries are delivered sorted
+// by column with duplicates rejected, matching Builder.AddRow's
+// invariants; the indices and values slices are reused between callbacks
+// and must be copied if retained. cols > 0 bounds the column indices;
+// cols <= 0 accepts any index. It returns the number of rows delivered
+// and the widest column count seen (max index + 1). Labels of -1 are
+// normalized to 0.
+func ScanLibSVM(r io.Reader, cols int, fn func(indices []int32, values []float64, label float64) error) (rows, maxCols int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var idxBuf []int32
+	var valBuf []float64
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -31,77 +35,142 @@ func ReadLibSVM(r io.Reader, cols int) (*Dataset, error) {
 		fields := strings.Fields(line)
 		label, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
+			return rows, maxCols, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
 		}
 		// Normalize {-1,+1} labels to {0,1}.
 		if label == -1 {
 			label = 0
 		}
-		rw := row{label: label}
+		idxBuf, valBuf = idxBuf[:0], valBuf[:0]
 		for _, f := range fields[1:] {
 			colon := strings.IndexByte(f, ':')
 			if colon < 0 {
-				return nil, fmt.Errorf("dataset: line %d: bad entry %q", lineNo, f)
+				return rows, maxCols, fmt.Errorf("dataset: line %d: bad entry %q", lineNo, f)
 			}
 			idx, err := strconv.Atoi(f[:colon])
 			if err != nil || idx < 1 {
-				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+				return rows, maxCols, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
 			}
 			val, err := strconv.ParseFloat(f[colon+1:], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+				return rows, maxCols, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
 			}
 			j := int32(idx - 1)
-			if j+1 > maxCol {
-				maxCol = j + 1
+			if cols > 0 && int(j) >= cols {
+				return rows, maxCols, fmt.Errorf("dataset: line %d: column %d out of range [0,%d)", lineNo, j, cols)
 			}
-			rw.idx = append(rw.idx, j)
-			rw.vals = append(rw.vals, val)
+			if int(j)+1 > maxCols {
+				maxCols = int(j) + 1
+			}
+			idxBuf = append(idxBuf, j)
+			valBuf = append(valBuf, val)
 		}
-		rows = append(rows, rw)
+		if !sort.SliceIsSorted(idxBuf, func(x, y int) bool { return idxBuf[x] < idxBuf[y] }) {
+			sort.Sort(&rowSorter{idx: idxBuf, vals: valBuf})
+		}
+		for k := 1; k < len(idxBuf); k++ {
+			if idxBuf[k] == idxBuf[k-1] {
+				return rows, maxCols, fmt.Errorf("dataset: line %d: duplicate column %d", lineNo, idxBuf[k])
+			}
+		}
+		if err := fn(idxBuf, valBuf, label); err != nil {
+			return rows, maxCols, err
+		}
+		rows++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading libsvm: %w", err)
+		return rows, maxCols, fmt.Errorf("dataset: reading libsvm: %w", err)
+	}
+	return rows, maxCols, nil
+}
+
+// rowSorter sorts a row's (index, value) pairs by column in place.
+type rowSorter struct {
+	idx  []int32
+	vals []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.idx) }
+func (s *rowSorter) Less(x, y int) bool { return s.idx[x] < s.idx[y] }
+func (s *rowSorter) Swap(x, y int) {
+	s.idx[x], s.idx[y] = s.idx[y], s.idx[x]
+	s.vals[x], s.vals[y] = s.vals[y], s.vals[x]
+}
+
+// ReadLibSVM parses the LibSVM text format into an in-memory Dataset.
+// cols <= 0 infers the column count from the data. It appends straight
+// into the CSR arrays as ScanLibSVM delivers rows, so peak memory is one
+// copy of the data rather than the two a buffered parse would hold.
+func ReadLibSVM(r io.Reader, cols int) (*Dataset, error) {
+	d := &Dataset{rowPtr: []int32{0}}
+	var labels []float64
+	rows, maxCols, err := ScanLibSVM(r, cols, func(indices []int32, values []float64, label float64) error {
+		d.colIdx = append(d.colIdx, indices...)
+		d.values = append(d.values, values...)
+		d.rowPtr = append(d.rowPtr, int32(len(d.colIdx)))
+		labels = append(labels, label)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if cols <= 0 {
-		cols = int(maxCol)
+		cols = maxCols
 	}
 	if cols == 0 {
 		return nil, fmt.Errorf("dataset: no feature columns found")
 	}
-	b := NewBuilder(cols)
-	for i, rw := range rows {
-		if err := b.AddRow(rw.idx, rw.vals, rw.label); err != nil {
-			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
-		}
-	}
-	return b.Build(), nil
+	d.rows = rows
+	d.cols = cols
+	d.Labels = labels
+	return d, nil
 }
 
 // WriteLibSVM writes the dataset in LibSVM format. Unlabeled datasets are
 // written with label 0.
 func WriteLibSVM(w io.Writer, d *Dataset) error {
-	bw := bufio.NewWriter(w)
+	lw := NewLibSVMWriter(w)
 	for i := 0; i < d.Rows(); i++ {
 		label := 0.0
 		if d.Labels != nil {
 			label = d.Labels[i]
 		}
-		if _, err := fmt.Fprintf(bw, "%g", label); err != nil {
-			return err
-		}
 		cols, vals := d.Row(i)
-		for k, j := range cols {
-			if _, err := fmt.Fprintf(bw, " %d:%g", j+1, vals[k]); err != nil {
-				return err
-			}
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := lw.WriteRow(cols, vals, label); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return lw.Flush()
 }
+
+// LibSVMWriter emits LibSVM rows one at a time, so generators can write
+// datasets far larger than memory. Flush must be called before the
+// underlying writer is closed.
+type LibSVMWriter struct {
+	bw *bufio.Writer
+}
+
+// NewLibSVMWriter wraps w in a buffered row writer.
+func NewLibSVMWriter(w io.Writer) *LibSVMWriter {
+	return &LibSVMWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteRow appends one row; indices are 0-based and sorted, written
+// 1-based as the format requires.
+func (w *LibSVMWriter) WriteRow(indices []int32, values []float64, label float64) error {
+	if _, err := fmt.Fprintf(w.bw, "%g", label); err != nil {
+		return err
+	}
+	for k, j := range indices {
+		if _, err := fmt.Fprintf(w.bw, " %d:%g", j+1, values[k]); err != nil {
+			return err
+		}
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *LibSVMWriter) Flush() error { return w.bw.Flush() }
 
 // LoadLibSVMFile reads a LibSVM file from disk.
 func LoadLibSVMFile(path string, cols int) (*Dataset, error) {

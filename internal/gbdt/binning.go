@@ -8,9 +8,35 @@ import (
 	"vf2boost/internal/quantile"
 )
 
-// sketchThreshold is the column size above which cut proposal switches
-// from exact sorting to the GK sketch.
-const sketchThreshold = 1 << 15
+// SketchThreshold is the column size above which cut proposal switches
+// from exact sorting to the GK sketch. It is exported so the out-of-core
+// sketch pass (internal/ooc) makes the same exact-vs-sketch decision and
+// proposes byte-identical cuts.
+const SketchThreshold = 1 << 15
+
+// BinView is the read interface over a party's binned feature rows that
+// histogram construction, split routing, and tree growth sweep. Two
+// implementations exist: the in-memory BinnedMatrix below and the
+// disk-backed shard store in internal/ooc — the local trainer and the
+// federated engines in internal/core run unchanged against either.
+type BinView interface {
+	// Rows returns the instance count.
+	Rows() int
+	// Mapper returns the bin mapper the view was discretized with.
+	Mapper() *BinMapper
+	// Row returns the stored (feature, bin) pairs of row i, sorted by
+	// feature. The slices alias backing storage and must not be modified;
+	// an out-of-core view guarantees they stay readable even if the
+	// backing shard is later evicted (the GC keeps them alive).
+	Row(i int) ([]int32, []uint8)
+}
+
+// DepthHinter is an optional BinView capability: the trainer announces
+// the tree depth it is about to sweep so an out-of-core view can tune
+// its prefetch window — root sweeps are sequential over all rows, deep
+// layers touch sparse row subsets where aggressive prefetch would only
+// churn the shard cache.
+type DepthHinter interface{ HintDepth(depth int) }
 
 // BinMapper holds the per-feature candidate split values ("cuts"). Bin k
 // of feature j contains stored values v with cuts[k-1] < v <= cuts[k];
@@ -38,7 +64,7 @@ func NewBinMapper(d *dataset.Dataset, maxBins int) (*BinMapper, error) {
 		switch {
 		case len(vals) == 0:
 			cuts[j] = nil
-		case len(vals) <= sketchThreshold:
+		case len(vals) <= SketchThreshold:
 			cuts[j] = quantile.Exact(vals, maxBins)
 		default:
 			sk := quantile.MustNew(0.5 / float64(maxBins))
@@ -110,3 +136,5 @@ func (bm *BinnedMatrix) Row(i int) ([]int32, []uint8) {
 
 // NNZ returns the stored entry count.
 func (bm *BinnedMatrix) NNZ() int { return len(bm.cols) }
+
+var _ BinView = (*BinnedMatrix)(nil)

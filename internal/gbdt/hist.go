@@ -35,9 +35,9 @@ func (h *Histogram) NumFeatures() int { return len(h.Offsets) - 1 }
 // Bins returns the total number of bins across all features.
 func (h *Histogram) Bins() int { return len(h.G) }
 
-// Accumulate sweeps the given instances of the binned matrix into the
+// Accumulate sweeps the given instances of the binned view into the
 // histogram.
-func (h *Histogram) Accumulate(bm *BinnedMatrix, instances []int32, grads, hess []float64) {
+func (h *Histogram) Accumulate(bm BinView, instances []int32, grads, hess []float64) {
 	for _, i := range instances {
 		cols, bins := bm.Row(int(i))
 		gi, hi := grads[i], hess[i]

@@ -105,22 +105,34 @@ type nodeWork struct {
 
 // Train fits a GBDT model on a labeled dataset.
 func Train(d *dataset.Dataset, p Params) (*Model, error) {
-	if err := p.normalize(); err != nil {
-		return nil, err
-	}
 	if d.Labels == nil {
 		return nil, fmt.Errorf("gbdt: dataset has no labels")
+	}
+	if err := p.normalize(); err != nil {
+		return nil, err
 	}
 	mapper, err := NewBinMapper(d, p.MaxBins)
 	if err != nil {
 		return nil, err
 	}
-	bm := NewBinnedMatrix(d, mapper)
-	return trainBinned(d, bm, p)
+	return TrainBinned(NewBinnedMatrix(d, mapper), d.Labels, p)
 }
 
-func trainBinned(d *dataset.Dataset, bm *BinnedMatrix, p Params) (*Model, error) {
-	n := d.Rows()
+// TrainBinned fits a GBDT model from an already-discretized view and its
+// label vector — the shared entry point of the in-memory path (Train
+// above) and the out-of-core path (internal/ooc), which never
+// materializes a Dataset. Margins are updated through binned routing,
+// which is exactly equivalent to raw-value routing: every split
+// threshold is a cut value, so "v <= Cuts[f][k]" and "Bin(f, v) <= k"
+// partition instances identically.
+func TrainBinned(bv BinView, labels []float64, p Params) (*Model, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	n := bv.Rows()
+	if len(labels) != n {
+		return nil, fmt.Errorf("gbdt: %d labels for %d rows", len(labels), n)
+	}
 	margins := make([]float64, n)
 	for i := range margins {
 		margins[i] = p.BaseScore
@@ -131,18 +143,16 @@ func trainBinned(d *dataset.Dataset, bm *BinnedMatrix, p Params) (*Model, error)
 		LearningRate: p.LearningRate,
 		BaseScore:    p.BaseScore,
 		LossName:     p.Loss.Name(),
-		NumFeatures:  d.Cols(),
+		NumFeatures:  len(bv.Mapper().Cuts),
 	}
 
 	for t := 0; t < p.NumTrees; t++ {
 		for i := 0; i < n; i++ {
-			grads[i], hess[i] = p.Loss.GradHess(d.Labels[i], margins[i])
+			grads[i], hess[i] = p.Loss.GradHess(labels[i], margins[i])
 		}
-		tree := growTree(bm, grads, hess, p)
+		tree := growTree(bv, grads, hess, p)
 		model.Trees = append(model.Trees, tree)
-		// Update margins through the binned routing (identical to the
-		// structure used at training time).
-		updateMargins(margins, tree, d, p.LearningRate, p.Workers)
+		updateMarginsBinned(margins, tree, bv, p.LearningRate, p.Workers)
 		if p.OnTreeDone != nil {
 			p.OnTreeDone(t, model)
 		}
@@ -151,7 +161,7 @@ func trainBinned(d *dataset.Dataset, bm *BinnedMatrix, p Params) (*Model, error)
 }
 
 // growTree grows one tree layer-by-layer.
-func growTree(bm *BinnedMatrix, grads, hess []float64, p Params) *Tree {
+func growTree(bm BinView, grads, hess []float64, p Params) *Tree {
 	tree := NewTree()
 	all := make([]int32, bm.Rows())
 	var g0, h0 float64
@@ -163,6 +173,9 @@ func growTree(bm *BinnedMatrix, grads, hess []float64, p Params) *Tree {
 	active := []*nodeWork{{id: 0, insts: all, g: g0, h: h0}}
 
 	for depth := 0; depth < p.MaxDepth && len(active) > 0; depth++ {
+		if dh, ok := bm.(DepthHinter); ok {
+			dh.HintDepth(depth)
+		}
 		hists := buildLayerHistograms(bm, active, grads, hess, p.Workers)
 		var next []*nodeWork
 		for k, nw := range active {
@@ -189,7 +202,7 @@ func growTree(bm *BinnedMatrix, grads, hess []float64, p Params) *Tree {
 }
 
 // partition splits a node's instances: stored bin <= k or missing → left.
-func partition(bm *BinnedMatrix, insts []int32, feature int32, bin int32) (left, right []int32) {
+func partition(bm BinView, insts []int32, feature int32, bin int32) (left, right []int32) {
 	for _, i := range insts {
 		if GoesLeft(bm, i, feature, bin) {
 			left = append(left, i)
@@ -203,7 +216,7 @@ func partition(bm *BinnedMatrix, insts []int32, feature int32, bin int32) (left,
 // GoesLeft reports whether instance i routes to the left child of a split
 // on (feature, bin): stored values in bins <= bin go left, missing goes
 // left.
-func GoesLeft(bm *BinnedMatrix, i, feature, bin int32) bool {
+func GoesLeft(bm BinView, i, feature, bin int32) bool {
 	cols, bins := bm.Row(int(i))
 	lo, hi := 0, len(cols)
 	for lo < hi {
@@ -224,7 +237,7 @@ func GoesLeft(bm *BinnedMatrix, i, feature, bin int32) bool {
 // across nodes when there are many and across instance shards when there
 // are few. It is shared with the federated engine, where Party B builds
 // its plaintext histograms with exactly the local trainer's code.
-func BuildHistograms(bm *BinnedMatrix, lists [][]int32, grads, hess []float64, workers int) []*Histogram {
+func BuildHistograms(bm BinView, lists [][]int32, grads, hess []float64, workers int) []*Histogram {
 	nodes := make([]*nodeWork, len(lists))
 	for k, l := range lists {
 		nodes[k] = &nodeWork{insts: l}
@@ -235,7 +248,7 @@ func BuildHistograms(bm *BinnedMatrix, lists [][]int32, grads, hess []float64, w
 // buildLayerHistograms builds one histogram per active node, parallelizing
 // across nodes when the layer is wide and across instance shards when it
 // is narrow (the root).
-func buildLayerHistograms(bm *BinnedMatrix, active []*nodeWork, grads, hess []float64, workers int) []*Histogram {
+func buildLayerHistograms(bm BinView, active []*nodeWork, grads, hess []float64, workers int) []*Histogram {
 	hists := make([]*Histogram, len(active))
 	if len(active) >= workers {
 		var wg sync.WaitGroup
@@ -262,7 +275,7 @@ func buildLayerHistograms(bm *BinnedMatrix, active []*nodeWork, grads, hess []fl
 
 // shardedHistogram accumulates one node's histogram with instance-level
 // parallelism.
-func shardedHistogram(bm *BinnedMatrix, insts []int32, grads, hess []float64, workers int) *Histogram {
+func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers int) *Histogram {
 	if workers <= 1 || len(insts) < 1024 {
 		h := NewHistogram(bm.Mapper())
 		h.Accumulate(bm, insts, grads, hess)
@@ -303,12 +316,65 @@ func shardedHistogram(bm *BinnedMatrix, insts []int32, grads, hess []float64, wo
 	return acc
 }
 
-func updateMargins(margins []float64, tree *Tree, d *dataset.Dataset, eta float64, workers int) {
+// updateMarginsBinned adds each instance's leaf weight to its margin,
+// routing through the binned view instead of raw values. Every internal
+// node's threshold is a mapper cut, so precomputing its bin index lets a
+// row walk the tree on stored bins alone; missing features route left,
+// matching Tree.Predict.
+func updateMarginsBinned(margins []float64, tree *Tree, bv BinView, eta float64, workers int) {
+	bins := splitBins(tree, bv.Mapper())
 	parallelRows(len(margins), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			margins[i] += eta * tree.Predict(d, i)
+			cols, rowBins := bv.Row(i)
+			margins[i] += eta * predictBinnedRow(tree, bins, cols, rowBins)
 		}
 	})
+}
+
+// splitBins precomputes, for every internal node, the bin index of its
+// threshold: Bin(f, Threshold(f,k)) == k because cuts are strictly
+// increasing, so binned routing "rowBin <= bins[id]" is exactly the raw
+// routing "v <= threshold".
+func splitBins(t *Tree, m *BinMapper) []int32 {
+	bins := make([]int32, len(t.Nodes))
+	for id := range t.Nodes {
+		n := &t.Nodes[id]
+		if n.Feature >= 0 {
+			bins[id] = int32(m.Bin(int(n.Feature), n.Threshold))
+		}
+	}
+	return bins
+}
+
+// predictBinnedRow walks one tree over a row's stored (feature, bin)
+// pairs (sorted by feature) and returns the leaf weight.
+func predictBinnedRow(t *Tree, bins []int32, cols []int32, rowBins []uint8) float64 {
+	id := int32(0)
+	for {
+		n := &t.Nodes[id]
+		if n.Feature < 0 {
+			return n.Weight
+		}
+		// Binary search the row's sorted feature list.
+		lo, hi := 0, len(cols)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cols[mid] < n.Feature {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(cols) && cols[lo] == n.Feature {
+			if int32(rowBins[lo]) <= bins[id] {
+				id = n.Left
+			} else {
+				id = n.Right
+			}
+		} else {
+			id = n.Left // missing
+		}
+	}
 }
 
 func parallelRows(n, workers int, fn func(lo, hi int)) {

@@ -1,0 +1,210 @@
+package ooc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vf2boost/internal/gbdt"
+)
+
+// BuildOptions configures the two-pass store build.
+type BuildOptions struct {
+	// MaxBins is s, the histogram bins per feature (default 20, the
+	// trainer's default; bounds [2,256]).
+	MaxBins int
+	// ChunkRows is the shard height in rows (default 1<<16). Every shard
+	// except the last covers exactly ChunkRows rows, so the shard holding
+	// row i is shard i/ChunkRows.
+	ChunkRows int
+	// FastSketch switches pass 1 to per-chunk sketches merged on a
+	// background worker — faster on wide sparse data, but the merged rank
+	// bound is εa+εb, so cuts are no longer byte-identical to the
+	// in-memory path.
+	FastSketch bool
+}
+
+func (o *BuildOptions) normalize() error {
+	if o.MaxBins == 0 {
+		o.MaxBins = 20
+	}
+	if o.MaxBins < 2 || o.MaxBins > 256 {
+		return fmt.Errorf("ooc: MaxBins %d out of [2,256]", o.MaxBins)
+	}
+	if o.ChunkRows == 0 {
+		o.ChunkRows = 1 << 16
+	}
+	if o.ChunkRows < 1 {
+		return fmt.Errorf("ooc: ChunkRows %d must be positive", o.ChunkRows)
+	}
+	return nil
+}
+
+// manifest is the store's commit record, written last: a directory
+// without a readable manifest is an aborted build, not a store. Cuts
+// ride in the manifest as JSON — Go's float64 JSON round-trip is exact,
+// so the mapper reloads bit-for-bit.
+type manifest struct {
+	Version   int           `json:"version"`
+	Rows      int           `json:"rows"`
+	Cols      int           `json:"cols"`
+	MaxBins   int           `json:"max_bins"`
+	ChunkRows int           `json:"chunk_rows"`
+	Labeled   bool          `json:"labeled"`
+	Cuts      [][]float64   `json:"cuts"`
+	Shards    []shardRecord `json:"shards"`
+}
+
+type shardRecord struct {
+	File     string `json:"file"`
+	StartRow int    `json:"start_row"`
+	Rows     int    `json:"rows"`
+	NNZ      int    `json:"nnz"`
+}
+
+const (
+	manifestVersion = 1
+	manifestName    = "manifest.json"
+	labelsName      = "labels.bin"
+)
+
+// Build constructs a binned shard store under dir from two streaming
+// passes over src: pass 1 proposes cuts (see sketch.go), pass 2
+// discretizes each chunk through the mapper and spills it as a
+// CRC-guarded shard. Labels (when src.Labeled()) accumulate in memory —
+// 8 bytes/row, the one per-row cost that never spills — and land in a
+// framed labels file. The manifest is written last as the commit point.
+// Peak memory is the pass-1 accumulators plus one chunk's CSR buffers.
+func Build(dir string, src Source, opt BuildOptions) error {
+	if err := opt.normalize(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	mapper, rows, err := proposeCuts(src, opt)
+	if err != nil {
+		return err
+	}
+	if rows == 0 {
+		return fmt.Errorf("ooc: source delivered no rows")
+	}
+
+	man := &manifest{
+		Version:   manifestVersion,
+		Rows:      rows,
+		Cols:      src.Cols(),
+		MaxBins:   opt.MaxBins,
+		ChunkRows: opt.ChunkRows,
+		Labeled:   src.Labeled(),
+		Cuts:      mapper.Cuts,
+	}
+
+	var labels []float64
+	if src.Labeled() {
+		labels = make([]float64, 0, rows)
+	}
+
+	cur := &shardData{rowPtr: []int32{0}}
+	flush := func() error {
+		if len(cur.rowPtr) == 1 {
+			return nil
+		}
+		name := fmt.Sprintf("shard-%06d.bin", len(man.Shards))
+		if err := writeShard(filepath.Join(dir, name), cur); err != nil {
+			return err
+		}
+		man.Shards = append(man.Shards, shardRecord{
+			File:     name,
+			StartRow: cur.startRow,
+			Rows:     len(cur.rowPtr) - 1,
+			NNZ:      len(cur.cols),
+		})
+		next := cur.startRow + len(cur.rowPtr) - 1
+		cur = &shardData{startRow: next, rowPtr: cur.rowPtr[:1], cols: cur.cols[:0], bins: cur.bins[:0]}
+		cur.rowPtr[0] = 0
+		return nil
+	}
+
+	err = src.Scan(func(row int, indices []int32, values []float64, label float64) error {
+		for k, j := range indices {
+			cur.cols = append(cur.cols, j)
+			cur.bins = append(cur.bins, uint8(mapper.Bin(int(j), values[k])))
+		}
+		cur.rowPtr = append(cur.rowPtr, int32(len(cur.cols)))
+		if labels != nil {
+			labels = append(labels, label)
+		}
+		if len(cur.rowPtr)-1 >= opt.ChunkRows {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("ooc: discretize pass: %w", err)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	got := 0
+	for _, s := range man.Shards {
+		got += s.Rows
+	}
+	if got != rows {
+		return fmt.Errorf("ooc: pass 2 delivered %d rows, pass 1 saw %d (source not replayable?)", got, rows)
+	}
+
+	if labels != nil {
+		if err := writeLabels(filepath.Join(dir, labelsName), labels); err != nil {
+			return err
+		}
+	}
+
+	// Plain JSON, no binary frame: human-inspectable, and the loader
+	// cross-checks it structurally. Written atomically, last.
+	buf, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, manifestName), buf)
+}
+
+// readManifest loads and validates the commit record.
+func readManifest(dir string) (*manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("ooc: manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("ooc: manifest version %d (want %d)", man.Version, manifestVersion)
+	}
+	if man.Rows <= 0 || man.Cols <= 0 || len(man.Cuts) != man.Cols || man.ChunkRows < 1 {
+		return nil, fmt.Errorf("ooc: manifest inconsistent (rows=%d cols=%d cuts=%d chunk=%d)",
+			man.Rows, man.Cols, len(man.Cuts), man.ChunkRows)
+	}
+	want := 0
+	for i, s := range man.Shards {
+		if s.StartRow != want || s.Rows < 1 {
+			return nil, fmt.Errorf("ooc: manifest shard %d covers [%d,%d), want start %d", i, s.StartRow, s.StartRow+s.Rows, want)
+		}
+		if i < len(man.Shards)-1 && s.Rows != man.ChunkRows {
+			return nil, fmt.Errorf("ooc: manifest shard %d has %d rows, want chunk height %d", i, s.Rows, man.ChunkRows)
+		}
+		want += s.Rows
+	}
+	if want != man.Rows {
+		return nil, fmt.Errorf("ooc: manifest shards cover %d rows, want %d", want, man.Rows)
+	}
+	return &man, nil
+}
+
+// Mapper reconstructs the bin mapper recorded in the manifest.
+func (m *manifest) mapper() *gbdt.BinMapper {
+	return &gbdt.BinMapper{Cuts: m.Cuts, MaxBins: m.MaxBins}
+}

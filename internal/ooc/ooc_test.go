@@ -1,0 +1,319 @@
+package ooc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vf2boost/internal/dataset"
+	"vf2boost/internal/gbdt"
+)
+
+func synth(t *testing.T, rows, cols int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{Rows: rows, Cols: cols, Density: 0.4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func buildStore(t *testing.T, d *dataset.Dataset, bo BuildOptions, so Options) *Store {
+	t.Helper()
+	dir := t.TempDir()
+	if err := Build(dir, NewDatasetSource(d), bo); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The store must reproduce the in-memory binned matrix exactly: same
+// cuts, same per-row (column, bin) stream — under any budget.
+func TestStoreMatchesBinnedMatrix(t *testing.T) {
+	d := synth(t, 500, 12)
+	st := buildStore(t, d, BuildOptions{ChunkRows: 64}, Options{MemBudget: 4096})
+
+	mapper, err := gbdt.NewBinMapper(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Mapper().Cuts, mapper.Cuts) {
+		t.Fatal("store cuts differ from in-memory mapper")
+	}
+	bm := gbdt.NewBinnedMatrix(d, mapper)
+	if st.Rows() != bm.Rows() {
+		t.Fatalf("rows %d != %d", st.Rows(), bm.Rows())
+	}
+	for i := 0; i < st.Rows(); i++ {
+		sc, sb := st.Row(i)
+		mc, mb := bm.Row(i)
+		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	labels, err := st.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, d.Labels) {
+		t.Fatal("labels differ")
+	}
+	if s := st.Stats(); s.Evictions == 0 {
+		t.Fatalf("tight budget produced no evictions: %+v", s)
+	}
+}
+
+// Columns past SketchThreshold take the GK-sketch path in both builders;
+// the cuts must still match bit for bit.
+func TestStoreMatchesBinnedMatrixSketchPath(t *testing.T) {
+	rows := gbdt.SketchThreshold + 500
+	if testing.Short() {
+		t.Skip("sketch-path column needs >SketchThreshold rows")
+	}
+	d, err := dataset.Generate(dataset.GenOptions{Rows: rows, Cols: 2, Density: 1, Dense: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStore(t, d, BuildOptions{ChunkRows: 8192}, Options{})
+	mapper, err := gbdt.NewBinMapper(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Mapper().Cuts, mapper.Cuts) {
+		t.Fatal("sketch-path cuts differ from in-memory mapper")
+	}
+}
+
+// The tentpole guarantee: training against the store yields a model
+// byte-identical to the fully in-memory path.
+func TestModelByteParity(t *testing.T) {
+	d := synth(t, 400, 10)
+	p := gbdt.DefaultParams()
+	p.NumTrees = 5
+	p.MaxDepth = 4
+
+	inMem, err := gbdt.Train(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := buildStore(t, d, BuildOptions{ChunkRows: 64}, Options{MemBudget: 8192, Prefetch: true})
+	labels, err := st.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooc, err := gbdt.TrainBinned(st, labels, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := inMem.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ooc.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("out-of-core model is not byte-identical to in-memory model")
+	}
+}
+
+// A flipped byte in a shard must fail the CRC and panic on access (the
+// BinView contract has no error channel).
+func TestShardCorruptionPanics(t *testing.T) {
+	d := synth(t, 200, 6)
+	dir := t.TempDir()
+	if err := Build(dir, NewDatasetSource(d), BuildOptions{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "shard-000001.bin")
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if err := os.WriteFile(name, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("corrupt shard did not panic")
+		}
+		if !strings.Contains(pstring(r), "CRC") {
+			t.Fatalf("panic %v does not mention CRC", r)
+		}
+	}()
+	st.Row(100) // second shard
+}
+
+func pstring(r any) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	if s, ok := r.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Without a manifest the directory is not a store (the manifest is the
+// build's commit point).
+func TestMissingManifest(t *testing.T) {
+	d := synth(t, 50, 4)
+	dir := t.TempDir()
+	if err := Build(dir, NewDatasetSource(d), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded without manifest")
+	}
+}
+
+// A ColumnSlice store must equal the store built from the materialized
+// vertical split — the streaming form of per-party store construction.
+func TestColumnSliceMatchesVerticalSplit(t *testing.T) {
+	d := synth(t, 300, 10)
+	parts, err := d.VerticalSplit([]int{6, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewDatasetSource(d)
+	slice, err := NewColumnSlice(src, 0, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, slice, BuildOptions{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Labels(); err == nil {
+		t.Fatal("passive-party store returned labels")
+	}
+
+	mapper, err := gbdt.NewBinMapper(parts[0], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Mapper().Cuts, mapper.Cuts) {
+		t.Fatal("sliced store cuts differ from split-dataset mapper")
+	}
+	bm := gbdt.NewBinnedMatrix(parts[0], mapper)
+	for i := 0; i < st.Rows(); i++ {
+		sc, sb := st.Row(i)
+		mc, mb := bm.Row(i)
+		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// A store built from a LibSVM file must match the one built from the
+// dataset that wrote it.
+func TestLibSVMSourceRoundTrip(t *testing.T) {
+	d := synth(t, 150, 8)
+	path := filepath.Join(t.TempDir(), "data.libsvm")
+	if err := dataset.SaveLibSVMFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewLibSVMSource(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Cols() != d.Cols() {
+		t.Fatalf("inferred %d cols, want %d", src.Cols(), d.Cols())
+	}
+	dir := t.TempDir()
+	if err := Build(dir, src, BuildOptions{ChunkRows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// LibSVM text round-trips through %g, so re-read the file rather than
+	// comparing against the original float values.
+	d2, err := dataset.LoadLibSVMFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := gbdt.NewBinMapper(d2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := gbdt.NewBinnedMatrix(d2, mapper)
+	for i := 0; i < st.Rows(); i++ {
+		sc, sb := st.Row(i)
+		mc, mb := bm.Row(i)
+		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	labels, err := st.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, d2.Labels) {
+		t.Fatal("labels differ")
+	}
+}
+
+// FastSketch cuts are not parity-exact but must be structurally valid
+// and the built store trainable.
+func TestFastSketchBuild(t *testing.T) {
+	d := synth(t, 600, 8)
+	st := buildStore(t, d, BuildOptions{ChunkRows: 100, FastSketch: true}, Options{})
+	for j, cuts := range st.Mapper().Cuts {
+		for k := 1; k < len(cuts); k++ {
+			if cuts[k] <= cuts[k-1] {
+				t.Fatalf("feature %d cuts not strictly increasing", j)
+			}
+		}
+	}
+	labels, err := st.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gbdt.DefaultParams()
+	p.NumTrees = 2
+	if _, err := gbdt.TrainBinned(st, labels, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequential access at shallow depth should trigger readahead.
+func TestPrefetch(t *testing.T) {
+	d := synth(t, 512, 6)
+	st := buildStore(t, d, BuildOptions{ChunkRows: 64}, Options{MemBudget: 1 << 20, Prefetch: true})
+	st.HintDepth(0)
+	for i := 0; i < st.Rows(); i++ {
+		st.Row(i)
+	}
+	// The prefetch goroutine is asynchronous; loads+prefetches must cover
+	// all shards, and at least one shard should have come from readahead.
+	s := st.Stats()
+	if s.Loads+s.Prefetches < int64(st.NumShards()) {
+		t.Fatalf("loaded %d+%d shards, want %d", s.Loads, s.Prefetches, st.NumShards())
+	}
+}

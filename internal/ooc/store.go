@@ -1,0 +1,241 @@
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"vf2boost/internal/gbdt"
+)
+
+// Options configures a Store's runtime behavior.
+type Options struct {
+	// MemBudget caps the resident shard bytes. 0 means unlimited. The
+	// budget is approximate: a demand-loaded shard is always admitted
+	// even when it alone exceeds the budget (one-shard floor — the
+	// trainer cannot make progress otherwise), and eviction brings the
+	// cache back under budget before the next admit.
+	MemBudget int64
+	// Prefetch enables next-shard readahead while the tree is shallow
+	// (depth <= 1), where row access is near-sequential across the whole
+	// store. Prefetched shards never evict the shard that triggered them
+	// and are skipped entirely when the budget has no room.
+	Prefetch bool
+}
+
+// Store is a disk-backed gbdt.BinView over a built shard directory: rows
+// resolve against an LRU cache of loaded shards kept under Options.
+// MemBudget. The read path (Row) is lock-free on cache hits; loads and
+// evictions serialize on a mutex. Row panics if a shard fails to load or
+// fails its CRC — the BinView contract has no error channel, and a
+// corrupt store mid-training is not a recoverable condition.
+type Store struct {
+	dir    string
+	man    *manifest
+	mapper *gbdt.BinMapper
+	opt    Options
+
+	data    []atomic.Pointer[shardData]
+	lastUse []atomic.Int64
+	clock   atomic.Int64
+	depth   atomic.Int32
+
+	mu       sync.Mutex // serializes load/evict; guards resident + stats
+	resident int64
+	stats    CacheStats
+
+	prefetching atomic.Bool
+
+	labelsOnce sync.Once
+	labels     []float64
+	labelsErr  error
+}
+
+// CacheStats counts shard-cache activity since Open.
+type CacheStats struct {
+	// Loads counts demand shard loads (cache misses on the Row path).
+	Loads int64
+	// Prefetches counts shards loaded by readahead.
+	Prefetches int64
+	// Evictions counts shards dropped to stay under budget.
+	Evictions int64
+	// ResidentBytes is the current cached shard footprint.
+	ResidentBytes int64
+	// PeakBytes is the high-water resident footprint.
+	PeakBytes int64
+}
+
+var (
+	_ gbdt.BinView     = (*Store)(nil)
+	_ gbdt.DepthHinter = (*Store)(nil)
+)
+
+// Open loads a store's manifest and prepares the shard cache; no shard
+// is read until the first Row call.
+func Open(dir string, opt Options) (*Store, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		dir:     dir,
+		man:     man,
+		mapper:  man.mapper(),
+		opt:     opt,
+		data:    make([]atomic.Pointer[shardData], len(man.Shards)),
+		lastUse: make([]atomic.Int64, len(man.Shards)),
+	}, nil
+}
+
+// Rows returns the instance count.
+func (s *Store) Rows() int { return s.man.Rows }
+
+// Mapper returns the bin mapper reconstructed from the manifest.
+func (s *Store) Mapper() *gbdt.BinMapper { return s.mapper }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.man.Shards) }
+
+// HintDepth records the layer the trainer is about to build; readahead
+// runs only while depth <= 1.
+func (s *Store) HintDepth(depth int) { s.depth.Store(int32(depth)) }
+
+// Row returns row i's sorted (columns, bins) pair. The slices alias the
+// owning shard's arrays and stay valid after eviction (eviction only
+// drops the cache reference). Panics on shard corruption or I/O failure.
+func (s *Store) Row(i int) ([]int32, []uint8) {
+	k := i / s.man.ChunkRows
+	sd := s.data[k].Load()
+	if sd == nil {
+		sd = s.loadShard(k)
+	}
+	s.lastUse[k].Store(s.clock.Add(1))
+	local := i - sd.startRow
+	lo, hi := sd.rowPtr[local], sd.rowPtr[local+1]
+	return sd.cols[lo:hi], sd.bins[lo:hi]
+}
+
+// Labels reads the store's label vector (active-party stores only).
+func (s *Store) Labels() ([]float64, error) {
+	s.labelsOnce.Do(func() {
+		if !s.man.Labeled {
+			s.labelsErr = fmt.Errorf("ooc: store %s holds no labels (passive-party store)", s.dir)
+			return
+		}
+		s.labels, s.labelsErr = readLabels(filepath.Join(s.dir, labelsName), s.man.Rows)
+	})
+	return s.labels, s.labelsErr
+}
+
+// Stats snapshots the cache counters.
+func (s *Store) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ResidentBytes = s.resident
+	return st
+}
+
+// loadShard demand-loads shard k, evicting LRU shards to fit the budget
+// (k itself is always admitted), then kicks readahead when shallow.
+func (s *Store) loadShard(k int) *shardData {
+	s.mu.Lock()
+	sd := s.data[k].Load()
+	if sd == nil {
+		var err error
+		sd, err = s.readAndAdmit(k, k, true)
+		if err != nil {
+			s.mu.Unlock()
+			panic(err)
+		}
+		s.stats.Loads++
+	}
+	s.mu.Unlock()
+
+	if s.opt.Prefetch && s.depth.Load() <= 1 && k+1 < len(s.data) && s.data[k+1].Load() == nil {
+		if s.prefetching.CompareAndSwap(false, true) {
+			go func(next, protect int) {
+				defer s.prefetching.Store(false)
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				if s.data[next].Load() != nil {
+					return
+				}
+				if _, err := s.readAndAdmit(next, protect, false); err == nil {
+					s.stats.Prefetches++
+				}
+			}(k+1, k)
+		}
+	}
+	return sd
+}
+
+// readAndAdmit reads shard k from disk and installs it, evicting LRU
+// shards (never protect, never k) to make room. With force, the shard is
+// admitted even if the budget cannot be met (one-shard floor); without
+// it, an errNoRoom sentinel is returned and nothing changes. Caller
+// holds s.mu.
+func (s *Store) readAndAdmit(k, protect int, force bool) (*shardData, error) {
+	rec := s.man.Shards[k]
+	size := estShardBytes(rec.Rows, rec.NNZ)
+	if s.opt.MemBudget > 0 {
+		for s.resident+size > s.opt.MemBudget {
+			if !s.evictLRU(k, protect) {
+				if !force {
+					return nil, errNoRoom
+				}
+				break
+			}
+		}
+	}
+	sd, err := readShard(filepath.Join(s.dir, rec.File), s.man.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if sd.startRow != rec.StartRow || len(sd.rowPtr)-1 != rec.Rows {
+		return nil, fmt.Errorf("ooc: shard %s covers [%d,+%d), manifest says [%d,+%d)",
+			rec.File, sd.startRow, len(sd.rowPtr)-1, rec.StartRow, rec.Rows)
+	}
+	s.data[k].Store(sd)
+	s.lastUse[k].Store(s.clock.Add(1))
+	s.resident += sd.memBytes()
+	if s.resident > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.resident
+	}
+	return sd, nil
+}
+
+var errNoRoom = fmt.Errorf("ooc: no cache room without evicting protected shard")
+
+// evictLRU drops the least-recently-used loaded shard, skipping skip1
+// and skip2. Returns false when no shard is evictable. Caller holds s.mu.
+func (s *Store) evictLRU(skip1, skip2 int) bool {
+	victim := -1
+	var oldest int64
+	for i := range s.data {
+		if i == skip1 || i == skip2 || s.data[i].Load() == nil {
+			continue
+		}
+		if use := s.lastUse[i].Load(); victim < 0 || use < oldest {
+			victim, oldest = i, use
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	sd := s.data[victim].Load()
+	s.data[victim].Store(nil)
+	s.resident -= sd.memBytes()
+	s.stats.Evictions++
+	return true
+}
+
+// RemoveStore deletes a store directory and everything in it.
+func RemoveStore(dir string) error {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("ooc: %s is not a store: %w", dir, err)
+	}
+	return os.RemoveAll(dir)
+}

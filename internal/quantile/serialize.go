@@ -1,0 +1,83 @@
+package quantile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of a sketch, so per-chunk sketches can be
+// checkpointed to disk or shipped between workers and merged at the
+// scheduler. The layout is a version byte followed by eps, n and the
+// tuple list, all little-endian and fixed-width — no framing or checksum
+// here; callers embed the bytes in their own guarded container (the ooc
+// manifest reuses the checkpoint CRC idiom).
+
+const serialVersion = 1
+
+// AppendBinary appends the sketch's serialized form to b and returns the
+// extended slice. The buffered inserts are flushed first, so the encoding
+// is canonical for a given observation sequence.
+func (s *Sketch) AppendBinary(b []byte) []byte {
+	s.flush()
+	b = append(b, serialVersion)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.eps))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.n))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.entries)))
+	for _, e := range s.entries {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.v))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.g))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.delta))
+	}
+	return b
+}
+
+// UnmarshalBinary restores a sketch serialized by AppendBinary,
+// replacing the receiver's state. It validates structure (version,
+// length, tuple-count bound) so a truncated or corrupt payload fails
+// loudly instead of producing a silently wrong summary.
+func (s *Sketch) UnmarshalBinary(b []byte) error {
+	const header = 1 + 8 + 8 + 8
+	if len(b) < header {
+		return fmt.Errorf("quantile: serialized sketch too short (%d bytes)", len(b))
+	}
+	if b[0] != serialVersion {
+		return fmt.Errorf("quantile: unknown sketch version %d", b[0])
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))
+	if !(eps > 0 && eps < 1) {
+		return fmt.Errorf("quantile: serialized eps %g out of (0,1)", eps)
+	}
+	n := binary.LittleEndian.Uint64(b[9:])
+	count := binary.LittleEndian.Uint64(b[17:])
+	if uint64(len(b)-header) != count*24 {
+		return fmt.Errorf("quantile: serialized sketch length %d does not match %d tuples", len(b), count)
+	}
+	if count > n || (count == 0) != (n == 0) {
+		return fmt.Errorf("quantile: serialized sketch has %d tuples for %d observations", count, n)
+	}
+	entries := make([]entry, count)
+	off := header
+	rankSum := 0
+	for i := range entries {
+		entries[i].v = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		entries[i].g = int(binary.LittleEndian.Uint64(b[off+8:]))
+		entries[i].delta = int(binary.LittleEndian.Uint64(b[off+16:]))
+		if entries[i].g < 1 || entries[i].delta < 0 {
+			return fmt.Errorf("quantile: serialized tuple %d has invalid (g=%d, Δ=%d)", i, entries[i].g, entries[i].delta)
+		}
+		if i > 0 && entries[i].v < entries[i-1].v {
+			return fmt.Errorf("quantile: serialized tuples out of order at %d", i)
+		}
+		rankSum += entries[i].g
+		off += 24
+	}
+	if rankSum != int(n) {
+		return fmt.Errorf("quantile: serialized gaps sum to %d, want %d", rankSum, n)
+	}
+	s.eps = eps
+	s.n = int(n)
+	s.entries = entries
+	s.buf = s.buf[:0]
+	return nil
+}

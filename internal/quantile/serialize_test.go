@@ -1,0 +1,119 @@
+package quantile
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTripExact(t *testing.T) {
+	s := MustNew(0.01)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.NormFloat64())
+	}
+	payload := s.AppendBinary(nil)
+
+	var r Sketch
+	if err := r.UnmarshalBinary(payload); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != s.Count() {
+		t.Fatalf("count %d != %d", r.Count(), s.Count())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got, want := r.Query(q), s.Query(q); got != want {
+			t.Fatalf("q=%g: %g != %g after round-trip", q, got, want)
+		}
+	}
+	// Canonical: re-serializing the restored sketch yields the same bytes.
+	if !bytes.Equal(r.AppendBinary(nil), payload) {
+		t.Fatal("round-trip is not canonical")
+	}
+}
+
+func TestSerializeEmptySketch(t *testing.T) {
+	s := MustNew(0.05)
+	var r Sketch
+	if err := r.UnmarshalBinary(s.AppendBinary(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Fatalf("restored empty sketch has count %d", r.Count())
+	}
+}
+
+// The satellite property: merging a sketch that crossed a serialization
+// boundary must preserve the GK rank-error bound (εa+εb for a merge, so
+// 2ε here) — the invariant the out-of-core builder's chunk→global merge
+// relies on.
+func TestMergeAfterRoundTripPreservesBound(t *testing.T) {
+	const eps = 0.02
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		na, nb := 1000+rng.Intn(4000), 1000+rng.Intn(4000)
+		a, b := MustNew(eps), MustNew(eps)
+		all := make([]float64, 0, na+nb)
+		for i := 0; i < na; i++ {
+			v := rng.NormFloat64()
+			a.Add(v)
+			all = append(all, v)
+		}
+		for i := 0; i < nb; i++ {
+			v := rng.ExpFloat64() - 1
+			b.Add(v)
+			all = append(all, v)
+		}
+
+		// Ship b across the wire, then merge the restored copy into a.
+		var shipped Sketch
+		if err := shipped.UnmarshalBinary(b.AppendBinary(nil)); err != nil {
+			return false
+		}
+		a.Merge(&shipped)
+
+		sort.Float64s(all)
+		n := float64(len(all))
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			got := a.Query(q)
+			r := sort.SearchFloat64s(all, got) + 1
+			want := int(math.Ceil(q * n))
+			if math.Abs(float64(r-want)) > 2*(eps+eps)*n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruptPayloads(t *testing.T) {
+	s := MustNew(0.01)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i % 37))
+	}
+	good := s.AppendBinary(nil)
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), good...))
+		var r Sketch
+		if err := r.UnmarshalBinary(b); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	mutate("bad version", func(b []byte) []byte { b[0] = 99; return b })
+	mutate("zero gap", func(b []byte) []byte {
+		// First tuple's g field sits at header+8.
+		for i := 0; i < 8; i++ {
+			b[25+8+i] = 0
+		}
+		return b
+	})
+	mutate("short header", func(b []byte) []byte { return b[:10] })
+}

@@ -60,3 +60,13 @@ if [ -n "$out" ]; then
 else
   go run ./cmd/benchfmt -in "$tmp" -date "$(date -u +%Y-%m-%d)"
 fi
+
+echo "== out-of-core scale (rows/sec and peak heap vs shard-cache budget) ==" >&2
+if [ "$short" -eq 1 ]; then
+  # Smoke only: tiny row count, result discarded (never clobbers the
+  # committed baseline).
+  go run ./cmd/experiments -run oocscale -ooc-rows 100000 -trees 2 >&2
+else
+  go run ./cmd/experiments -run oocscale -json BENCH_ooc.json >&2
+  echo "wrote BENCH_ooc.json" >&2
+fi

@@ -21,9 +21,15 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race (mq, serve, core, fault, checkpoint) =="
+echo "== go test -race (mq, serve, core, fault, checkpoint, ooc) =="
 go test -race ./internal/mq/... ./internal/serve/... ./internal/core/... \
-  ./internal/fault/... ./internal/checkpoint/...
+  ./internal/fault/... ./internal/checkpoint/... ./internal/ooc/...
+
+echo "== ooc smoke (bounded-memory training under GOMEMLIMIT, race-enabled) =="
+# GOMEMLIMIT makes the runtime itself enforce the bound: if the shard
+# cache leaked past its budget the test would thrash or OOM rather than
+# silently grow the heap.
+GOMEMLIMIT=256MiB go test -race -short -count=1 -run 'TestBoundedMemoryTraining|TestModelByteParity' ./internal/ooc
 
 echo "== chaos smoke (seeded faults must reproduce the fault-free model) =="
 go test -race -run 'TestChaosTrainingMatchesBaseline|TestSessionCheckpointResume' ./internal/core
