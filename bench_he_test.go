@@ -1,0 +1,184 @@
+// HE-backend comparison benchmarks: the scalar Paillier stream versus the
+// BatchCrypt-style lane-packed backend, at smoke (256-bit) and paper
+// (2048-bit) key sizes. scripts/bench.sh runs these and commits the
+// result as BENCH_he.json; cmd/benchfmt derives the headline ratios
+// (ciphertexts-per-round reduction and wall-time speedup per key size).
+package vf2boost
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"vf2boost/internal/core"
+	"vf2boost/internal/fixedpoint"
+	"vf2boost/internal/he"
+	"vf2boost/internal/paillier"
+)
+
+// benchKeysByBits caches one Paillier key pair per modulus size, so the
+// 2048-bit generation cost is paid once per `go test -bench` process
+// instead of once per sub-benchmark iteration.
+var benchKeysByBits = map[int]*paillier.PrivateKey{}
+
+func benchDecryptorBits(b *testing.B, bits int) *he.PaillierDecryptor {
+	b.Helper()
+	k, ok := benchKeysByBits[bits]
+	if !ok {
+		var err error
+		k, err = paillier.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchKeysByBits[bits] = k
+	}
+	return he.NewPaillierFromKey(k, 0)
+}
+
+// BenchmarkHEBackendRound trains one boosting round end to end and
+// reports Party B's cipher-operation counts alongside wall time. The
+// cts/round metric is the headline of the lane-packing change: the
+// scalar stream encrypts 2n ciphertexts per round, the packed stream
+// ⌈n/pairs⌉ (≈ n/15 at 2048-bit), a ≥8× reduction benchfmt derives as
+// he_cts_reduction/bits=N.
+func BenchmarkHEBackendRound(b *testing.B) {
+	parts := benchParts(b, 400, 20, 20, 16, 11)
+	for _, bits := range []int{256, 2048} {
+		for _, bk := range []struct{ label, backend string }{
+			{"scalar", ""},
+			{"packed", "paillier-batched"},
+		} {
+			b.Run(fmt.Sprintf("backend=%s/bits=%d", bk.label, bits), func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Trees = 1
+				cfg.MaxDepth = 3
+				cfg.MaxBins = 8
+				cfg.KeyBits = bits
+				cfg.HEBackend = bk.backend
+				var cts, decs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := core.NewSession(parts, cfg, core.WithDecryptor(benchDecryptorBits(b, bits)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Train(); err != nil {
+						b.Fatal(err)
+					}
+					cts += s.Crypto().Encryptions()
+					decs += s.Crypto().Decryptions()
+				}
+				b.ReportMetric(float64(cts)/float64(b.N), "cts/round")
+				b.ReportMetric(float64(decs)/float64(b.N), "decs/round")
+			})
+		}
+	}
+}
+
+// BenchmarkHEAccumulate isolates the Party A hot loop: accumulating n
+// pre-encrypted gradient contributions into a 16-bin feature histogram.
+// The scalar layout needs two homomorphic additions per instance (one
+// each for g and h); the packed layout one AddVec on the instance's
+// window — hadds/bin records that halving directly.
+func BenchmarkHEAccumulate(b *testing.B) {
+	const (
+		n    = 512
+		bins = 16
+	)
+	rng := mrand.New(mrand.NewSource(13))
+	grads := make([]float64, n)
+	hess := make([]float64, n)
+	binOf := make([]int, n)
+	for i := range grads {
+		grads[i] = rng.Float64()*2 - 1
+		hess[i] = rng.Float64() * 0.25
+		binOf[i] = rng.Intn(bins)
+	}
+
+	for _, bits := range []int{256, 2048} {
+		dec := benchDecryptorBits(b, bits)
+
+		b.Run(fmt.Sprintf("backend=scalar/bits=%d", bits), func(b *testing.B) {
+			codec := fixedpoint.NewCodec(dec, fixedpoint.WithSeed(13))
+			gct := make([]fixedpoint.EncNum, n)
+			hct := make([]fixedpoint.EncNum, n)
+			for i := range gct {
+				var err error
+				if gct[i], err = codec.EncryptValue(grads[i]); err != nil {
+					b.Fatal(err)
+				}
+				if hct[i], err = codec.EncryptValue(hess[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var adds int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				accG := make([]fixedpoint.EncNum, bins)
+				accH := make([]fixedpoint.EncNum, bins)
+				for j := range accG {
+					accG[j] = codec.EncryptZero()
+					accH[j] = codec.EncryptZero()
+				}
+				for j := 0; j < n; j++ {
+					codec.AddEncInto(&accG[binOf[j]], gct[j])
+					codec.AddEncInto(&accH[binOf[j]], hct[j])
+					adds += 2
+				}
+			}
+			b.ReportMetric(float64(adds)/float64(b.N)/bins, "hadds/bin")
+		})
+
+		b.Run(fmt.Sprintf("backend=packed/bits=%d", bits), func(b *testing.B) {
+			plan, err := fixedpoint.PlanLanes(dec.Bits(), fixedpoint.DefaultBase, 8, 1, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vdec, err := he.NewBatchedDecryptor(dec, "paillier-batched", plan.Slots(), plan.LaneBits, plan.Headroom)
+			if err != nil {
+				b.Fatal(err)
+			}
+			codec := fixedpoint.NewCodec(vdec, fixedpoint.WithExponents(plan.Exp, 1))
+			pairs := plan.Pairs
+			windows := make([]he.VecCiphertext, (n+pairs-1)/pairs)
+			for w := range windows {
+				start := w * pairs
+				end := start + pairs
+				if end > n {
+					end = n
+				}
+				lanes := make([]*big.Int, 0, 2*(end-start))
+				for j := start; j < end; j++ {
+					gl, hl, err := codec.EncodeLanePair(grads[j], hess[j], plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lanes = append(lanes, gl, hl)
+				}
+				if windows[w], err = codec.EncryptLanes(lanes); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var adds int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One accumulator cell per (bin, pair slot), exactly the
+				// engine's vecHist layout.
+				cells := make([]he.VecCiphertext, bins*pairs)
+				for j := 0; j < n; j++ {
+					idx := binOf[j]*pairs + j%pairs
+					w := windows[j/pairs]
+					if cells[idx] == nil {
+						cells[idx] = vdec.AddVecInto(vdec.EncryptZeroVec(), w)
+					} else {
+						cells[idx] = vdec.AddVecInto(cells[idx], w)
+					}
+					adds++
+				}
+			}
+			b.ReportMetric(float64(adds)/float64(b.N)/bins, "hadds/bin")
+		})
+	}
+}

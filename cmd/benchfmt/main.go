@@ -144,11 +144,16 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-// deriveSpeedups computes obfuscator_speedup/bits=N =
-// baseline ns_per_op / fixed-base ns_per_op for every key size measured
-// under both benchmarks. This ratio is the headline number of the fast
-// obfuscation change, so it is recorded explicitly rather than left for
-// readers to divide by hand.
+// deriveSpeedups computes the headline ratios of the committed baselines
+// explicitly, rather than leaving readers to divide by hand:
+//
+//   - obfuscator_speedup/bits=N — baseline r^n versus fixed-base h^x
+//     obfuscator generation, per key size.
+//   - he_cts_reduction/bits=N — scalar versus lane-packed ciphertexts
+//     per boosting round (the BatchCrypt-style packing headline; the
+//     acceptance gate wants ≥8 at 2048-bit).
+//   - he_round_speedup/bits=N — scalar versus lane-packed wall time for
+//     the same round.
 func deriveSpeedups(benches []Benchmark) map[string]float64 {
 	const (
 		basePrefix = "BenchmarkObfuscatorBaseline/"
@@ -170,6 +175,37 @@ func deriveSpeedups(benches []Benchmark) map[string]float64 {
 			derived["obfuscator_speedup/"+size] = bn / fn
 		}
 	}
+
+	const (
+		scalarRound = "BenchmarkHEBackendRound/backend=scalar/"
+		packedRound = "BenchmarkHEBackendRound/backend=packed/"
+	)
+	round := map[string]*struct{ scalarNs, packedNs, scalarCts, packedCts float64 }{}
+	at := func(size string) *struct{ scalarNs, packedNs, scalarCts, packedCts float64 } {
+		if round[size] == nil {
+			round[size] = &struct{ scalarNs, packedNs, scalarCts, packedCts float64 }{}
+		}
+		return round[size]
+	}
+	for _, b := range benches {
+		if s, ok := strings.CutPrefix(b.Name, scalarRound); ok {
+			at(s).scalarNs = b.NsPerOp
+			at(s).scalarCts = b.Metrics["cts/round"]
+		}
+		if s, ok := strings.CutPrefix(b.Name, packedRound); ok {
+			at(s).packedNs = b.NsPerOp
+			at(s).packedCts = b.Metrics["cts/round"]
+		}
+	}
+	for size, r := range round {
+		if r.scalarCts > 0 && r.packedCts > 0 {
+			derived["he_cts_reduction/"+size] = r.scalarCts / r.packedCts
+		}
+		if r.scalarNs > 0 && r.packedNs > 0 {
+			derived["he_round_speedup/"+size] = r.scalarNs / r.packedNs
+		}
+	}
+
 	if len(derived) == 0 {
 		return nil
 	}

@@ -42,8 +42,11 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
+	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
+	"vf2boost/internal/he"
 	"vf2boost/internal/wire"
 )
 
@@ -72,6 +75,14 @@ type Config struct {
 
 	// Scheme selects "paillier" (VF-GBDT / VF²Boost) or "mock" (VF-MOCK).
 	Scheme string
+	// HEBackend names the homomorphic backend from the he registry. Empty
+	// selects the scalar backend of the configured Scheme ("paillier" or
+	// "mock"), which is byte-identical to the pre-backend protocol. The
+	// batched backends ("paillier-batched", "mock-batched") pack k ⟨g,h⟩
+	// pairs per ciphertext BatchCrypt-style, switching the gradient stream
+	// and histogram accumulation to the vectorized wire path. The backend's
+	// family must match Scheme.
+	HEBackend string
 	// KeyBits is the Paillier modulus size S (2048 in the paper; scaled
 	// down in the experiments).
 	KeyBits int
@@ -205,6 +216,17 @@ func (c *Config) normalize() error {
 	if c.Scheme == SchemePaillier && (c.KeyBits < 64 || c.KeyBits%2 != 0) {
 		return fmt.Errorf("core: KeyBits %d invalid", c.KeyBits)
 	}
+	if c.HEBackend == "" {
+		c.HEBackend = c.Scheme // the lifted scalar backends share their scheme's name
+	}
+	if !he.Registered(c.HEBackend) {
+		return fmt.Errorf("core: unknown HE backend %q (registered: %s)",
+			c.HEBackend, strings.Join(he.Names(), ", "))
+	}
+	if fam := he.Family(c.HEBackend); fam != c.Scheme {
+		return fmt.Errorf("core: HE backend %q belongs to scheme family %q, config scheme is %q",
+			c.HEBackend, fam, c.Scheme)
+	}
 	if c.Loss == nil {
 		c.Loss = gbdt.LogisticLoss{}
 	}
@@ -224,6 +246,27 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: %w", err)
 	}
 	return nil
+}
+
+// laneHeadroom is the per-lane accumulation reserve of the batched
+// backends: histogram accumulators sum at most one lane value per
+// instance, so 32 bits of headroom cover any session below 2^32 rows
+// without a carry ever crossing lanes.
+const laneHeadroom = 32
+
+// vecMode reports whether the configured backend packs multiple slots per
+// ciphertext, which switches the protocol to the vectorized gradient
+// stream and histogram accumulation.
+func (c *Config) vecMode() bool { return he.Batched(c.HEBackend) }
+
+// lanePlanFor derives the lane geometry the session negotiates in
+// MsgSetup for a batched backend over a modulus of the given width.
+func (c *Config) lanePlanFor(schemeBits int) (fixedpoint.LanePlan, error) {
+	plan, err := fixedpoint.PlanLanes(schemeBits, fixedpoint.DefaultBase, c.BaseExp, c.Loss.GradBound(), laneHeadroom)
+	if err != nil {
+		return fixedpoint.LanePlan{}, fmt.Errorf("core: backend %q: %w", c.HEBackend, err)
+	}
+	return plan, nil
 }
 
 // wireCodec resolves the configured codec; normalize already validated it.

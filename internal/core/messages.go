@@ -32,6 +32,17 @@ type MsgSetup struct {
 	// the paper-exact baseline obfuscation.
 	ObfBase []byte
 	ObfBits int
+	// Backend, when non-empty, names the negotiated he registry backend
+	// and switches the session to the vectorized gradient/histogram path
+	// with the lane geometry below (Slots lanes of LaneBits bits, Headroom
+	// accumulation reserve). Empty means the scalar protocol: B leaves it
+	// empty for 1-slot backends, so a scalar session's setup frame is
+	// byte-identical to the pre-backend wire format and older peers
+	// interoperate (mixed-fleet fallback).
+	Backend  string
+	Slots    int
+	LaneBits int
+	Headroom int
 }
 
 // MsgReady is a passive party's answer to MsgSetup: its shape, which B
@@ -67,6 +78,18 @@ type MsgGradBatch struct {
 	Last  bool
 }
 
+// MsgVecGradBatch is the vectorized counterpart of MsgGradBatch: each
+// ciphertext packs one window of Slots/2 consecutive ⟨g,h⟩ pairs
+// (instance Start+w·k..Start+w·k+k−1 in window w), lane-encoded at the
+// fixed exponent BaseExp with the negotiated offset shift. Start is in
+// instances and must be window-aligned.
+type MsgVecGradBatch struct {
+	Tree  int
+	Start int
+	Cts   [][]byte
+	Last  bool
+}
+
 // MsgHistograms carries a passive party's encrypted histograms for one or
 // more nodes of one layer.
 type MsgHistograms struct {
@@ -98,6 +121,17 @@ type FeatHist struct {
 	PackedG [][]byte
 	PackedH [][]byte
 	Exp     int16
+	// Vectorized representation (batched backends): one ciphertext per
+	// occupied (bin, pair-slot) accumulator. Entry i is the accumulator
+	// for bin VecBin[i] and pair slot VecSlot[i]: lanes 2·slot and
+	// 2·slot+1 of VecCts[i] hold the offset-shifted ⟨g,h⟩ sums of the
+	// VecCount[i] instances congruent to that slot which landed in the
+	// bin; the other lanes are other bins' partial sums and are ignored.
+	Vec      bool
+	VecBin   []int32
+	VecSlot  []int32
+	VecCount []int32
+	VecCts   [][]byte
 }
 
 // Node actions in a split decision.
@@ -190,6 +224,7 @@ func init() {
 	gob.Register(MsgSetup{})
 	gob.Register(MsgReady{})
 	gob.Register(MsgGradBatch{})
+	gob.Register(MsgVecGradBatch{})
 	gob.Register(MsgHistograms{})
 	gob.Register(MsgDecisions{})
 	gob.Register(MsgDirty{})

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,13 @@ type passiveParty struct {
 	packing bool
 	shiftCt he.Ciphertext
 
+	// vec is set when setup negotiated a slot-batched backend; vbackend
+	// is the opened backend (scheme aliases it) and pairs is its ⟨g,h⟩
+	// pair count per ciphertext (Slots/2).
+	vec      bool
+	vbackend he.Backend
+	pairs    int
+
 	link   *link
 	sendMu sync.Mutex // serializes link sends from tasks and the main loop
 	stats  *Stats
@@ -54,11 +62,16 @@ type passiveParty struct {
 	// Per-tree state.
 	tree int
 	gh   *encGH
+	// vgh are the tree's gradient window ciphertexts in vec mode:
+	// instance i is pair slot i%pairs of window i/pairs.
+	vgh []he.VecCiphertext
 	// rootParts are per-worker partial root histograms so blaster
 	// batches accumulate in parallel; merged when the last batch lands.
 	rootParts []*EncHistogram
-	rootCount int
-	nodeInsts map[int32][]int32
+	// rootVecParts mirror rootParts for the vectorized accumulators.
+	rootVecParts []*vecHist
+	rootCount    int
+	nodeInsts    map[int32][]int32
 	// binCache retains each node's finalized bins for sibling
 	// subtraction (HistogramSubtraction).
 	binCache   map[int32]*cachedBins
@@ -120,9 +133,11 @@ func newPassivePartyView(index int, view gbdt.BinView, cfg Config, lk *link, sta
 }
 
 // cachedBins are one node's finalized histogram bins, retained for
-// sibling subtraction.
+// sibling subtraction — either the scalar per-bin form or the vectorized
+// accumulators, never both.
 type cachedBins struct {
 	g, h []fixedpoint.EncNum
+	vec  *vecHist
 }
 
 // run drives the passive engine until shutdown. It returns the party's
@@ -151,6 +166,10 @@ func (p *passiveParty) run() (*PartyModel, error) {
 			}
 		case MsgGradBatch:
 			if err := p.handleGradBatch(m); err != nil {
+				return nil, err
+			}
+		case MsgVecGradBatch:
+			if err := p.handleVecGradBatch(m); err != nil {
 				return nil, err
 			}
 		case MsgDecisions:
@@ -209,30 +228,41 @@ func (p *passiveParty) failed() error {
 	return p.failErr
 }
 
-// handleSetup installs the shared cryptographic context.
+// handleSetup installs the shared cryptographic context. A setup carrying
+// a backend name negotiates the vectorized protocol; the legacy scalar
+// switch is untouched so mixed fleets keep the byte-identical fallback.
 func (p *passiveParty) handleSetup(m MsgSetup) error {
-	switch m.Scheme {
-	case SchemePaillier:
-		n := new(big.Int).SetBytes(m.N)
-		pk := paillier.NewPublicKey(n)
-		if len(m.ObfBase) > 0 {
-			// B derived a DJN fast-obfuscation base at key setup; install
-			// it so this party's encryptions use short-exponent h^x
-			// obfuscators too. The base is validated — a malformed one
-			// fails the session here rather than corrupting obfuscation.
-			if err := pk.SetObfuscationBase(new(big.Int).SetBytes(m.ObfBase), m.ObfBits); err != nil {
-				return fmt.Errorf("core: party %d installing obfuscation base: %w", p.index, err)
-			}
+	if m.Backend != "" {
+		if err := p.setupBackend(m); err != nil {
+			return err
 		}
-		p.scheme = he.NewPaillierPublic(pk)
-	case SchemeMock:
-		p.scheme = he.NewMock(m.Bits)
-	default:
-		return fmt.Errorf("core: setup with unknown scheme %q", m.Scheme)
+	} else {
+		switch m.Scheme {
+		case SchemePaillier:
+			n := new(big.Int).SetBytes(m.N)
+			pk := paillier.NewPublicKey(n)
+			if len(m.ObfBase) > 0 {
+				// B derived a DJN fast-obfuscation base at key setup; install
+				// it so this party's encryptions use short-exponent h^x
+				// obfuscators too. The base is validated — a malformed one
+				// fails the session here rather than corrupting obfuscation.
+				if err := pk.SetObfuscationBase(new(big.Int).SetBytes(m.ObfBase), m.ObfBits); err != nil {
+					return fmt.Errorf("core: party %d installing obfuscation base: %w", p.index, err)
+				}
+			}
+			p.scheme = he.NewPaillierPublic(pk)
+		case SchemeMock:
+			p.scheme = he.NewMock(m.Bits)
+		default:
+			return fmt.Errorf("core: setup with unknown scheme %q", m.Scheme)
+		}
 	}
 	p.codec = fixedpoint.NewCodec(p.scheme,
 		fixedpoint.WithExponents(m.BaseExp, m.ExpSpread),
 		fixedpoint.WithSeed(p.cfg.Seed+int64(p.index)+1))
+	if p.vec && m.PackBits > 0 {
+		return fmt.Errorf("core: party %d: setup combines histogram packing with the vectorized backend %q", p.index, m.Backend)
+	}
 	p.packing = m.PackBits > 0
 	if p.packing {
 		p.plan = packPlan{
@@ -255,6 +285,54 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 	return p.send(MsgResume{Party: p.index, Trees: len(p.model.Trees)})
 }
 
+// setupBackend opens a negotiated slot-batched backend. The name must be
+// registered locally — an unregistered or mismatched negotiation fails
+// the session (with the local registry listed) before any ciphertext is
+// accepted, and the geometry is validated so a hostile setup cannot
+// construct a degenerate lane layout.
+func (p *passiveParty) setupBackend(m MsgSetup) error {
+	if !he.Registered(m.Backend) {
+		return fmt.Errorf("core: party %d: peer negotiated unregistered HE backend %q (registered: %s)",
+			p.index, m.Backend, strings.Join(he.Names(), ", "))
+	}
+	if fam := he.Family(m.Backend); fam != m.Scheme {
+		return fmt.Errorf("core: party %d: negotiated backend %q belongs to scheme family %q, setup says %q",
+			p.index, m.Backend, fam, m.Scheme)
+	}
+	if !he.Batched(m.Backend) {
+		return fmt.Errorf("core: party %d: scalar backend %q negotiated over the vectorized setup", p.index, m.Backend)
+	}
+	if m.Slots < 2 || m.Slots%2 != 0 {
+		return fmt.Errorf("core: party %d: negotiated %d slots, need an even count >= 2", p.index, m.Slots)
+	}
+	if m.Headroom < 0 || m.LaneBits <= m.Headroom {
+		return fmt.Errorf("core: party %d: negotiated lane geometry laneBits=%d headroom=%d invalid",
+			p.index, m.LaneBits, m.Headroom)
+	}
+	params := he.Params{
+		Bits:     m.Bits,
+		ObfBits:  m.ObfBits,
+		Slots:    m.Slots,
+		LaneBits: m.LaneBits,
+		Headroom: m.Headroom,
+	}
+	if len(m.N) > 0 {
+		params.N = new(big.Int).SetBytes(m.N)
+	}
+	if len(m.ObfBase) > 0 {
+		params.ObfBase = new(big.Int).SetBytes(m.ObfBase)
+	}
+	backend, err := he.Open(m.Backend, params)
+	if err != nil {
+		return fmt.Errorf("core: party %d opening backend %q: %w", p.index, m.Backend, err)
+	}
+	p.scheme = backend
+	p.vbackend = backend
+	p.vec = true
+	p.pairs = m.Slots / 2
+	return nil
+}
+
 // handleGradBatch stores a batch of encrypted gradient statistics and
 // accumulates it straight into the root histogram — with blaster-style
 // encryption the batches stream in while Party B is still encrypting, so
@@ -262,6 +340,9 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	if p.scheme == nil {
 		return fmt.Errorf("core: gradients before setup")
+	}
+	if p.vec {
+		return fmt.Errorf("core: scalar gradient batch in a vectorized session")
 	}
 	n := p.view.Rows()
 	if p.gh == nil || p.tree != m.Tree {
@@ -386,23 +467,164 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	return nil
 }
 
+// handleVecGradBatch is the vectorized counterpart of handleGradBatch:
+// each ciphertext is a window of pairs ⟨g,h⟩ pairs, so the batch covers
+// instances [Start, Start+len(Cts)·pairs). Windows are accumulated whole
+// into per-(bin, slot) accumulators; the lanes belonging to window-mates
+// in other bins are garbage the decryptor never reads.
+func (p *passiveParty) handleVecGradBatch(m MsgVecGradBatch) error {
+	if p.scheme == nil {
+		return fmt.Errorf("core: gradients before setup")
+	}
+	if !p.vec {
+		return fmt.Errorf("core: vectorized gradient batch in a scalar session")
+	}
+	n := p.view.Rows()
+	windows := (n + p.pairs - 1) / p.pairs
+	if p.vgh == nil || p.tree != m.Tree {
+		// A replayed round (B resumed behind this party's checkpoint)
+		// invalidates the trees recorded at or after it: discard them and
+		// rebuild from the replay, which is deterministic.
+		if m.Tree < len(p.model.Trees) {
+			p.model.Trees = p.model.Trees[:m.Tree]
+		}
+		p.tree = m.Tree
+		p.vgh = make([]he.VecCiphertext, windows)
+		p.rootVecParts = make([]*vecHist, p.cfg.Workers)
+		p.rootCount = 0
+		p.nodeInsts = make(map[int32][]int32)
+		p.tasks = make(map[int32]*histTask)
+		p.binCache = make(map[int32]*cachedBins)
+	}
+	if m.Start%p.pairs != 0 {
+		return fmt.Errorf("core: vectorized batch start %d not aligned to %d-pair windows", m.Start, p.pairs)
+	}
+	w0 := m.Start / p.pairs
+	if w0+len(m.Cts) > windows {
+		return fmt.Errorf("core: vectorized batch windows [%d,%d) out of range (have %d)",
+			w0, w0+len(m.Cts), windows)
+	}
+	for k, payload := range m.Cts {
+		v, err := p.vbackend.UnmarshalVec(payload)
+		if err != nil {
+			return err
+		}
+		p.vgh[w0+k] = v
+	}
+	end := m.Start + len(m.Cts)*p.pairs
+	if end > n {
+		end = n
+	}
+
+	// Accumulate this batch into the root accumulators immediately,
+	// sharded across workers like the scalar path.
+	start := time.Now()
+	endSpan := p.rec.Span(p.lane("BuildHist"), fmt.Sprintf("root batch @%d", m.Start))
+	insts := make([]int32, end-m.Start)
+	for k := range insts {
+		insts[k] = int32(m.Start + k)
+	}
+	workers := len(p.rootVecParts)
+	var wg sync.WaitGroup
+	chunk := (len(insts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(insts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(insts) {
+			hi = len(insts)
+		}
+		if p.rootVecParts[w] == nil {
+			p.rootVecParts[w] = newVecHist(p.codec, p.vbackend, p.offsets, p.pairs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p.rootVecParts[w].accumulate(p.view, insts[lo:hi], p.vgh)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	p.rootCount += len(insts)
+	endSpan()
+	addDur(&p.stats.buildHistTime, time.Since(start))
+
+	if m.Last {
+		if p.rootCount != n {
+			return fmt.Errorf("core: root saw %d of %d instances", p.rootCount, n)
+		}
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		p.nodeInsts[rootID] = all
+		if p.cfg.MaxDepth > 0 {
+			var root *vecHist
+			for _, part := range p.rootVecParts {
+				if part == nil {
+					continue
+				}
+				if root == nil {
+					root = part
+				} else {
+					root.merge(part)
+				}
+			}
+			if root == nil {
+				root = newVecHist(p.codec, p.vbackend, p.offsets, p.pairs)
+			}
+			nh, err := p.wireCached(rootID, &cachedBins{vec: root})
+			if err != nil {
+				return err
+			}
+			if err := p.send(MsgHistograms{Tree: p.tree, Layer: 0, Nodes: []NodeHist{nh}}); err != nil {
+				return err
+			}
+		}
+		p.rootVecParts = nil
+	}
+	return nil
+}
+
 // finalizeNodeHist converts a built histogram into its wire form and
 // caches the finalized bins for sibling subtraction.
 func (p *passiveParty) finalizeNodeHist(node int32, eh *EncHistogram) (NodeHist, error) {
 	g, h := eh.FinalizeBins(-1)
-	return p.wireNodeHist(node, g, h)
+	return p.wireCached(node, &cachedBins{g: g, h: h})
 }
 
-// wireNodeHist serializes finalized bins. With adaptive packing a feature
-// ships packed only when that reduces Party B's decryptions (occupied
-// bins exceed the packed ciphertext count); packFeature scales the chosen
-// features to the unified exponent.
-func (p *passiveParty) wireNodeHist(node int32, g, h []fixedpoint.EncNum) (NodeHist, error) {
+// wireCached caches a node's finalized bins for sibling subtraction and
+// serializes them, dispatching on the representation.
+func (p *passiveParty) wireCached(node int32, bins *cachedBins) (NodeHist, error) {
 	if p.cfg.HistogramSubtraction {
 		p.binCacheMu.Lock()
-		p.binCache[node] = &cachedBins{g: g, h: h}
+		p.binCache[node] = bins
 		p.binCacheMu.Unlock()
 	}
+	if bins.vec != nil {
+		return p.wireVecNodeHist(node, bins.vec), nil
+	}
+	return p.wireNodeHist(node, bins.g, bins.h)
+}
+
+// wireVecNodeHist serializes a node's vectorized accumulators. Every
+// feature ships with Vec set — even an empty one — so the decryptor never
+// falls back to the scalar layout mid-histogram.
+func (p *passiveParty) wireVecNodeHist(node int32, vh *vecHist) NodeHist {
+	nh := NodeHist{Node: node, Feats: make([]FeatHist, p.cols)}
+	for j := 0; j < p.cols; j++ {
+		nh.Feats[j] = vh.wireFeat(j)
+	}
+	return nh
+}
+
+// wireNodeHist serializes finalized scalar bins (callers go through
+// wireCached, which owns the sibling-subtraction cache). With adaptive
+// packing a feature ships packed only when that reduces Party B's
+// decryptions (occupied bins exceed the packed ciphertext count);
+// packFeature scales the chosen features to the unified exponent.
+func (p *passiveParty) wireNodeHist(node int32, g, h []fixedpoint.EncNum) (NodeHist, error) {
 	nh := NodeHist{Node: node, Feats: make([]FeatHist, p.cols)}
 	for j := 0; j < p.cols; j++ {
 		lo, hi := p.offsets[j], p.offsets[j+1]
@@ -623,17 +845,18 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 	p.tasks[bigID] = task
 	p.tasksMu.Unlock()
 	gh := p.gh
+	wins := p.vgh
 	tree := p.tree
 	p.taskWG.Add(1)
 	go func() {
 		defer p.taskWG.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		g, h, ok := p.buildBins(task, small, gh)
+		bins, ok := p.buildBins(task, small, gh, wins)
 		if !ok {
 			return
 		}
-		smallNH, err := p.wireNodeHist(smallID, g, h)
+		smallNH, err := p.wireCached(smallID, bins)
 		if err != nil {
 			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, smallID, err))
 			return
@@ -650,12 +873,7 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		// ModInverse returns nil. That is hostile input, not a protocol
 		// bug — fail the session instead of panicking.
 		start := time.Now()
-		sg, err := subtractBins(p.codec, parent.g, g)
-		if err != nil {
-			p.fail(fmt.Errorf("core: party %d sibling histogram for node %d: %w", p.index, bigID, err))
-			return
-		}
-		sh, err := subtractBins(p.codec, parent.h, h)
+		sib, err := subtractCached(p.codec, parent, bins)
 		if err != nil {
 			p.fail(fmt.Errorf("core: party %d sibling histogram for node %d: %w", p.index, bigID, err))
 			return
@@ -664,7 +882,7 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		if task.aborted.Load() {
 			return
 		}
-		bigNH, err := p.wireNodeHist(bigID, sg, sh)
+		bigNH, err := p.wireCached(bigID, sib)
 		if err != nil {
 			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, bigID, err))
 			return
@@ -681,10 +899,11 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 }
 
 // buildBins accumulates one node's histogram in abort-checked chunks and
-// finalizes it. ok is false when the task was aborted.
-func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h []fixedpoint.EncNum, ok bool) {
+// finalizes it into the representation the session runs — scalar bins or
+// vectorized accumulators. ok is false when the task was aborted.
+func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH, wins []he.VecCiphertext) (bins *cachedBins, ok bool) {
 	if task.aborted.Load() {
-		return nil, nil, false
+		return nil, false
 	}
 	if dh, ok := p.view.(gbdt.DepthHinter); ok {
 		dh.HintDepth(task.layer)
@@ -692,11 +911,29 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h
 	start := time.Now()
 	endSpan := p.rec.Span(p.lane("BuildHist"), fmt.Sprintf("node %d", task.node))
 	defer endSpan()
-	eh := NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
 	const chunk = 256
+	if p.vec {
+		vh := newVecHist(p.codec, p.vbackend, p.offsets, p.pairs)
+		for lo := 0; lo < len(insts); lo += chunk {
+			if task.aborted.Load() {
+				return nil, false
+			}
+			hi := lo + chunk
+			if hi > len(insts) {
+				hi = len(insts)
+			}
+			vh.accumulate(p.view, insts[lo:hi], wins)
+		}
+		addDur(&p.stats.buildHistTime, time.Since(start))
+		if task.aborted.Load() {
+			return nil, false
+		}
+		return &cachedBins{vec: vh}, true
+	}
+	eh := NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
 	for lo := 0; lo < len(insts); lo += chunk {
 		if task.aborted.Load() {
-			return nil, nil, false
+			return nil, false
 		}
 		hi := lo + chunk
 		if hi > len(insts) {
@@ -706,10 +943,34 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH) (g, h
 	}
 	addDur(&p.stats.buildHistTime, time.Since(start))
 	if task.aborted.Load() {
-		return nil, nil, false
+		return nil, false
 	}
-	g, h = eh.FinalizeBins(-1)
-	return g, h, true
+	g, h := eh.FinalizeBins(-1)
+	return &cachedBins{g: g, h: h}, true
+}
+
+// subtractCached derives the sibling bins as parent − child in whichever
+// representation the pair shares.
+func subtractCached(codec *fixedpoint.Codec, parent, child *cachedBins) (*cachedBins, error) {
+	if (parent.vec != nil) != (child.vec != nil) {
+		return nil, fmt.Errorf("core: sibling subtraction across scalar and vectorized histograms")
+	}
+	if parent.vec != nil {
+		vh, err := subtractVecHist(parent.vec, child.vec)
+		if err != nil {
+			return nil, err
+		}
+		return &cachedBins{vec: vh}, nil
+	}
+	sg, err := subtractBins(codec, parent.g, child.g)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := subtractBins(codec, parent.h, child.h)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedBins{g: sg, h: sh}, nil
 }
 
 // subtractBins computes parent - child per bin. A child can only have
@@ -745,17 +1006,18 @@ func (p *passiveParty) scheduleHist(node int32, layer int, insts []int32) {
 	p.tasks[node] = task
 	p.tasksMu.Unlock()
 	gh := p.gh
+	wins := p.vgh
 	tree := p.tree
 	p.taskWG.Add(1)
 	go func() {
 		defer p.taskWG.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		g, h, ok := p.buildBins(task, insts, gh)
+		bins, ok := p.buildBins(task, insts, gh, wins)
 		if !ok {
 			return
 		}
-		nh, err := p.wireNodeHist(node, g, h)
+		nh, err := p.wireCached(node, bins)
 		if err != nil {
 			// Serialization works over ciphertexts accumulated from the
 			// wire gradient stream; treat any failure as hostile input and

@@ -30,6 +30,16 @@ type activeParty struct {
 	dec   he.Decryptor
 	codec *fixedpoint.Codec
 
+	// vec is set when the configured HE backend is slot-batched: vdec
+	// wraps dec with the lane layout, vplan is the negotiated geometry and
+	// vcodec is a deterministic (spread-1) codec for lane encoding. The
+	// scalar dec/codec stay live for everything outside the gradient
+	// stream so the non-vector protocol is untouched.
+	vec    bool
+	vdec   he.VecDecryptor
+	vplan  fixedpoint.LanePlan
+	vcodec *fixedpoint.Codec
+
 	links []*link
 	pumps []*pump
 
@@ -222,7 +232,36 @@ func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.
 		stats: stats,
 		model: &PartyModel{Party: len(links)},
 	}
-	if cfg.HistogramPacking {
+	if cfg.vecMode() {
+		plan, err := cfg.lanePlanFor(dec.Bits())
+		if err != nil {
+			return nil, err
+		}
+		vdec, ok := dec.(he.VecDecryptor)
+		if ok {
+			if vdec.Slots() != plan.Slots() || vdec.LaneBits() != plan.LaneBits || vdec.Headroom() != plan.Headroom {
+				return nil, fmt.Errorf("core: injected backend geometry (%d slots, %d-bit lanes, %d headroom) does not match the lane plan (%d, %d, %d)",
+					vdec.Slots(), vdec.LaneBits(), vdec.Headroom(), plan.Slots(), plan.LaneBits, plan.Headroom)
+			}
+		} else {
+			vdec, err = he.NewBatchedDecryptor(dec, cfg.HEBackend, plan.Slots(), plan.LaneBits, plan.Headroom)
+			if err != nil {
+				return nil, err
+			}
+		}
+		b.vec = true
+		b.vdec = vdec
+		b.vplan = plan
+		// Lane encoding shares the scalar codec's stats so session totals
+		// stay in one place; spread 1 because every lane shares one scale.
+		b.vcodec = fixedpoint.NewCodec(vdec,
+			fixedpoint.WithExponents(plan.Exp, 1),
+			fixedpoint.WithStats(b.codec.Stats()))
+	}
+	// Histogram packing shifts scalar prefix-sum bins into one plaintext;
+	// the vectorized path already packs at the lane level, so the two are
+	// mutually exclusive.
+	if cfg.HistogramPacking && !cfg.vecMode() {
 		plan, err := planPacking(b.codec, b.rows, cfg.Loss.GradBound(), fixedpoint.DefaultPackBits)
 		if err != nil {
 			return nil, err
@@ -272,6 +311,12 @@ func (b *activeParty) setup() error {
 	if b.packing {
 		setup.PackBits = b.plan.bits
 		setup.Shift = b.plan.shift
+	}
+	if b.vec {
+		setup.Backend = b.cfg.HEBackend
+		setup.Slots = b.vplan.Slots()
+		setup.LaneBits = b.vplan.LaneBits
+		setup.Headroom = b.vplan.Headroom
 	}
 	for _, l := range b.links {
 		if err := l.send(setup); err != nil {
@@ -404,6 +449,9 @@ func (b *activeParty) train() (*PartyModel, error) {
 // the passive parties overlap (Section 4.1); without it one bulk batch is
 // sent after all encryption finishes.
 func (b *activeParty) sendGradients(t int) error {
+	if b.vec {
+		return b.sendVecGradients(t)
+	}
 	n := b.rows
 	batch := b.cfg.BatchSize
 	if !b.cfg.BlasterEncryption {
@@ -473,6 +521,124 @@ func (b *activeParty) sendGradients(t int) error {
 		return sendErr
 	}
 	return nil
+}
+
+// sendVecGradients is the slot-batched gradient stream: k = vplan.Pairs
+// ⟨g,h⟩ pairs travel per ciphertext, so the round ships ⌈n/k⌉ windows
+// instead of 2n scalars. Batches are rounded up to whole windows so every
+// MsgVecGradBatch starts window-aligned and instance i always occupies
+// pair slot i%k of window i/k.
+func (b *activeParty) sendVecGradients(t int) error {
+	n := b.rows
+	pairs := b.vplan.Pairs
+	batch := b.cfg.BatchSize
+	if !b.cfg.BlasterEncryption {
+		batch = n
+	}
+	if rem := batch % pairs; rem != 0 {
+		batch += pairs - rem
+	}
+
+	var sendCh chan MsgVecGradBatch
+	var sendErr error
+	done := make(chan struct{})
+	if b.cfg.BlasterEncryption {
+		sendCh = make(chan MsgVecGradBatch, 2)
+		go func() {
+			defer close(done)
+			for m := range sendCh {
+				for _, l := range b.links {
+					if err := l.send(m); err != nil {
+						sendErr = err
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		m := MsgVecGradBatch{
+			Tree:  t,
+			Start: start,
+			Cts:   make([][]byte, (end-start+pairs-1)/pairs),
+			Last:  end == n,
+		}
+		encStart := time.Now()
+		endSpan := b.rec.Span("B:Encrypt", fmt.Sprintf("tree %d [%d,%d)", t, start, end))
+		if err := b.encryptVecRange(start, end, &m); err != nil {
+			return err
+		}
+		endSpan()
+		addDur(&b.stats.encryptTime, time.Since(encStart))
+		if sendCh != nil {
+			select {
+			case sendCh <- m:
+			case <-done:
+				return sendErr
+			}
+			continue
+		}
+		for _, l := range b.links {
+			if err := l.send(m); err != nil {
+				return err
+			}
+		}
+	}
+	if sendCh != nil {
+		close(sendCh)
+		<-done
+		return sendErr
+	}
+	return nil
+}
+
+// encryptVecRange packs instances [start, end) into window ciphertexts,
+// parallelized across the configured workers. The final window of the
+// last batch may be partial; EncryptVec accepts short lane vectors and
+// the unused high lanes simply stay zero.
+func (b *activeParty) encryptVecRange(start, end int, m *MsgVecGradBatch) error {
+	pairs := b.vplan.Pairs
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(len(m.Cts), b.cfg.Workers, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			wStart := start + w*pairs
+			wEnd := wStart + pairs
+			if wEnd > end {
+				wEnd = end
+			}
+			lanes := make([]*big.Int, 0, 2*(wEnd-wStart))
+			var err error
+			for i := wStart; i < wEnd; i++ {
+				var gl, hl *big.Int
+				gl, hl, err = b.vcodec.EncodeLanePair(b.grads[i], b.hess[i], b.vplan)
+				if err != nil {
+					break
+				}
+				lanes = append(lanes, gl, hl)
+			}
+			if err == nil {
+				var v he.VecCiphertext
+				v, err = b.vcodec.EncryptLanes(lanes)
+				if err == nil {
+					m.Cts[w] = b.vdec.MarshalVec(v)
+					continue
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+	})
+	return firstErr
 }
 
 // encryptRange fills a gradient batch with ciphertexts, parallelized
@@ -610,6 +776,9 @@ func (b *activeParty) decryptNodeHist(nh NodeHist) (gSums, hSums [][]float64, er
 }
 
 func (b *activeParty) decryptFeature(fh FeatHist) (g, h []float64, err error) {
+	if fh.Vec {
+		return b.decryptVecFeature(fh)
+	}
 	if fh.Packed {
 		g, err = unpackFeature(b.codec, b.dec, fh.PackedG, fh.NumBins, b.plan)
 		if err != nil {
@@ -629,6 +798,63 @@ func (b *activeParty) decryptFeature(fh FeatHist) (g, h []float64, err error) {
 		if err != nil {
 			return nil, nil, err
 		}
+	}
+	return g, h, nil
+}
+
+// decryptVecFeature recovers one feature's (g, h) bin sums from the
+// vectorized representation: each entry is a per-(bin, pair-slot)
+// accumulator whose lanes 2·slot and 2·slot+1 hold the ⟨g,h⟩ sums of
+// VecCount instances (the other lanes belong to window-mates routed to
+// other bins and are ignored). Per bin the slot sums combine exactly in
+// the integer domain; only the final total is decoded to float.
+func (b *activeParty) decryptVecFeature(fh FeatHist) (g, h []float64, err error) {
+	if !b.vec {
+		return nil, nil, fmt.Errorf("core: passive party sent a vectorized histogram to a scalar session")
+	}
+	if len(fh.VecSlot) != len(fh.VecBin) || len(fh.VecCount) != len(fh.VecBin) || len(fh.VecCts) != len(fh.VecBin) {
+		return nil, nil, fmt.Errorf("core: vectorized feature histogram has mismatched columns (%d/%d/%d/%d)",
+			len(fh.VecBin), len(fh.VecSlot), len(fh.VecCount), len(fh.VecCts))
+	}
+	gMan := make([]*big.Int, fh.NumBins)
+	hMan := make([]*big.Int, fh.NumBins)
+	for k := range fh.VecBin {
+		bin, slot, count := int(fh.VecBin[k]), int(fh.VecSlot[k]), int(fh.VecCount[k])
+		if bin < 0 || bin >= fh.NumBins {
+			return nil, nil, fmt.Errorf("core: vectorized histogram bin %d out of [0,%d)", bin, fh.NumBins)
+		}
+		if slot < 0 || slot >= b.vplan.Pairs {
+			return nil, nil, fmt.Errorf("core: vectorized histogram pair slot %d out of [0,%d)", slot, b.vplan.Pairs)
+		}
+		if count <= 0 || count > b.rows {
+			return nil, nil, fmt.Errorf("core: vectorized histogram accumulator claims %d instances of %d", count, b.rows)
+		}
+		v, err := b.vdec.UnmarshalVec(fh.VecCts[k])
+		if err != nil {
+			return nil, nil, err
+		}
+		lanes, err := b.vdec.DecryptVec(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.codec.Stats().AddDecryptions(1)
+		gSum := b.vplan.LaneSumSigned(lanes[2*slot], int64(count))
+		hSum := b.vplan.LaneSumSigned(lanes[2*slot+1], int64(count))
+		if gMan[bin] == nil {
+			gMan[bin], hMan[bin] = gSum, hSum
+		} else {
+			gMan[bin].Add(gMan[bin], gSum)
+			hMan[bin].Add(hMan[bin], hSum)
+		}
+	}
+	g = make([]float64, fh.NumBins)
+	h = make([]float64, fh.NumBins)
+	for bin := 0; bin < fh.NumBins; bin++ {
+		if gMan[bin] == nil {
+			continue // empty bin
+		}
+		g[bin] = fixedpoint.DecodeSigned(gMan[bin], b.vplan.Base, b.vplan.Exp)
+		h[bin] = fixedpoint.DecodeSigned(hMan[bin], b.vplan.Base, b.vplan.Exp)
 	}
 	return g, h, nil
 }

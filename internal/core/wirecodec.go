@@ -43,6 +43,19 @@ const (
 	// (ObfBase, ObfBits) appended after Shift.
 	idSetupV2 uint16 = 22
 	idAbort   uint16 = 23
+	// idSetupV3 extends the setup body with the negotiated HE backend and
+	// its lane geometry (Backend, Slots, LaneBits, Headroom) appended after
+	// ObfBits. A scalar session encodes MsgSetup under idSetupV2 — the two
+	// layouts coexist so older peers keep decoding scalar sessions
+	// (mixed-fleet fallback).
+	idSetupV3 uint16 = 24
+	// idVecGradBatch carries the slot-packed gradient stream of the
+	// batched backends.
+	idVecGradBatch uint16 = 25
+	// idHistogramsV2 extends every FeatHist body with the vectorized
+	// representation (Vec, VecBin, VecSlot, VecCount, VecCts) appended
+	// after Exp; scalar histograms keep encoding under idHistograms.
+	idHistogramsV2 uint16 = 26
 )
 
 // All ends of a deployment ship the same binary, so only the current
@@ -73,6 +86,21 @@ func init() {
 	wire.Register(idHeartbeat, "MsgHeartbeat", decodeMsg[MsgHeartbeat])
 	wire.Register(idResume, "MsgResume", decodeMsg[MsgResume])
 	wire.Register(idAbort, "MsgAbort", decodeMsg[MsgAbort])
+	wire.Register(idSetupV3, "MsgSetupV3", func(body []byte) (any, error) {
+		var m MsgSetup
+		if err := m.decodeFrom(body, true); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	wire.Register(idVecGradBatch, "MsgVecGradBatch", decodeMsg[MsgVecGradBatch])
+	wire.Register(idHistogramsV2, "MsgHistogramsV2", func(body []byte) (any, error) {
+		var m MsgHistograms
+		if err := m.decodeFrom(body, true); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
 }
 
 // wireBody is the decode half of a protocol message; every Msg* pointer
@@ -96,7 +124,19 @@ func decodeMsg[M any, PM interface {
 
 // --- MsgSetup ----------------------------------------------------------
 
-func (MsgSetup) WireID() uint16 { return idSetupV2 }
+// vecWire reports whether the setup carries backend-negotiation fields,
+// selecting the idSetupV3 layout; a scalar setup stays on the idSetupV2
+// frame older peers understand.
+func (m MsgSetup) vecWire() bool {
+	return m.Backend != "" || m.Slots != 0 || m.LaneBits != 0 || m.Headroom != 0
+}
+
+func (m MsgSetup) WireID() uint16 {
+	if m.vecWire() {
+		return idSetupV3
+	}
+	return idSetupV2
+}
 
 func (m MsgSetup) AppendTo(b []byte) []byte {
 	b = wire.AppendString(b, m.Scheme)
@@ -107,10 +147,19 @@ func (m MsgSetup) AppendTo(b []byte) []byte {
 	b = wire.AppendInt(b, m.PackBits)
 	b = wire.AppendFloat64(b, m.Shift)
 	b = wire.AppendBytes(b, m.ObfBase)
-	return wire.AppendInt(b, m.ObfBits)
+	b = wire.AppendInt(b, m.ObfBits)
+	if m.vecWire() {
+		b = wire.AppendString(b, m.Backend)
+		b = wire.AppendInt(b, m.Slots)
+		b = wire.AppendInt(b, m.LaneBits)
+		b = wire.AppendInt(b, m.Headroom)
+	}
+	return b
 }
 
-func (m *MsgSetup) DecodeFrom(body []byte) error {
+func (m *MsgSetup) DecodeFrom(body []byte) error { return m.decodeFrom(body, false) }
+
+func (m *MsgSetup) decodeFrom(body []byte, vec bool) error {
 	d := wire.NewDec(body)
 	m.Scheme = d.String()
 	m.N = d.Bytes()
@@ -121,6 +170,12 @@ func (m *MsgSetup) DecodeFrom(body []byte) error {
 	m.Shift = d.Float64()
 	m.ObfBase = d.Bytes()
 	m.ObfBits = d.Int()
+	if vec {
+		m.Backend = d.String()
+		m.Slots = d.Int()
+		m.LaneBits = d.Int()
+		m.Headroom = d.Int()
+	}
 	return d.Finish()
 }
 
@@ -170,9 +225,29 @@ func (m *MsgGradBatch) DecodeFrom(body []byte) error {
 
 // --- MsgHistograms -----------------------------------------------------
 
-func (MsgHistograms) WireID() uint16 { return idHistograms }
+// vecWire reports whether any feature carries the vectorized
+// representation, selecting the idHistogramsV2 layout (every FeatHist body
+// gains the vec fields); scalar histograms keep the idHistograms frame.
+func (m MsgHistograms) vecWire() bool {
+	for _, n := range m.Nodes {
+		for _, f := range n.Feats {
+			if f.Vec || len(f.VecBin) > 0 || len(f.VecSlot) > 0 || len(f.VecCount) > 0 || len(f.VecCts) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m MsgHistograms) WireID() uint16 {
+	if m.vecWire() {
+		return idHistogramsV2
+	}
+	return idHistograms
+}
 
 func (m MsgHistograms) AppendTo(b []byte) []byte {
+	vec := m.vecWire()
 	b = wire.AppendInt(b, m.Tree)
 	b = wire.AppendInt(b, m.Layer)
 	b = wire.AppendUvarint(b, uint64(len(m.Nodes)))
@@ -189,19 +264,28 @@ func (m MsgHistograms) AppendTo(b []byte) []byte {
 			b = wire.AppendByteSlices(b, f.PackedG)
 			b = wire.AppendByteSlices(b, f.PackedH)
 			b = wire.AppendInt16(b, f.Exp)
+			if vec {
+				b = wire.AppendBool(b, f.Vec)
+				b = wire.AppendInt32s(b, f.VecBin)
+				b = wire.AppendInt32s(b, f.VecSlot)
+				b = wire.AppendInt32s(b, f.VecCount)
+				b = wire.AppendByteSlices(b, f.VecCts)
+			}
 		}
 	}
 	return b
 }
 
-func (m *MsgHistograms) DecodeFrom(body []byte) error {
+func (m *MsgHistograms) DecodeFrom(body []byte) error { return m.decodeFrom(body, false) }
+
+func (m *MsgHistograms) decodeFrom(body []byte, vec bool) error {
 	d := wire.NewDec(body)
 	m.Tree = d.Int()
 	m.Layer = d.Int()
 	m.Nodes = decodeSeq(d, func(d *wire.Dec) NodeHist {
 		n := NodeHist{Node: d.Int32()}
 		n.Feats = decodeSeq(d, func(d *wire.Dec) FeatHist {
-			return FeatHist{
+			f := FeatHist{
 				NumBins: d.Int(),
 				GBins:   d.ByteSlices(),
 				HBins:   d.ByteSlices(),
@@ -212,9 +296,37 @@ func (m *MsgHistograms) DecodeFrom(body []byte) error {
 				PackedH: d.ByteSlices(),
 				Exp:     d.Int16(),
 			}
+			if vec {
+				f.Vec = d.Bool()
+				f.VecBin = d.Int32s()
+				f.VecSlot = d.Int32s()
+				f.VecCount = d.Int32s()
+				f.VecCts = d.ByteSlices()
+			}
+			return f
 		})
 		return n
 	})
+	return d.Finish()
+}
+
+// --- MsgVecGradBatch ---------------------------------------------------
+
+func (MsgVecGradBatch) WireID() uint16 { return idVecGradBatch }
+
+func (m MsgVecGradBatch) AppendTo(b []byte) []byte {
+	b = wire.AppendInt(b, m.Tree)
+	b = wire.AppendInt(b, m.Start)
+	b = wire.AppendByteSlices(b, m.Cts)
+	return wire.AppendBool(b, m.Last)
+}
+
+func (m *MsgVecGradBatch) DecodeFrom(body []byte) error {
+	d := wire.NewDec(body)
+	m.Tree = d.Int()
+	m.Start = d.Int()
+	m.Cts = d.ByteSlices()
+	m.Last = d.Bool()
 	return d.Finish()
 }
 

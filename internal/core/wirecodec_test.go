@@ -16,6 +16,8 @@ func sampleMessages() []any {
 	return []any{
 		MsgSetup{Scheme: "paillier", N: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Bits: 512, BaseExp: 8, ExpSpread: 4, PackBits: 64, Shift: 12345.678, ObfBase: []byte{0xCA, 0xFE, 0x01}, ObfBits: 224},
 		MsgSetup{Scheme: "mock", Bits: 256},
+		MsgSetup{Scheme: "paillier", N: []byte{0x01, 0x02}, Bits: 2048, BaseExp: 8, ExpSpread: 1, Backend: "paillier-batched", Slots: 30, LaneBits: 66, Headroom: 32},
+		MsgVecGradBatch{Tree: 2, Start: 450, Cts: [][]byte{{1, 2, 3}, {4, 5}, nil}, Last: true},
 		MsgReady{Party: 2, Features: 17, Rows: 100000},
 		MsgGradBatch{Tree: 3, Start: 2048, G: [][]byte{{1, 2}, {3, 4}}, H: [][]byte{{5, 6}, {7, 8}}, GExp: []int16{-8, -7}, HExp: []int16{-8, -8}, Last: true},
 		MsgGradBatch{Tree: 0, Start: 0, G: [][]byte{{9, 9}, nil, {8, 8}}, H: [][]byte{nil, nil, nil}, GExp: []int16{0, 0, 0}, HExp: []int16{0, 0, 0}},
@@ -27,6 +29,12 @@ func sampleMessages() []any {
 			{Node: 6, Feats: []FeatHist{{NumBins: 2, GBins: [][]byte{nil, nil}, HBins: [][]byte{nil, nil}, GExp: []int16{0, 0}, HExp: []int16{0, 0}}}},
 		}},
 		MsgHistograms{Tree: 9, Layer: 0},
+		MsgHistograms{Tree: 4, Layer: 1, Nodes: []NodeHist{
+			{Node: 3, Feats: []FeatHist{
+				{NumBins: 5, Vec: true, VecBin: []int32{0, 0, 4}, VecSlot: []int32{0, 3, 1}, VecCount: []int32{7, 2, 19}, VecCts: [][]byte{{1, 2}, {3, 4}, {5, 6}}},
+				{NumBins: 2, Vec: true},
+			}},
+		}},
 		MsgDecisions{Tree: 2, Layer: 1, Tentative: true, Nodes: []NodeDecision{
 			{Node: 1, Action: ActionSplitB, LeftID: 2, RightID: 3, Placement: []byte{0b1010}, Count: 4},
 			{Node: 4, Action: ActionSplitA, LeftID: 5, RightID: 6, Owner: 1, Feature: 7, Bin: 3, AbortLeft: 8, AbortRight: 9},
@@ -103,8 +111,8 @@ func TestEveryMessageTypeHasWireID(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if len(seen) != 22 {
-		t.Errorf("samples cover %d message IDs, protocol has 22", len(seen))
+	if len(seen) != 25 {
+		t.Errorf("samples cover %d message IDs, protocol has 25", len(seen))
 	}
 }
 

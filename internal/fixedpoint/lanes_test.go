@@ -1,0 +1,114 @@
+package fixedpoint
+
+import (
+	"math/big"
+	"testing"
+
+	"vf2boost/internal/he"
+)
+
+func TestPlanLanesGeometry(t *testing.T) {
+	// The paper-default encoding (B=16, e=8) with a unit gradient bound:
+	// offset = 16^8 = 2^32, lanes = 33+1+32 = 66 bits, so a 2048-bit
+	// modulus packs 2047/132 = 15 pairs.
+	plan, err := PlanLanes(2048, 16, 8, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Pairs != 15 || plan.LaneBits != 66 || plan.Slots() != 30 {
+		t.Fatalf("2048-bit plan: pairs=%d laneBits=%d slots=%d", plan.Pairs, plan.LaneBits, plan.Slots())
+	}
+	if plan.OffsetMan.Cmp(new(big.Int).Lsh(big.NewInt(1), 32)) != 0 {
+		t.Fatalf("offset mantissa = %v, want 2^32", plan.OffsetMan)
+	}
+	// A 256-bit modulus still fits one pair.
+	small, err := PlanLanes(256, 16, 8, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Pairs != 1 {
+		t.Fatalf("256-bit plan: pairs=%d, want 1", small.Pairs)
+	}
+	// Nothing fits a 64-bit modulus at these widths.
+	if _, err := PlanLanes(64, 16, 8, 1.0, 32); err == nil {
+		t.Fatal("expected no-pair-fits error")
+	}
+	if _, err := PlanLanes(2048, 16, 8, 0, 32); err == nil {
+		t.Fatal("expected positive-bound error")
+	}
+}
+
+func TestLaneEncodeDecodeRoundTrip(t *testing.T) {
+	s := he.NewMock(256)
+	c := NewCodec(s, WithExponents(8, 1))
+	plan, err := PlanLanes(s.Bits(), c.Base(), 8, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate a batch of signed pairs in plain lane arithmetic and
+	// check the exact integer reversal.
+	// Dyadic values with ≤ 32 fractional bits encode exactly at B=16, e=8,
+	// so the plain float sums match the lane round trip bit for bit.
+	values := [][2]float64{{0.5, 0.25}, {-0.75, 0.125}, {1.0, -1.0}, {-0.0625, 0.875}, {0, 0}}
+	gSum, hSum := new(big.Int), new(big.Int)
+	var wantG, wantH float64
+	for _, v := range values {
+		gl, hl, err := c.EncodeLanePair(v[0], v[1], plan)
+		if err != nil {
+			t.Fatalf("EncodeLanePair(%v): %v", v, err)
+		}
+		gSum.Add(gSum, gl)
+		hSum.Add(hSum, hl)
+		wantG += v[0]
+		wantH += v[1]
+	}
+	n := int64(len(values))
+	if got := plan.DecodeLaneSum(gSum, n); got != wantG {
+		t.Errorf("g sum: got %v, want %v", got, wantG)
+	}
+	if got := plan.DecodeLaneSum(hSum, n); got != wantH {
+		t.Errorf("h sum: got %v, want %v", got, wantH)
+	}
+	// Out-of-bound values must fail, not wrap.
+	if _, _, err := c.EncodeLanePair(1.5, 0, plan); err == nil {
+		t.Fatal("expected lane-bound error for g beyond the bound")
+	}
+}
+
+func TestEncryptLanesThroughBackend(t *testing.T) {
+	d, err := he.OpenDecryptor("mock-batched", he.Params{Bits: 256, Slots: 2, LaneBits: 66, Headroom: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCodec(d, WithExponents(8, 1))
+	plan, err := PlanLanes(256, c.Base(), 8, 1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, hl, err := c.EncodeLanePair(0.5, -0.25, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EncryptLanes([]*big.Int{gl, hl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Encryptions() != 1 {
+		t.Errorf("EncryptLanes counted %d encryptions, want 1", c.Stats().Encryptions())
+	}
+	lanes, err := d.DecryptVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.DecodeLaneSum(lanes[0], 1); got != 0.5 {
+		t.Errorf("g lane: got %v", got)
+	}
+	if got := plan.DecodeLaneSum(lanes[1], 1); got != -0.25 {
+		t.Errorf("h lane: got %v", got)
+	}
+	// A scalar scheme is not a backend.
+	scalar := NewCodec(he.NewMock(256))
+	if _, err := scalar.EncryptLanes([]*big.Int{gl}); err == nil {
+		t.Fatal("EncryptLanes over a scalar scheme must fail")
+	}
+}

@@ -1,0 +1,135 @@
+package he
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// scalarBackend lifts a scalar Scheme to a 1-slot Backend: the single
+// lane is the whole plaintext space, vector operations delegate 1:1 to
+// the scalar ones (same operation order, same randomness consumption), so
+// a session on a lifted backend is byte-identical to one on the bare
+// scheme.
+type scalarBackend struct {
+	Scheme
+	name string
+	half *big.Int
+}
+
+func newScalarBackend(s Scheme, name string) *scalarBackend {
+	return &scalarBackend{Scheme: s, name: name, half: schemeHalf(s)}
+}
+
+// schemeHalf pulls the precomputed N/2 out of a scheme, computing it once
+// when the scheme predates the halfer interface.
+func schemeHalf(s Scheme) *big.Int {
+	if h, ok := s.(halfer); ok {
+		return h.HalfN()
+	}
+	return new(big.Int).Rsh(s.N(), 1)
+}
+
+func (b *scalarBackend) BackendName() string { return b.name }
+func (b *scalarBackend) Slots() int          { return 1 }
+func (b *scalarBackend) LaneBits() int       { return b.Scheme.Bits() }
+func (b *scalarBackend) Headroom() int       { return 0 }
+func (b *scalarBackend) Base() Scheme        { return b.Scheme }
+func (b *scalarBackend) HalfN() *big.Int     { return b.half }
+
+func (b *scalarBackend) EncryptVec(lanes []*big.Int) (VecCiphertext, error) {
+	if len(lanes) != 1 {
+		return nil, fmt.Errorf("he: backend %s has 1 slot, got %d lanes", b.name, len(lanes))
+	}
+	if lanes[0] == nil || lanes[0].Sign() < 0 {
+		return nil, fmt.Errorf("he: backend %s: lane value must be non-negative", b.name)
+	}
+	ct, err := b.Scheme.Encrypt(lanes[0])
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *scalarBackend) EncryptZeroVec() VecCiphertext {
+	return vecCt{b.Scheme.EncryptZero()}
+}
+
+func (b *scalarBackend) AddVec(a, c VecCiphertext) VecCiphertext {
+	return vecCt{b.Scheme.Add(a.(vecCt).ct, c.(vecCt).ct)}
+}
+
+func (b *scalarBackend) AddVecInto(dst, c VecCiphertext) VecCiphertext {
+	return vecCt{b.Scheme.AddInto(dst.(vecCt).ct, c.(vecCt).ct)}
+}
+
+func (b *scalarBackend) SubVec(a, c VecCiphertext) (VecCiphertext, error) {
+	ct, err := b.Scheme.Sub(a.(vecCt).ct, c.(vecCt).ct)
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *scalarBackend) MarshalVec(v VecCiphertext) []byte {
+	return b.Scheme.Marshal(v.(vecCt).ct)
+}
+
+func (b *scalarBackend) UnmarshalVec(p []byte) (VecCiphertext, error) {
+	ct, err := b.Scheme.Unmarshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *scalarBackend) VecCiphertextBytes() int { return b.Scheme.CiphertextBytes() }
+
+// scalarDecBackend is the private side of a lifted scalar scheme. Base()
+// returns the concrete decryptor (not the embedded Scheme view of it) so
+// capability probes — EnableFastObfuscation, pool Close — find it by
+// unwrapping one layer.
+type scalarDecBackend struct {
+	scalarBackend
+	dec Decryptor
+}
+
+func newScalarDecBackend(d Decryptor, name string) *scalarDecBackend {
+	return &scalarDecBackend{scalarBackend: *newScalarBackend(publicSide(d), name), dec: d}
+}
+
+// publicSide narrows a decryptor to its encrypt-only scheme where the
+// implementation distinguishes the two (Paillier), so the lifted
+// backend's scalar operations match a passive party's bit-for-bit.
+func publicSide(d Decryptor) Scheme {
+	if p, ok := d.(interface{ PublicScheme() *PaillierScheme }); ok {
+		return p.PublicScheme()
+	}
+	return d
+}
+
+func (b *scalarDecBackend) Base() Scheme { return b.dec }
+
+func (b *scalarDecBackend) Decrypt(ct Ciphertext) (*big.Int, error) {
+	return b.dec.Decrypt(ct)
+}
+
+func (b *scalarDecBackend) DecryptVec(v VecCiphertext) ([]*big.Int, error) {
+	m, err := b.dec.Decrypt(v.(vecCt).ct)
+	if err != nil {
+		return nil, err
+	}
+	return []*big.Int{m}, nil
+}
+
+// Close releases resources held by the wrapped decryptor (the Paillier
+// obfuscator pool).
+func (b *scalarDecBackend) Close() {
+	if c, ok := b.dec.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+var (
+	_ Backend      = (*scalarBackend)(nil)
+	_ VecDecryptor = (*scalarDecBackend)(nil)
+)

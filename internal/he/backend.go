@@ -1,0 +1,280 @@
+package he
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+	"sync"
+
+	"vf2boost/internal/paillier"
+)
+
+// This file defines the slot-aware backend layer on top of the scalar
+// Scheme interface: a vector ciphertext type, the Backend/VecDecryptor
+// interfaces, and a named-backend registry so the protocol can negotiate
+// an implementation by name at session setup.
+//
+// The slot model: a Backend exposes Slots() lanes, each LaneBits() wide,
+// laid out little-endian inside one plaintext (lane i occupies bits
+// [i·LaneBits, (i+1)·LaneBits)). Lane values are non-negative and bounded
+// to LaneBits()−Headroom() bits at encryption time; the headroom absorbs
+// homomorphic additions, so up to 2^Headroom ciphertexts can be summed
+// into an accumulator before a lane could carry into its neighbour.
+// Scalar schemes lift to 1-slot backends whose single lane is the whole
+// plaintext space.
+
+// VecCiphertext is an opaque vector-ciphertext handle produced by a
+// Backend. Values from different backends must not be mixed.
+type VecCiphertext interface {
+	isVecCiphertext()
+}
+
+// vecCt is the shared vector-ciphertext wrapper: every in-tree backend
+// packs its lanes into a single scalar ciphertext of the base scheme.
+type vecCt struct {
+	ct Ciphertext
+}
+
+func (vecCt) isVecCiphertext() {}
+
+// Backend is the public (encrypting) side of a slot-aware homomorphic
+// backend. It embeds the scalar Scheme — every backend can still encrypt
+// one plaintext at a time — and adds the vector operations plus the lane
+// geometry metadata the protocol negotiates. Implementations are safe for
+// concurrent use.
+type Backend interface {
+	Scheme
+	// BackendName is the registry name ("paillier-batched"), as opposed
+	// to Name(), which stays the underlying scheme family.
+	BackendName() string
+	// Slots is the number of lanes per vector ciphertext (1 for lifted
+	// scalar schemes).
+	Slots() int
+	// LaneBits is the width of one lane in bits.
+	LaneBits() int
+	// Headroom is the number of high bits of each lane reserved for
+	// accumulation: EncryptVec rejects lane values wider than
+	// LaneBits−Headroom, so 2^Headroom such values sum without carrying
+	// into the next lane.
+	Headroom() int
+	// Base returns the wrapped scheme (or decryptor) one layer down;
+	// capability probes (fast obfuscation, pooling) unwrap through it.
+	Base() Scheme
+	// EncryptVec encrypts 1..Slots lane values, each non-negative and at
+	// most LaneBits−Headroom bits wide; lane i of the result holds
+	// lanes[i], missing trailing lanes are zero.
+	EncryptVec(lanes []*big.Int) (VecCiphertext, error)
+	// EncryptZeroVec returns the additive identity vector (all lanes 0).
+	EncryptZeroVec() VecCiphertext
+	// AddVec returns a fresh lane-wise sum.
+	AddVec(a, b VecCiphertext) VecCiphertext
+	// AddVecInto accumulates b into dst lane-wise in place where
+	// supported; callers must use the return value.
+	AddVecInto(dst, b VecCiphertext) VecCiphertext
+	// SubVec returns the lane-wise difference a−b. Like the scalar Sub it
+	// can fail on hostile (range-valid but non-invertible) input. Lanes
+	// only stay meaningful when every lane of a is at least the matching
+	// lane of b — the histogram-subtraction invariant.
+	SubVec(a, b VecCiphertext) (VecCiphertext, error)
+	// MarshalVec serializes a vector ciphertext for cross-party transfer.
+	MarshalVec(v VecCiphertext) []byte
+	// UnmarshalVec reverses MarshalVec, validating range like Unmarshal.
+	UnmarshalVec(b []byte) (VecCiphertext, error)
+	// VecCiphertextBytes is the serialized size of one vector ciphertext,
+	// used by the WAN shaper for transfer accounting.
+	VecCiphertextBytes() int
+}
+
+// VecDecryptor is the private side of a backend, held only by Party B.
+type VecDecryptor interface {
+	Backend
+	// Decrypt recovers a scalar plaintext in [0, N).
+	Decrypt(ct Ciphertext) (*big.Int, error)
+	// DecryptVec recovers all Slots lane values (non-negative, each below
+	// 2^LaneBits). It fails if the decrypted plaintext overflows the lane
+	// layout — the overflow-detection gate for accumulator misuse.
+	DecryptVec(v VecCiphertext) ([]*big.Int, error)
+}
+
+// Params carries everything a backend factory may need. Public-side
+// factories consume the negotiated key material (N, ObfBase); decryptor
+// factories generate keys from Bits. Batched backends additionally need
+// the lane geometry, which the session negotiates in MsgSetup.
+type Params struct {
+	// Bits is the modulus size for key generation (decryptor side) or the
+	// mock width (both sides).
+	Bits int
+	// PoolWorkers configures the Paillier obfuscator pool (decryptor side).
+	PoolWorkers int
+	// N is the public modulus received at session setup (public side).
+	N *big.Int
+	// ObfBase/ObfBits install a DJN fast-obfuscation base on a Paillier
+	// public scheme (public side; nil base selects baseline obfuscation).
+	ObfBase *big.Int
+	ObfBits int
+	// Slots/LaneBits/Headroom are the lane geometry for batched backends.
+	Slots    int
+	LaneBits int
+	Headroom int
+}
+
+type backendEntry struct {
+	family  string
+	batched bool
+	public  func(Params) (Backend, error)
+	decrypt func(Params) (VecDecryptor, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]backendEntry{}
+)
+
+// Register adds a named backend to the registry. family names the scalar
+// scheme the backend is built on ("paillier" or "mock"), which the config
+// layer uses for key-size and privacy validation; batched marks backends
+// with more than one slot. Duplicate names panic — registration is an
+// init-time programming act, not a runtime input.
+func Register(name, family string, batched bool,
+	public func(Params) (Backend, error),
+	decrypt func(Params) (VecDecryptor, error)) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("he: duplicate backend registration: " + name)
+	}
+	registry[name] = backendEntry{family: family, batched: batched, public: public, decrypt: decrypt}
+}
+
+// Registered reports whether a backend name is known.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Names lists the registered backend names in sorted order, for error
+// messages and CLI help.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Family returns the scalar scheme family a backend is built on, or ""
+// for unknown names.
+func Family(name string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].family
+}
+
+// Batched reports whether a backend packs more than one slot per
+// ciphertext (false for unknown names).
+func Batched(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name].batched
+}
+
+func lookup(name string) (backendEntry, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return backendEntry{}, fmt.Errorf("he: unknown backend %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// Open builds the public (encrypting) side of a named backend from the
+// negotiated parameters. Unknown names fail with the registered list.
+func Open(name string, p Params) (Backend, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.public(p)
+}
+
+// OpenDecryptor builds the private side of a named backend, generating
+// key material as needed.
+func OpenDecryptor(name string, p Params) (VecDecryptor, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.decrypt(p)
+}
+
+// paillierPublicFromParams builds the encrypt-only Paillier scheme from
+// negotiated key material, installing the fast-obfuscation base when one
+// was shipped. This is the one place scheme-specific setup lives; the
+// protocol's setup handler just calls Open.
+func paillierPublicFromParams(p Params) (*PaillierScheme, error) {
+	if p.N == nil || p.N.Sign() <= 0 {
+		return nil, fmt.Errorf("he: paillier public backend needs the modulus N")
+	}
+	s := NewPaillierPublic(paillier.NewPublicKey(p.N))
+	if p.ObfBase != nil && p.ObfBase.Sign() > 0 {
+		if err := s.SetObfuscationBase(p.ObfBase, p.ObfBits); err != nil {
+			return nil, fmt.Errorf("he: installing obfuscation base: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func init() {
+	Register("paillier", "paillier", false,
+		func(p Params) (Backend, error) {
+			s, err := paillierPublicFromParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return newScalarBackend(s, "paillier"), nil
+		},
+		func(p Params) (VecDecryptor, error) {
+			d, err := NewPaillier(p.Bits, p.PoolWorkers)
+			if err != nil {
+				return nil, err
+			}
+			return newScalarDecBackend(d, "paillier"), nil
+		})
+	Register("mock", "mock", false,
+		func(p Params) (Backend, error) {
+			return newScalarBackend(NewMock(p.Bits), "mock"), nil
+		},
+		func(p Params) (VecDecryptor, error) {
+			return newScalarDecBackend(NewMock(p.Bits), "mock"), nil
+		})
+	Register("paillier-batched", "paillier", true,
+		func(p Params) (Backend, error) {
+			s, err := paillierPublicFromParams(p)
+			if err != nil {
+				return nil, err
+			}
+			return NewBatched(s, "paillier-batched", p.Slots, p.LaneBits, p.Headroom)
+		},
+		func(p Params) (VecDecryptor, error) {
+			d, err := NewPaillier(p.Bits, p.PoolWorkers)
+			if err != nil {
+				return nil, err
+			}
+			return NewBatchedDecryptor(d, "paillier-batched", p.Slots, p.LaneBits, p.Headroom)
+		})
+	Register("mock-batched", "mock", true,
+		func(p Params) (Backend, error) {
+			return NewBatched(NewMock(p.Bits), "mock-batched", p.Slots, p.LaneBits, p.Headroom)
+		},
+		func(p Params) (VecDecryptor, error) {
+			return NewBatchedDecryptor(NewMock(p.Bits), "mock-batched", p.Slots, p.LaneBits, p.Headroom)
+		})
+}

@@ -1,0 +1,171 @@
+package he
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// batchedBackend is the BatchCrypt-style lane-packed backend: Slots lane
+// values are packed little-endian into one plaintext of the base scheme
+// (lane i at bit offset i·LaneBits), so one Encrypt carries Slots values
+// and one homomorphic Add sums all lanes at once. EncryptVec bounds every
+// lane to LaneBits−Headroom bits, so up to 2^Headroom ciphertexts
+// accumulate before any lane could carry into its neighbour; DecryptVec
+// rejects plaintexts that overflow the lane layout.
+type batchedBackend struct {
+	Scheme
+	name     string
+	slots    int
+	laneBits int
+	headroom int
+	half     *big.Int
+	laneMask *big.Int // 2^laneBits − 1
+}
+
+// NewBatched wraps a scalar scheme as a lane-packed backend. The packed
+// plaintext must stay strictly below the modulus for every reachable
+// accumulator value, so slots·laneBits is capped at Bits−1 (the modulus
+// has its top bit set, so 2^(Bits−1) ≤ N).
+func NewBatched(s Scheme, name string, slots, laneBits, headroom int) (Backend, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("he: backend %s: slots must be >= 1, got %d", name, slots)
+	}
+	if headroom < 0 || laneBits <= headroom {
+		return nil, fmt.Errorf("he: backend %s: need laneBits > headroom >= 0, got laneBits=%d headroom=%d",
+			name, laneBits, headroom)
+	}
+	if slots*laneBits > s.Bits()-1 {
+		return nil, fmt.Errorf("he: backend %s: %d lanes of %d bits exceed the %d-bit plaintext space",
+			name, slots, laneBits, s.Bits())
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), uint(laneBits))
+	mask.Sub(mask, big.NewInt(1))
+	return &batchedBackend{
+		Scheme:   s,
+		name:     name,
+		slots:    slots,
+		laneBits: laneBits,
+		headroom: headroom,
+		half:     schemeHalf(s),
+		laneMask: mask,
+	}, nil
+}
+
+func (b *batchedBackend) BackendName() string { return b.name }
+func (b *batchedBackend) Slots() int          { return b.slots }
+func (b *batchedBackend) LaneBits() int       { return b.laneBits }
+func (b *batchedBackend) Headroom() int       { return b.headroom }
+func (b *batchedBackend) Base() Scheme        { return b.Scheme }
+func (b *batchedBackend) HalfN() *big.Int     { return b.half }
+
+func (b *batchedBackend) EncryptVec(lanes []*big.Int) (VecCiphertext, error) {
+	if len(lanes) < 1 || len(lanes) > b.slots {
+		return nil, fmt.Errorf("he: backend %s: got %d lanes, capacity %d", b.name, len(lanes), b.slots)
+	}
+	m := new(big.Int)
+	for i := len(lanes) - 1; i >= 0; i-- {
+		v := lanes[i]
+		if v == nil || v.Sign() < 0 {
+			return nil, fmt.Errorf("he: backend %s: lane %d must be non-negative", b.name, i)
+		}
+		if v.BitLen() > b.laneBits-b.headroom {
+			return nil, fmt.Errorf("he: backend %s: lane %d value is %d bits, max %d (%d-bit lane, %d headroom)",
+				b.name, i, v.BitLen(), b.laneBits-b.headroom, b.laneBits, b.headroom)
+		}
+		m.Lsh(m, uint(b.laneBits))
+		m.Or(m, v)
+	}
+	ct, err := b.Scheme.Encrypt(m)
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *batchedBackend) EncryptZeroVec() VecCiphertext {
+	return vecCt{b.Scheme.EncryptZero()}
+}
+
+func (b *batchedBackend) AddVec(a, c VecCiphertext) VecCiphertext {
+	return vecCt{b.Scheme.Add(a.(vecCt).ct, c.(vecCt).ct)}
+}
+
+func (b *batchedBackend) AddVecInto(dst, c VecCiphertext) VecCiphertext {
+	return vecCt{b.Scheme.AddInto(dst.(vecCt).ct, c.(vecCt).ct)}
+}
+
+func (b *batchedBackend) SubVec(a, c VecCiphertext) (VecCiphertext, error) {
+	ct, err := b.Scheme.Sub(a.(vecCt).ct, c.(vecCt).ct)
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *batchedBackend) MarshalVec(v VecCiphertext) []byte {
+	return b.Scheme.Marshal(v.(vecCt).ct)
+}
+
+func (b *batchedBackend) UnmarshalVec(p []byte) (VecCiphertext, error) {
+	ct, err := b.Scheme.Unmarshal(p)
+	if err != nil {
+		return nil, err
+	}
+	return vecCt{ct}, nil
+}
+
+func (b *batchedBackend) VecCiphertextBytes() int { return b.Scheme.CiphertextBytes() }
+
+// batchedDecryptor is the private side of the lane-packed backend.
+type batchedDecryptor struct {
+	batchedBackend
+	dec Decryptor
+}
+
+// NewBatchedDecryptor wraps a decryptor as a lane-packed backend with the
+// same geometry rules as NewBatched. The decryptor itself backs the
+// encrypting operations, so Party B's batched encryptions keep the pooled
+// obfuscator path a bare Paillier public scheme lacks.
+func NewBatchedDecryptor(d Decryptor, name string, slots, laneBits, headroom int) (VecDecryptor, error) {
+	b, err := NewBatched(d, name, slots, laneBits, headroom)
+	if err != nil {
+		return nil, err
+	}
+	return &batchedDecryptor{batchedBackend: *b.(*batchedBackend), dec: d}, nil
+}
+
+func (d *batchedDecryptor) Base() Scheme { return d.dec }
+
+func (d *batchedDecryptor) Decrypt(ct Ciphertext) (*big.Int, error) {
+	return d.dec.Decrypt(ct)
+}
+
+func (d *batchedDecryptor) DecryptVec(v VecCiphertext) ([]*big.Int, error) {
+	m, err := d.dec.Decrypt(v.(vecCt).ct)
+	if err != nil {
+		return nil, err
+	}
+	if m.BitLen() > d.slots*d.laneBits {
+		return nil, fmt.Errorf("he: backend %s: decrypted plaintext is %d bits, lane layout holds %d — accumulator overflow or hostile ciphertext",
+			d.name, m.BitLen(), d.slots*d.laneBits)
+	}
+	lanes := make([]*big.Int, d.slots)
+	rest := new(big.Int).Set(m)
+	for i := range lanes {
+		lanes[i] = new(big.Int).And(rest, d.laneMask)
+		rest.Rsh(rest, uint(d.laneBits))
+	}
+	return lanes, nil
+}
+
+// Close releases resources held by the wrapped decryptor.
+func (d *batchedDecryptor) Close() {
+	if c, ok := d.dec.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+var (
+	_ Backend      = (*batchedBackend)(nil)
+	_ VecDecryptor = (*batchedDecryptor)(nil)
+)

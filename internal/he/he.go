@@ -64,10 +64,24 @@ type Decryptor interface {
 	Decrypt(ct Ciphertext) (*big.Int, error)
 }
 
+// halfer is implemented by schemes that precompute N/2 at construction.
+// Signed sits in the decrypt hot loop (every decoded histogram bin goes
+// through it), so the threshold must not be reallocated per call.
+type halfer interface {
+	HalfN() *big.Int
+}
+
 // Signed maps a plaintext in [0, N) to its signed representative in
-// (-N/2, N/2], the convention used to encode negative values.
+// (-N/2, N/2], the convention used to encode negative values. Schemes
+// that expose a precomputed N/2 (all in-tree schemes do) make the
+// non-negative path allocation-free.
 func Signed(s Scheme, m *big.Int) *big.Int {
-	half := new(big.Int).Rsh(s.N(), 1)
+	var half *big.Int
+	if h, ok := s.(halfer); ok {
+		half = h.HalfN()
+	} else {
+		half = new(big.Int).Rsh(s.N(), 1)
+	}
 	if m.Cmp(half) > 0 {
 		return new(big.Int).Sub(m, s.N())
 	}

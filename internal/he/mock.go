@@ -21,6 +21,7 @@ func (mockCt) isCiphertext() {}
 type MockScheme struct {
 	n    *big.Int
 	bits int
+	half *big.Int
 }
 
 // NewMock creates a mock scheme whose plaintext space is [0, 2^bits).
@@ -30,15 +31,20 @@ func NewMock(bits int) *MockScheme {
 	if bits < 64 {
 		bits = 64
 	}
+	n := new(big.Int).Lsh(big.NewInt(1), uint(bits))
 	return &MockScheme{
-		n:    new(big.Int).Lsh(big.NewInt(1), uint(bits)),
+		n:    n,
 		bits: bits,
+		half: new(big.Int).Rsh(n, 1),
 	}
 }
 
 func (s *MockScheme) Name() string { return "mock" }
 func (s *MockScheme) N() *big.Int  { return s.n }
 func (s *MockScheme) Bits() int    { return s.bits }
+
+// HalfN returns the precomputed n/2 threshold used by Signed.
+func (s *MockScheme) HalfN() *big.Int { return s.half }
 
 func (s *MockScheme) Encrypt(m *big.Int) (Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(s.n) >= 0 {

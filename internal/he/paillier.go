@@ -20,6 +20,9 @@ func (paillierCt) isCiphertext() {}
 type PaillierScheme struct {
 	pk   *paillier.PublicKey
 	pool *paillier.ObfuscatorPool
+	// half is n/2, precomputed so Signed never allocates the threshold
+	// in the decrypt hot loop.
+	half *big.Int
 }
 
 // PaillierDecryptor is the Scheme plus the private key; only Party B holds
@@ -45,13 +48,14 @@ func NewPaillier(bits, poolWorkers int) (*PaillierDecryptor, error) {
 // NewPaillierPublic wraps a public key for a passive party, which can
 // encrypt and operate homomorphically but never decrypt.
 func NewPaillierPublic(pk *paillier.PublicKey) *PaillierScheme {
-	return &PaillierScheme{pk: pk}
+	return &PaillierScheme{pk: pk, half: new(big.Int).Rsh(pk.N, 1)}
 }
 
 // NewPaillierFromKey wraps an existing private key.
 func NewPaillierFromKey(priv *paillier.PrivateKey, poolWorkers int) *PaillierDecryptor {
+	pk := priv.Public()
 	d := &PaillierDecryptor{
-		PaillierScheme: PaillierScheme{pk: priv.Public()},
+		PaillierScheme: PaillierScheme{pk: pk, half: new(big.Int).Rsh(pk.N, 1)},
 		priv:           priv,
 		poolWorkers:    poolWorkers,
 	}
@@ -134,6 +138,14 @@ func (d *PaillierDecryptor) Close() {
 func (s *PaillierScheme) Name() string { return "paillier" }
 func (s *PaillierScheme) N() *big.Int  { return s.pk.N }
 func (s *PaillierScheme) Bits() int    { return s.pk.Bits() }
+
+// HalfN returns the precomputed n/2 threshold used by Signed.
+func (s *PaillierScheme) HalfN() *big.Int {
+	if s.half != nil {
+		return s.half
+	}
+	return new(big.Int).Rsh(s.pk.N, 1)
+}
 
 func (s *PaillierScheme) Encrypt(m *big.Int) (Ciphertext, error) {
 	if s.pool != nil {

@@ -39,8 +39,19 @@ go test -race -timeout 120s \
   -run 'TestServeChaosHTTPNeverHangs|TestServeHardCutRedialRecovery|TestServeBreakerTimeoutTripAndRecover|TestBreaker|TestBatcherQueueBound' \
   ./internal/serve
 
+echo "== HE backend matrix (conformance across registered backends, vec protocol, race-enabled) =="
+# Every registered backend through the shared conformance suite, then the
+# vectorized protocol parity/rejection tests — the lane-packed path
+# shards histogram accumulation across goroutines, so this leg runs
+# under the race detector on purpose.
+go test -race -count=1 -run 'TestBackendConformance|TestVec|TestScalarBackendByteIdentity|TestUnknownBackendRejected|TestPeerBackendRejection' \
+  ./internal/he ./internal/core
+
 echo "== fuzz smoke (wire decode) =="
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
+
+echo "== fuzz smoke (vector ciphertext unmarshal: arbitrary bytes must never panic) =="
+go test -run='^$' -fuzz=FuzzVecUnmarshal -fuzztime=10s ./internal/he
 
 echo "== fuzz smoke (ciphertext ops: arbitrary bytes must never panic) =="
 go test -run='^$' -fuzz=FuzzCiphertextOps -fuzztime=10s ./internal/paillier
@@ -52,6 +63,9 @@ scripts/bench.sh -short -out "$bench_json" >/dev/null 2>&1
 go run ./cmd/benchfmt -check "$bench_json"
 if [ -f BENCH_crypto.json ]; then
   go run ./cmd/benchfmt -check BENCH_crypto.json
+fi
+if [ -f BENCH_he.json ]; then
+  go run ./cmd/benchfmt -check BENCH_he.json
 fi
 
 echo "== ci ok =="
