@@ -154,6 +154,10 @@ func stripProcSuffix(name string) string {
 //     acceptance gate wants ≥8 at 2048-bit).
 //   - he_round_speedup/bits=N — scalar versus lane-packed wall time for
 //     the same round.
+//   - objective_amortization/k=N — cipher ops charged per round per
+//     class tree, binary reference versus a k-class round: a k-class
+//     round ships one shared encrypted pass and root decode, so the
+//     ratio must exceed 1 (sub-linear cipher cost in k).
 func deriveSpeedups(benches []Benchmark) map[string]float64 {
 	const (
 		basePrefix = "BenchmarkObfuscatorBaseline/"
@@ -203,6 +207,23 @@ func deriveSpeedups(benches []Benchmark) map[string]float64 {
 		}
 		if r.scalarNs > 0 && r.packedNs > 0 {
 			derived["he_round_speedup/"+size] = r.scalarNs / r.packedNs
+		}
+	}
+
+	const objRound = "BenchmarkObjectiveRound/"
+	objOps := map[string]float64{} // "k=N/bits=M" -> cipherops/round/class
+	for _, b := range benches {
+		if s, ok := strings.CutPrefix(b.Name, objRound); ok {
+			objOps[s] = b.Metrics["cipherops/round/class"]
+		}
+	}
+	for key, ops := range objOps {
+		kPart, bitsPart, ok := strings.Cut(key, "/")
+		if !ok || kPart == "k=1" || ops <= 0 {
+			continue
+		}
+		if ref := objOps["k=1/"+bitsPart]; ref > 0 {
+			derived["objective_amortization/"+kPart] = ref / ops
 		}
 	}
 

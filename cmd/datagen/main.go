@@ -41,8 +41,21 @@ func main() {
 		out     = flag.String("out", "data.libsvm", "output path (or base path with -split)")
 		split   = flag.String("split", "", "comma-separated per-party feature counts; last party keeps labels")
 		stream  = flag.Bool("stream", false, "generate rows straight to the writer without materializing the dataset")
+		classes = flag.Int("classes", 0, "generate k-class labels instead of binary (dense features; for -objective multiclass:k)")
+		rankQ   = flag.Int("rank-groups", 0, "generate a ranking dataset with this many query groups (qid:N tokens; for -objective ranking)")
+		rankQSz = flag.Int("group-size", 8, "documents per query group (with -rank-groups)")
 	)
 	flag.Parse()
+
+	if *classes >= 2 || *rankQ > 0 {
+		if *stream || *preset != "" {
+			log.Fatal("-classes/-rank-groups are custom-mode only (no -stream, no -preset)")
+		}
+		if err := genObjective(*classes, *rankQ, *rankQSz, *rows, *cols, *noise, *seed, *out, *split); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var opts dataset.GenOptions
 	var counts []int
@@ -107,6 +120,60 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d x %d (labels: %v)\n", path, p.Rows(), p.Cols(), p.Labels != nil)
 	}
+}
+
+// genObjective writes a multiclass or ranking dataset, optionally split
+// vertically. Ranking files carry qid:N group tokens; with -split only
+// the label-holding party's file gets them (passive shards are feature
+// slices with neither labels nor groups).
+func genObjective(classes, rankQ, groupSize, rows, cols int, noise float64, seed int64, out, split string) error {
+	var d *dataset.Dataset
+	var groups []int
+	var err error
+	if classes >= 2 {
+		d, err = dataset.GenerateMulticlass(dataset.MultiGenOptions{
+			Rows: rows, Cols: cols, Classes: classes, NoiseProb: noise, Seed: seed,
+		})
+	} else {
+		d, groups, err = dataset.GenerateRanking(dataset.RankGenOptions{
+			Groups: rankQ, GroupSize: groupSize, Cols: cols, Noise: noise, Seed: seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	save := func(path string, p *dataset.Dataset) error {
+		if groups != nil && p.Labels != nil {
+			if err := dataset.SaveLibSVMRankingFile(path, p, groups); err != nil {
+				return err
+			}
+		} else if err := dataset.SaveLibSVMFile(path, p); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d x %d (labels: %v)\n", path, p.Rows(), p.Cols(), p.Labels != nil)
+		return nil
+	}
+	if split == "" {
+		return save(out, d)
+	}
+	var counts []int
+	for _, f := range strings.Split(split, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c <= 0 {
+			return fmt.Errorf("bad split %q", split)
+		}
+		counts = append(counts, c)
+	}
+	parts, err := d.VerticalSplit(counts, len(counts)-1)
+	if err != nil {
+		return err
+	}
+	for i, p := range parts {
+		if err := save(partyPath(out, i, len(parts)), p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // partyPath names party i's output file: base.partyA<i>.libsvm for

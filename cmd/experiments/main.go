@@ -31,7 +31,9 @@ func main() {
 		keyBits = flag.Int("keybits", 512, "Paillier modulus size S")
 		trees   = flag.Int("trees", 0, "override tree count (0 = per-experiment default)")
 		oocRows = flag.Int("ooc-rows", 0, "override oocscale row count (0 = default)")
-		jsonOut = flag.String("json", "", "write oocscale results to this JSON file (BENCH_ooc.json schema)")
+		jsonOut = flag.String("json", "", "write oocscale/objscale results to this JSON file")
+		objRows = flag.Int("obj-rows", 0, "override objscale row count (0 = default)")
+		backend = flag.String("backend", "", "override objscale HE backend (default paillier-batched)")
 	)
 	flag.Parse()
 
@@ -211,7 +213,45 @@ func main() {
 		})
 	}
 
+	// objscale is opt-in (not part of "all"): the class-count sweep over
+	// real batched Paillier takes minutes at the default key size.
+	if want["objscale"] {
+		do("objscale", func() error {
+			tc := experiments.DefaultObjScale()
+			if *objRows > 0 {
+				tc.Rows = *objRows
+			}
+			if *trees > 0 {
+				tc.Trees = *trees
+			}
+			if *backend != "" {
+				tc.Backend = *backend
+			}
+			if *keyBits != 512 { // 512 is this command's generic default
+				tc.KeyBits = *keyBits
+			}
+			rows, rank, err := experiments.ObjScale(tc)
+			if err != nil {
+				return err
+			}
+			experiments.PrintObjScale(os.Stdout, tc, rows, rank)
+			if *jsonOut != "" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				date := time.Now().UTC().Format("2006-01-02")
+				if err := experiments.WriteObjScaleJSON(f, date, tc, rows, rank); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonOut)
+			}
+			return nil
+		})
+	}
+
 	if ran == 0 {
-		log.Fatalf("unknown experiment selection %q; valid: fig7,table1,table2,fig10,table4,table5,table6,gantt,ablation,oocscale,all", *run)
+		log.Fatalf("unknown experiment selection %q; valid: fig7,table1,table2,fig10,table4,table5,table6,gantt,ablation,oocscale,objscale,all", *run)
 	}
 }

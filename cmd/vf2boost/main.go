@@ -40,6 +40,7 @@ import (
 	"vf2boost/internal/he"
 	"vf2boost/internal/metrics"
 	"vf2boost/internal/mq"
+	"vf2boost/internal/objective"
 	"vf2boost/internal/ooc"
 	"vf2boost/internal/serve"
 )
@@ -93,6 +94,7 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 	fastObf := fs.Bool("fastobf", true, "DJN fast obfuscation: h^x obfuscators from fixed-base tables (off under -baseline)")
 	seed := fs.Int64("seed", 1, "seed for exponent obfuscation")
 	codec := fs.String("codec", "", "wire codec: binary (default) or gob")
+	objSpec := fs.String("objective", "binary", "training objective: "+strings.Join(objective.Names(), ", ")+" (e.g. multiclass:3, ranking:10)")
 	return func() core.Config {
 		cfg := core.DefaultConfig()
 		if *baseline {
@@ -129,8 +131,57 @@ func trainFlags(fs *flag.FlagSet) func() core.Config {
 		cfg.KeyBits = *keyBits
 		cfg.Seed = *seed
 		cfg.WireCodec = *codec
+		if *objSpec != "" && *objSpec != "binary" {
+			// Same fail-fast contract as -he: an unknown objective dies
+			// before any data loads, listing what this build registers.
+			o, err := objective.New(*objSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Objective = o
+		}
 		return cfg
 	}
+}
+
+// isRanking reports whether the configured objective couples gradients
+// across query groups, which changes how the labeled shard is read
+// (qid:N tokens) and which metric headlines the run.
+func isRanking(cfg core.Config) bool {
+	return cfg.Objective != nil && strings.HasPrefix(cfg.Objective.Name(), "ranking")
+}
+
+// loadLabeledData reads the labeled training shard under the configured
+// objective: ranking reads qid:N query groups and installs them on the
+// objective; everything else is a plain LibSVM load.
+func loadLabeledData(path string, cfg core.Config) *dataset.Dataset {
+	if !isRanking(cfg) {
+		return loadData(path)
+	}
+	d, groups, err := dataset.LoadLibSVMRankingFile(path, 0)
+	if err != nil {
+		log.Fatalf("loading %s: %v", path, err)
+	}
+	if err := cfg.Objective.(objective.GroupAware).SetGroups(groups); err != nil {
+		log.Fatalf("loading %s: %v", path, err)
+	}
+	return d
+}
+
+// reportObjectiveMetric prints the objective's headline metric (mlogloss,
+// ndcg@k, ...) plus accuracy for multiclass, over a k×n margin matrix.
+func reportObjectiveMetric(cfg core.Config, labels []float64, margins [][]float64) {
+	score, err := cfg.Objective.Eval(labels, margins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line := fmt.Sprintf("  train %s %.4f", cfg.Objective.EvalName(), score)
+	if cfg.Objective.NumOutputs() > 1 {
+		if acc, aerr := metrics.MulticlassAccuracy(margins, labels); aerr == nil {
+			line += fmt.Sprintf(", accuracy %.4f", acc)
+		}
+	}
+	fmt.Println(line)
 }
 
 // oocFlags registers the out-of-core flags shared by the training
@@ -239,6 +290,9 @@ func cmdLocal(args []string) {
 	p.Workers = cfg.Workers
 
 	if oc := oocFn(); oc.dir != "" {
+		if cfg.Objective != nil {
+			log.Fatalf("local: -objective %s is not supported with -ooc (the streaming trainer is single-output)", cfg.Objective.Name())
+		}
 		// Out-of-core: the raw rows never materialize, so the train-AUC
 		// report (which needs raw feature values) is skipped.
 		src, err := ooc.NewLibSVMSource(*data, 0)
@@ -265,8 +319,22 @@ func cmdLocal(args []string) {
 		return
 	}
 
-	d := loadData(*data)
+	d := loadLabeledData(*data, cfg)
 	start := time.Now()
+	if cfg.Objective != nil {
+		m, err := gbdt.TrainMulti(d, cfg.Objective, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %d rounds (%d trees) in %v\n",
+			cfg.Trees, len(m.Trees), time.Since(start).Round(time.Millisecond))
+		reportObjectiveMetric(cfg, d.Labels, m.PredictAllOutputs(d))
+		if err := m.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model written to %s\n", *out)
+		return
+	}
 	m, err := gbdt.Train(d, p)
 	if err != nil {
 		log.Fatal(err)
@@ -324,6 +392,9 @@ func cmdSim(args []string) {
 	var trainLabels []float64
 	var parts []*dataset.Dataset
 	if oc := oocFn(); oc.dir != "" {
+		if cfg.Objective != nil {
+			log.Fatalf("sim: -objective %s is not supported with -ooc (view sessions are single-output)", cfg.Objective.Name())
+		}
 		// Out-of-core sim: every party trains against its own disk-backed
 		// store, built from a column slice of the joined row stream — the
 		// joined dataset is never materialized.
@@ -360,7 +431,7 @@ func cmdSim(args []string) {
 		}
 		sess, err = core.NewViewSession(views, trainLabels, cfg, opts...)
 	} else {
-		d := loadData(*data)
+		d := loadLabeledData(*data, cfg)
 		parts, err = d.VerticalSplit(parseSplit(*split), len(parseSplit(*split))-1)
 		if err != nil {
 			log.Fatal(err)
@@ -380,7 +451,13 @@ func cmdSim(args []string) {
 	st := sess.Stats()
 	fmt.Printf("federated training: %v (%v/tree)\n", elapsed.Round(time.Millisecond),
 		(elapsed / time.Duration(cfg.Trees)).Round(time.Millisecond))
-	if parts != nil {
+	if parts != nil && cfg.Objective != nil {
+		margins, perr := m.PredictAllOutputs(parts)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		reportObjectiveMetric(cfg, trainLabels, margins)
+	} else if parts != nil {
 		// Train-AUC needs raw feature values, which the out-of-core path
 		// never materializes — only reported for the in-memory path.
 		margins, perr := m.PredictAll(parts)
@@ -517,6 +594,9 @@ func cmdParty(args []string) {
 	var viewLabels []float64
 	var d *dataset.Dataset
 	if oc.dir != "" {
+		if cfg.Objective != nil {
+			log.Fatalf("party: -objective %s is not supported with -ooc (view sessions are single-output)", cfg.Objective.Name())
+		}
 		src, err := ooc.NewLibSVMSource(*data, 0)
 		if err != nil {
 			log.Fatal(err)
@@ -529,6 +609,10 @@ func cmdParty(args []string) {
 				log.Fatal(err)
 			}
 		}
+	} else if *role == "b" {
+		// Party B holds the labels; under a ranking objective its shard
+		// carries qid:N group markers that must reach the objective.
+		d = loadLabeledData(*data, cfg)
 	} else {
 		d = loadData(*data)
 	}

@@ -47,6 +47,7 @@ import (
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
+	"vf2boost/internal/objective"
 	"vf2boost/internal/wire"
 )
 
@@ -67,8 +68,17 @@ type Config struct {
 	MaxBins      int
 	// Split holds λ, γ and the child constraints.
 	Split gbdt.SplitParams
-	// Loss is the training objective.
+	// Loss is the scalar training objective of the classic single-output
+	// protocol. It is kept for configuration compatibility (checkpoint
+	// fingerprints name its type); Objective below supersedes it.
 	Loss gbdt.Loss
+	// Objective is the multi-output training objective from the
+	// internal/objective registry. Nil lifts Loss through the compat shim
+	// (binary for logistic, identity/RMSE otherwise), which reproduces
+	// the pre-objective protocol exactly. An objective with k > 1 outputs
+	// trains k trees per boosting round (Trees rounds, Trees·k trees
+	// total), all sharing one gradient encryption pass per round.
+	Objective objective.Objective
 	// Workers is the per-party parallelism (the paper's per-party worker
 	// count, Table 5); <= 0 uses GOMAXPROCS.
 	Workers int
@@ -230,6 +240,20 @@ func (c *Config) normalize() error {
 	if c.Loss == nil {
 		c.Loss = gbdt.LogisticLoss{}
 	}
+	if c.Objective == nil {
+		c.Objective = objective.FromLoss(c.Loss)
+	} else if lw, ok := c.Objective.(interface{ Loss() gbdt.Loss }); ok {
+		// Keep the scalar loss consistent with a shim-wrapped objective so
+		// fingerprints and bound queries agree.
+		c.Loss = lw.Loss()
+	}
+	if c.Objective.NumOutputs() < 1 {
+		return fmt.Errorf("core: objective %s has %d outputs", c.Objective.Name(), c.Objective.NumOutputs())
+	}
+	if c.Objective.NumOutputs() > 1 && !objective.Registered(baseName(c.Objective.Name())) {
+		return fmt.Errorf("core: objective %q is not in the registry (registered: %s)",
+			c.Objective.Name(), strings.Join(objective.Names(), ", "))
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -259,10 +283,36 @@ const laneHeadroom = 32
 // stream and histogram accumulation.
 func (c *Config) vecMode() bool { return he.Batched(c.HEBackend) }
 
+// outputs is k, the number of trees per boosting round; 1 for every
+// single-output objective.
+func (c *Config) outputs() int {
+	if c.Objective == nil {
+		return 1
+	}
+	return c.Objective.NumOutputs()
+}
+
+// gradBound is the objective's gradient bound, which drives both the
+// histogram-packing shift and the lane-plan offset.
+func (c *Config) gradBound() float64 {
+	if c.Objective != nil {
+		return c.Objective.GradBound()
+	}
+	return c.Loss.GradBound()
+}
+
+// baseName strips the ":arg" suffix of an objective spec.
+func baseName(spec string) string {
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		return spec[:i]
+	}
+	return spec
+}
+
 // lanePlanFor derives the lane geometry the session negotiates in
 // MsgSetup for a batched backend over a modulus of the given width.
 func (c *Config) lanePlanFor(schemeBits int) (fixedpoint.LanePlan, error) {
-	plan, err := fixedpoint.PlanLanes(schemeBits, fixedpoint.DefaultBase, c.BaseExp, c.Loss.GradBound(), laneHeadroom)
+	plan, err := fixedpoint.PlanLanes(schemeBits, fixedpoint.DefaultBase, c.BaseExp, c.gradBound(), laneHeadroom)
 	if err != nil {
 		return fixedpoint.LanePlan{}, fmt.Errorf("core: backend %q: %w", c.HEBackend, err)
 	}

@@ -43,6 +43,15 @@ type MsgSetup struct {
 	Slots    int
 	LaneBits int
 	Headroom int
+	// Objective, when non-empty, names the negotiated multi-output
+	// training objective ("multiclass:3", "ranking:10", "squared") and
+	// Outputs its per-round tree count k; the passive party must resolve
+	// the name in its own objective registry or reject the session before
+	// accepting any ciphertext. Empty means the default binary objective
+	// (k = 1) — B leaves it empty for binary sessions, so their setup
+	// frame stays byte-identical to the pre-objective wire format.
+	Objective string
+	Outputs   int
 }
 
 // MsgReady is a passive party's answer to MsgSetup: its shape, which B
@@ -76,6 +85,14 @@ type MsgGradBatch struct {
 	GExp  []int16
 	HExp  []int16
 	Last  bool
+	// Class is the output index the pairs belong to in a multi-output
+	// round (0 in binary sessions). A round of a k-output objective ships
+	// k class streams back-to-back under the same shipment tree ID; Tree
+	// stays the round's first global tree index (round·k) and the class
+	// c histogram round runs under tree round·k+c. Class 0 encodes under
+	// the original frame layout (the field decodes to its zero value), so
+	// binary sessions stay byte-identical on the wire.
+	Class int
 }
 
 // MsgVecGradBatch is the vectorized counterpart of MsgGradBatch: each

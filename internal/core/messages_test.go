@@ -111,6 +111,48 @@ func TestLinkRoundTripAllMessageTypes(t *testing.T) {
 	}
 }
 
+// TestLinkRoundTripMultiOutputFrames covers the append-only wire
+// revisions carrying the objective negotiation (setup v4) and per-class
+// gradient streams (grad batch v2). A zero Class must still select the
+// historical frame so binary sessions stay byte-identical on the wire.
+func TestLinkRoundTripMultiOutputFrames(t *testing.T) {
+	l := loopbackLink()
+
+	setup := MsgSetup{
+		Scheme: SchemeMock, Bits: 512, BaseExp: 8, ExpSpread: 4,
+		Objective: "multiclass:3", Outputs: 3,
+	}
+	if err := l.send(setup); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(MsgSetup)
+	if gs.Objective != "multiclass:3" || gs.Outputs != 3 || gs.Scheme != SchemeMock || gs.Bits != 512 {
+		t.Errorf("MsgSetup v4 round trip: %+v", gs)
+	}
+
+	for _, class := range []int{0, 2} {
+		gb := MsgGradBatch{
+			Tree: 6, Class: class, Start: 5, Last: true,
+			G: [][]byte{{9}}, H: [][]byte{{8}}, GExp: []int16{8}, HExp: []int16{9},
+		}
+		if err := l.send(gb); err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg := got.(MsgGradBatch)
+		if gg.Class != class || gg.Tree != 6 || gg.Start != 5 || !gg.Last || gg.GExp[0] != 8 {
+			t.Errorf("MsgGradBatch class %d round trip: %+v", class, gg)
+		}
+	}
+}
+
 func TestPassivePartyRejectsUnknownMessageOrder(t *testing.T) {
 	_, parts := twoPartyData(t, 30, 2, 2, 1, true, 71)
 	l, feed := drivenLink()

@@ -66,14 +66,31 @@ type FederatedModel struct {
 	// SplitsByParty counts confirmed splits per party, the "Ratio of
 	// Splits in Party B" column of Table 2.
 	SplitsByParty []int `json:"splits_by_party"`
+	// NumOutputs is the objective's output count k (omitted = 1). Trees
+	// are scheduled round-robin: tree t scores class t mod k.
+	NumOutputs int `json:"num_outputs,omitempty"`
+	// Objective names the training objective when it is not the binary
+	// default (e.g. "multiclass:3", "ranking:10").
+	Objective string `json:"objective,omitempty"`
 }
 
 // NumParties returns the party count.
 func (m *FederatedModel) NumParties() int { return len(m.Parties) }
 
+// Outputs returns the model's output count (1 for binary/regression).
+func (m *FederatedModel) Outputs() int {
+	if m.NumOutputs > 1 {
+		return m.NumOutputs
+	}
+	return 1
+}
+
 // PredictMargin routes row i of the vertically-partitioned instance (one
 // dataset per party, aligned rows) through every tree.
 func (m *FederatedModel) PredictMargin(parts []*dataset.Dataset, i int) (float64, error) {
+	if k := m.Outputs(); k > 1 {
+		return 0, fmt.Errorf("core: model has %d outputs; use PredictAllOutputs", k)
+	}
 	if len(parts) != len(m.Parties) {
 		return 0, fmt.Errorf("core: model has %d parties, got %d datasets", len(m.Parties), len(parts))
 	}
@@ -137,6 +154,9 @@ func (m *FederatedModel) PredictAll(parts []*dataset.Dataset) ([]float64, error)
 // how the loss-vs-time curves of Figure 10 are reconstructed after
 // training (per-tree wall times are recorded by the session).
 func (m *FederatedModel) PredictAllPrefix(parts []*dataset.Dataset, k int) ([]float64, error) {
+	if o := m.Outputs(); o > 1 {
+		return nil, fmt.Errorf("core: model has %d outputs; use PredictAllOutputs", o)
+	}
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("core: no datasets")
 	}
@@ -163,6 +183,44 @@ func (m *FederatedModel) PredictAllPrefix(parts []*dataset.Dataset, k int) ([]fl
 			s += m.LearningRate * w
 		}
 		out[i] = s
+	}
+	return out, nil
+}
+
+// PredictAllOutputs returns the per-class margin matrix ([class][row])
+// of a multi-output model: tree t contributes to class t mod k, with
+// BaseScore added to every class. It also serves single-output models
+// (the matrix has one row).
+func (m *FederatedModel) PredictAllOutputs(parts []*dataset.Dataset) ([][]float64, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: no datasets")
+	}
+	if len(parts) != len(m.Parties) {
+		return nil, fmt.Errorf("core: model has %d parties, got %d datasets", len(m.Parties), len(parts))
+	}
+	n := parts[0].Rows()
+	for _, p := range parts {
+		if p.Rows() != n {
+			return nil, fmt.Errorf("core: row mismatch across parties")
+		}
+	}
+	k := m.Outputs()
+	out := make([][]float64, k)
+	for c := range out {
+		out[c] = make([]float64, n)
+		for i := range out[c] {
+			out[c][i] = m.BaseScore
+		}
+	}
+	total := len(m.Parties[len(m.Parties)-1].Trees)
+	for i := 0; i < n; i++ {
+		for t := 0; t < total; t++ {
+			w, err := m.predictTree(t, parts, i)
+			if err != nil {
+				return nil, err
+			}
+			out[t%k][i] += m.LearningRate * w
+		}
 	}
 	return out, nil
 }

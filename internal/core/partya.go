@@ -13,6 +13,7 @@ import (
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
+	"vf2boost/internal/objective"
 	"vf2boost/internal/paillier"
 	"vf2boost/internal/trace"
 )
@@ -65,13 +66,28 @@ type passiveParty struct {
 	// vgh are the tree's gradient window ciphertexts in vec mode:
 	// instance i is pair slot i%pairs of window i/pairs.
 	vgh []he.VecCiphertext
-	// rootParts are per-worker partial root histograms so blaster
+	// rootVecParts are per-worker partial root accumulators so blaster
 	// batches accumulate in parallel; merged when the last batch lands.
-	rootParts []*EncHistogram
-	// rootVecParts mirror rootParts for the vectorized accumulators.
 	rootVecParts []*vecHist
 	rootCount    int
-	nodeInsts    map[int32][]int32
+	// Multi-output state: outputs is the negotiated objective output
+	// count k (1 = binary default) and roundTree the first class tree of
+	// the current round — every gradient shipment of the round is tagged
+	// with it. ghAll holds the k per-class scalar gradient streams (gh
+	// aliases the stream of the tree currently building);
+	// rootPartsAll/rootCountAll are their per-class sharded root builds.
+	// pendingRootBins parks the finalized root bins of classes whose
+	// trees have not started yet; vecRootBins retains the class-agnostic
+	// vectorized root accumulators that every class tree of the round
+	// reuses for sibling subtraction.
+	outputs         int
+	roundTree       int
+	ghAll           []*encGH
+	rootPartsAll    [][]*EncHistogram
+	rootCountAll    []int
+	pendingRootBins []*cachedBins
+	vecRootBins     *cachedBins
+	nodeInsts       map[int32][]int32
 	// binCache retains each node's finalized bins for sibling
 	// subtraction (HistogramSubtraction).
 	binCache   map[int32]*cachedBins
@@ -182,7 +198,15 @@ func (p *passiveParty) run() (*PartyModel, error) {
 			}
 		case MsgTreeDone:
 			p.taskWG.Wait()
-			if p.ckpt != nil {
+			if p.outputs > 1 && (m.Tree+1)%p.outputs != 0 {
+				// Mid-round advance: the next class tree consumes the same
+				// gradient shipment, so only per-tree bookkeeping resets.
+				// Checkpoints wait for the round boundary — a fragment is
+				// resumable only at a completed round.
+				if err := p.advanceClassTree(m.Tree + 1); err != nil {
+					return nil, err
+				}
+			} else if p.ckpt != nil {
 				if err := p.saveCheckpoint(m.Tree + 1); err != nil {
 					return nil, fmt.Errorf("core: party %d checkpoint: %w", p.index, err)
 				}
@@ -256,6 +280,31 @@ func (p *passiveParty) handleSetup(m MsgSetup) error {
 		default:
 			return fmt.Errorf("core: setup with unknown scheme %q", m.Scheme)
 		}
+	}
+	// Objective negotiation: a non-binary session names its objective in
+	// the setup so this party can fail fast when its local registry
+	// cannot mirror the training schedule (the fields ride MsgSetup only
+	// when the objective is not the binary default, keeping single-output
+	// setups wire-identical). Only the name and the output count are
+	// shared — gradients stay encrypted and labels never leave B.
+	p.outputs = m.Outputs
+	if p.outputs < 1 {
+		p.outputs = 1
+	}
+	if m.Objective != "" && !objective.Registered(baseName(m.Objective)) {
+		return fmt.Errorf("core: party %d: peer negotiated unregistered objective %q (registered: %s)",
+			p.index, m.Objective, strings.Join(objective.Names(), ", "))
+	}
+	if p.vec && p.outputs > 1 {
+		ipw := p.pairs / p.outputs
+		if ipw < 1 {
+			return fmt.Errorf("core: party %d: backend %q packs %d pairs per ciphertext, fewer than the %d outputs",
+				p.index, m.Backend, p.pairs, p.outputs)
+		}
+		// Each window ciphertext now carries ipw instances × outputs
+		// classes of ⟨g,h⟩ lane pairs; all window arithmetic below runs
+		// in ipw units, mirroring B's layout.
+		p.pairs = ipw
 	}
 	p.codec = fixedpoint.NewCodec(p.scheme,
 		fixedpoint.WithExponents(m.BaseExp, m.ExpSpread),
@@ -344,25 +393,38 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	if p.vec {
 		return fmt.Errorf("core: scalar gradient batch in a vectorized session")
 	}
+	if m.Class < 0 || m.Class >= p.outputs {
+		return fmt.Errorf("core: gradient batch for class %d of %d", m.Class, p.outputs)
+	}
 	n := p.view.Rows()
-	if p.gh == nil || p.tree != m.Tree {
+	if p.ghAll == nil || p.roundTree != m.Tree {
 		// A replayed round (B resumed behind this party's checkpoint)
 		// invalidates the trees recorded at or after it: discard them and
 		// rebuild from the replay, which is deterministic.
 		if m.Tree < len(p.model.Trees) {
 			p.model.Trees = p.model.Trees[:m.Tree]
 		}
+		p.roundTree = m.Tree
 		p.tree = m.Tree
-		p.gh = &encGH{
-			g: make([]fixedpoint.EncNum, n),
-			h: make([]fixedpoint.EncNum, n),
+		p.ghAll = make([]*encGH, p.outputs)
+		for c := range p.ghAll {
+			p.ghAll[c] = &encGH{
+				g: make([]fixedpoint.EncNum, n),
+				h: make([]fixedpoint.EncNum, n),
+			}
 		}
-		p.rootParts = make([]*EncHistogram, p.cfg.Workers)
-		p.rootCount = 0
+		p.gh = p.ghAll[0]
+		p.rootPartsAll = make([][]*EncHistogram, p.outputs)
+		for c := range p.rootPartsAll {
+			p.rootPartsAll[c] = make([]*EncHistogram, p.cfg.Workers)
+		}
+		p.rootCountAll = make([]int, p.outputs)
+		p.pendingRootBins = make([]*cachedBins, p.outputs)
 		p.nodeInsts = make(map[int32][]int32)
 		p.tasks = make(map[int32]*histTask)
 		p.binCache = make(map[int32]*cachedBins)
 	}
+	gh := p.ghAll[m.Class]
 	if m.Start+len(m.G) > n {
 		return fmt.Errorf("core: gradient batch [%d,%d) out of range", m.Start, m.Start+len(m.G))
 	}
@@ -391,8 +453,8 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 			return err
 		}
 		i := m.Start + k
-		p.gh.g[i] = fixedpoint.EncNum{Exp: int(m.GExp[k]), Ct: gc}
-		p.gh.h[i] = fixedpoint.EncNum{Exp: int(m.HExp[k]), Ct: hc}
+		gh.g[i] = fixedpoint.EncNum{Exp: int(m.GExp[k]), Ct: gc}
+		gh.h[i] = fixedpoint.EncNum{Exp: int(m.HExp[k]), Ct: hc}
 	}
 
 	// Accumulate this batch into the root histogram immediately,
@@ -404,7 +466,8 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	for k := range insts {
 		insts[k] = int32(m.Start + k)
 	}
-	workers := len(p.rootParts)
+	rootParts := p.rootPartsAll[m.Class]
+	workers := len(rootParts)
 	var wg sync.WaitGroup
 	chunk := (len(insts) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -416,23 +479,23 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 		if hi > len(insts) {
 			hi = len(insts)
 		}
-		if p.rootParts[w] == nil {
-			p.rootParts[w] = NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
+		if rootParts[w] == nil {
+			rootParts[w] = NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			p.rootParts[w].Accumulate(p.view, insts[lo:hi], p.gh)
+			rootParts[w].Accumulate(p.view, insts[lo:hi], gh)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	p.rootCount += len(insts)
+	p.rootCountAll[m.Class] += len(insts)
 	endSpan()
 	addDur(&p.stats.buildHistTime, time.Since(start))
 
 	if m.Last {
-		if p.rootCount != n {
-			return fmt.Errorf("core: root saw %d of %d instances", p.rootCount, n)
+		if p.rootCountAll[m.Class] != n {
+			return fmt.Errorf("core: root saw %d of %d instances", p.rootCountAll[m.Class], n)
 		}
 		all := make([]int32, n)
 		for i := range all {
@@ -441,7 +504,7 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 		p.nodeInsts[rootID] = all
 		if p.cfg.MaxDepth > 0 {
 			var root *EncHistogram
-			for _, part := range p.rootParts {
+			for _, part := range rootParts {
 				if part == nil {
 					continue
 				}
@@ -454,15 +517,30 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 			if root == nil {
 				root = NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
 			}
-			nh, err := p.finalizeNodeHist(rootID, root)
+			g, h := root.FinalizeBins(-1)
+			bins := &cachedBins{g: g, h: h}
+			var nh NodeHist
+			var err error
+			if m.Class == 0 {
+				nh, err = p.wireCached(rootID, bins)
+			} else {
+				// A later class's root must not clobber the building
+				// tree's cached root; park it for advanceClassTree.
+				if p.cfg.HistogramSubtraction {
+					p.pendingRootBins[m.Class] = bins
+				}
+				nh, err = p.wireUncached(rootID, bins)
+			}
 			if err != nil {
 				return err
 			}
-			if err := p.send(MsgHistograms{Tree: p.tree, Layer: 0, Nodes: []NodeHist{nh}}); err != nil {
+			// Class c's tree is the round's tree roundTree+c: tag its root
+			// so B's pump files it under the tree that will consume it.
+			if err := p.send(MsgHistograms{Tree: m.Tree + m.Class, Layer: 0, Nodes: []NodeHist{nh}}); err != nil {
 				return err
 			}
 		}
-		p.rootParts = nil
+		p.rootPartsAll[m.Class] = nil
 	}
 	return nil
 }
@@ -574,7 +652,14 @@ func (p *passiveParty) handleVecGradBatch(m MsgVecGradBatch) error {
 			if root == nil {
 				root = newVecHist(p.codec, p.vbackend, p.offsets, p.pairs)
 			}
-			nh, err := p.wireCached(rootID, &cachedBins{vec: root})
+			bins := &cachedBins{vec: root}
+			if p.outputs > 1 {
+				// The accumulators carry every class's lanes, so the later
+				// class trees of this round reuse them as the sibling-
+				// subtraction parent of their own root.
+				p.vecRootBins = bins
+			}
+			nh, err := p.wireCached(rootID, bins)
 			if err != nil {
 				return err
 			}
@@ -587,13 +672,6 @@ func (p *passiveParty) handleVecGradBatch(m MsgVecGradBatch) error {
 	return nil
 }
 
-// finalizeNodeHist converts a built histogram into its wire form and
-// caches the finalized bins for sibling subtraction.
-func (p *passiveParty) finalizeNodeHist(node int32, eh *EncHistogram) (NodeHist, error) {
-	g, h := eh.FinalizeBins(-1)
-	return p.wireCached(node, &cachedBins{g: g, h: h})
-}
-
 // wireCached caches a node's finalized bins for sibling subtraction and
 // serializes them, dispatching on the representation.
 func (p *passiveParty) wireCached(node int32, bins *cachedBins) (NodeHist, error) {
@@ -602,10 +680,51 @@ func (p *passiveParty) wireCached(node int32, bins *cachedBins) (NodeHist, error
 		p.binCache[node] = bins
 		p.binCacheMu.Unlock()
 	}
+	return p.wireUncached(node, bins)
+}
+
+// wireUncached serializes a node's finalized bins without touching the
+// sibling-subtraction cache — used for the root histograms of class
+// trees that have not started yet, which must not clobber the building
+// tree's cached root.
+func (p *passiveParty) wireUncached(node int32, bins *cachedBins) (NodeHist, error) {
 	if bins.vec != nil {
 		return p.wireVecNodeHist(node, bins.vec), nil
 	}
 	return p.wireNodeHist(node, bins.g, bins.h)
+}
+
+// advanceClassTree moves this party to the next class tree of the
+// current multi-output round: the round's gradient shipment stays live,
+// but all per-tree bookkeeping (node instance lists, abortable tasks,
+// the sibling-subtraction cache) restarts at the root. The class's root
+// histogram was already built and shipped at round start, so B proceeds
+// straight to the root decision without another encryption pass.
+func (p *passiveParty) advanceClassTree(t int) error {
+	p.tree = t
+	n := p.view.Rows()
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	p.nodeInsts = map[int32][]int32{rootID: all}
+	p.tasks = make(map[int32]*histTask)
+	p.binCache = make(map[int32]*cachedBins)
+	if p.vec {
+		if p.cfg.HistogramSubtraction && p.vecRootBins != nil {
+			p.binCache[rootID] = p.vecRootBins
+		}
+		return nil
+	}
+	class := t % p.outputs
+	if class >= len(p.ghAll) || p.ghAll[class] == nil {
+		return fmt.Errorf("core: party %d: class %d tree %d started before its gradient stream", p.index, class, t)
+	}
+	p.gh = p.ghAll[class]
+	if p.cfg.HistogramSubtraction && p.pendingRootBins[class] != nil {
+		p.binCache[rootID] = p.pendingRootBins[class]
+	}
+	return nil
 }
 
 // wireVecNodeHist serializes a node's vectorized accumulators. Every

@@ -11,6 +11,7 @@ import (
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
+	"vf2boost/internal/objective"
 	"vf2boost/internal/trace"
 )
 
@@ -53,11 +54,32 @@ type activeParty struct {
 	offsets []int32
 	bOffset int32
 
-	// Per-tree training state.
+	// Per-tree training state. margins/grads/hess alias the current
+	// output's row of the *All matrices below, so the single-output
+	// protocol code reads them unchanged.
 	margins []float64
 	grads   []float64
 	hess    []float64
 	nextID  int32
+
+	// Multi-output state: outputs is the objective's k (1 for binary);
+	// class is the output index of the tree currently building (global
+	// tree t trains output t mod k). The *All matrices are k×n; the
+	// objective fills all k rows once per boosting round and the round's
+	// k trees consume them through a single encryption pass.
+	outputs    int
+	class      int
+	marginsAll [][]float64
+	gradsAll   [][]float64
+	hessAll    [][]float64
+	// ipw is the vec path's instances-per-window: a window ciphertext
+	// carries ipw instances × outputs classes of ⟨g,h⟩ lane pairs, so
+	// ipw = vplan.Pairs/outputs (== Pairs when k == 1). rootHists caches
+	// each passive party's all-class decoded root histogram per round:
+	// one DecryptVec yields every class's lanes, so classes 1..k-1 reuse
+	// class 0's decryptions instead of paying their own.
+	ipw       int
+	rootHists []vecRootHist
 
 	model *PartyModel
 
@@ -94,8 +116,17 @@ type pump struct {
 	errs      chan error
 
 	// stores hold messages pulled off the channels but not yet consumed.
-	histStore  map[int32]NodeHist
+	// Histograms are keyed by (tree, node): during a multi-output round
+	// the passive party's per-class root histograms arrive tagged with
+	// later trees of the same round (round·k+c) while B is still building
+	// tree round·k, so they must be held rather than discarded.
+	histStore  map[int64]NodeHist
 	placeStore map[int32]MsgPlacement
+}
+
+// histKey composes the (tree, node) histogram-store key.
+func histKey(tree int, node int32) int64 {
+	return int64(tree)<<32 | int64(uint32(node))
 }
 
 func startPump(l *link) *pump {
@@ -105,7 +136,7 @@ func startPump(l *link) *pump {
 		ready:      make(chan MsgReady, 1),
 		resume:     make(chan MsgResume, 1),
 		errs:       make(chan error, 1),
-		histStore:  make(map[int32]NodeHist),
+		histStore:  make(map[int64]NodeHist),
 		placeStore: make(map[int32]MsgPlacement),
 	}
 	go func() {
@@ -139,23 +170,24 @@ func startPump(l *link) *pump {
 }
 
 // histFor blocks until the passive party's histogram for a node of the
-// given tree arrives. Histograms from earlier trees (stragglers from
-// aborted optimistic sub-tasks) are discarded: node IDs restart every
-// tree, so without the tree filter a stale message could masquerade as
-// the current tree's histogram.
+// given tree arrives. Node IDs restart every tree, so the store keys by
+// (tree, node): a straggler from an aborted optimistic sub-task of an
+// earlier tree lands under its own tree and can never masquerade as the
+// current tree's histogram, while a multi-output round's early-arriving
+// per-class root histograms (tagged with later trees of the round) are
+// held until their tree builds. Leftovers are cleared by reset at the
+// end of every round.
 func (p *pump) histFor(tree int, node int32) (NodeHist, error) {
+	key := histKey(tree, node)
 	for {
-		if nh, ok := p.histStore[node]; ok {
-			delete(p.histStore, node)
+		if nh, ok := p.histStore[key]; ok {
+			delete(p.histStore, key)
 			return nh, nil
 		}
 		select {
 		case m := <-p.hist:
-			if m.Tree != tree {
-				continue
-			}
 			for _, nh := range m.Nodes {
-				p.histStore[nh.Node] = nh
+				p.histStore[histKey(m.Tree, nh.Node)] = nh
 			}
 		case err := <-p.errs:
 			return NodeHist{}, err
@@ -183,9 +215,9 @@ func (p *pump) placementFor(tree int, node int32) (MsgPlacement, error) {
 	}
 }
 
-// reset discards per-tree leftovers (stale histograms of aborted nodes).
+// reset discards per-round leftovers (stale histograms of aborted nodes).
 func (p *pump) reset() {
-	p.histStore = make(map[int32]NodeHist)
+	p.histStore = make(map[int64]NodeHist)
 	p.placeStore = make(map[int32]MsgPlacement)
 	for {
 		select {
@@ -218,6 +250,21 @@ func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.
 	if len(labels) != view.Rows() {
 		return nil, fmt.Errorf("core: party B has %d labels for %d rows", len(labels), view.Rows())
 	}
+	if cfg.Objective == nil {
+		if cfg.Loss == nil {
+			cfg.Loss = gbdt.LogisticLoss{}
+		}
+		cfg.Objective = objective.FromLoss(cfg.Loss)
+	}
+	if err := cfg.Objective.Validate(labels); err != nil {
+		return nil, fmt.Errorf("core: party B labels: %w", err)
+	}
+	// A bound-fitting objective (squared loss) derives its gradient bound
+	// from the observed labels before the lane and packing plans are
+	// built, so the historic constant can't silently overflow a shift.
+	if bf, ok := cfg.Objective.(objective.BoundFitter); ok {
+		bf.FitBound(labels)
+	}
 	b := &activeParty{
 		cfg:    cfg,
 		view:   view,
@@ -228,9 +275,10 @@ func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.
 		codec: fixedpoint.NewCodec(dec,
 			fixedpoint.WithExponents(cfg.BaseExp, cfg.ExpSpread),
 			fixedpoint.WithSeed(cfg.Seed)),
-		links: links,
-		stats: stats,
-		model: &PartyModel{Party: len(links)},
+		links:   links,
+		stats:   stats,
+		model:   &PartyModel{Party: len(links)},
+		outputs: cfg.outputs(),
 	}
 	if cfg.vecMode() {
 		plan, err := cfg.lanePlanFor(dec.Bits())
@@ -252,6 +300,16 @@ func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.
 		b.vec = true
 		b.vdec = vdec
 		b.vplan = plan
+		// A multi-output round interleaves the k classes of each instance
+		// within one window: slot-group s carries instance s's k ⟨g,h⟩
+		// pairs at lanes 2·(s·k+c), 2·(s·k+c)+1, so one ciphertext ships
+		// every class's gradients and one decryption serves them all.
+		b.ipw = plan.Pairs / b.outputs
+		if b.ipw < 1 {
+			return nil, fmt.Errorf("core: backend %q packs %d pairs per ciphertext, fewer than the %d outputs of objective %s",
+				cfg.HEBackend, plan.Pairs, b.outputs, cfg.Objective.Name())
+		}
+		b.rootHists = make([]vecRootHist, len(links))
 		// Lane encoding shares the scalar codec's stats so session totals
 		// stay in one place; spread 1 because every lane shares one scale.
 		b.vcodec = fixedpoint.NewCodec(vdec,
@@ -262,7 +320,7 @@ func newActivePartyView(view gbdt.BinView, labels []float64, cfg Config, dec he.
 	// the vectorized path already packs at the lane level, so the two are
 	// mutually exclusive.
 	if cfg.HistogramPacking && !cfg.vecMode() {
-		plan, err := planPacking(b.codec, b.rows, cfg.Loss.GradBound(), fixedpoint.DefaultPackBits)
+		plan, err := planPacking(b.codec, b.rows, cfg.gradBound(), fixedpoint.DefaultPackBits)
 		if err != nil {
 			return nil, err
 		}
@@ -318,6 +376,14 @@ func (b *activeParty) setup() error {
 		setup.LaneBits = b.vplan.LaneBits
 		setup.Headroom = b.vplan.Headroom
 	}
+	// Objective negotiation: named for any non-default objective so the
+	// passive party can resolve it in its own registry (and reject the
+	// session before accepting a single ciphertext if it cannot). Binary
+	// sessions leave the fields empty — their setup frame is unchanged.
+	if name := b.cfg.Objective.Name(); name != "binary" {
+		setup.Objective = name
+		setup.Outputs = b.outputs
+	}
 	for _, l := range b.links {
 		if err := l.send(setup); err != nil {
 			return err
@@ -357,27 +423,47 @@ func (b *activeParty) setup() error {
 	return nil
 }
 
-// train runs all boosting rounds and returns B's model fragment.
+// train runs all boosting rounds and returns B's model fragment. A
+// k-output objective runs cfg.Trees rounds of k trees each (global tree
+// t = round·k + class): the objective fills all k gradient rows at the
+// top of the round and the round's k trees ship through one encryption
+// pass, issued with the first tree.
 func (b *activeParty) train() (*PartyModel, error) {
 	if err := b.setup(); err != nil {
 		return nil, err
 	}
 	n := b.rows
-	b.margins = make([]float64, n)
-	b.grads = make([]float64, n)
-	b.hess = make([]float64, n)
+	k := b.outputs
+	b.marginsAll = make([][]float64, k)
+	b.gradsAll = make([][]float64, k)
+	b.hessAll = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		b.marginsAll[c] = make([]float64, n)
+		b.gradsAll[c] = make([]float64, n)
+		b.hessAll[c] = make([]float64, n)
+		if init := b.cfg.Objective.InitMargin(b.labels, c); init != 0 {
+			for i := range b.marginsAll[c] {
+				b.marginsAll[c][i] = init
+			}
+		}
+	}
+	b.margins, b.grads, b.hess = b.marginsAll[0], b.gradsAll[0], b.hessAll[0]
 
+	totalTrees := b.cfg.Trees * k
 	startTree := 0
 	if b.ckpt != nil && b.resume {
-		k, st, err := b.resumePoint()
+		trees, st, err := b.resumePoint()
 		if err != nil {
 			return nil, err
 		}
-		if k > 0 {
+		if trees > 0 {
 			b.model.Trees = st.Fragment.Trees
-			copy(b.margins, st.Margins)
+			// Checkpoint margins are the k×n matrix flattened class-major.
+			for c := 0; c < k; c++ {
+				copy(b.marginsAll[c], st.Margins[c*n:(c+1)*n])
+			}
 			b.backOff = st.BackOff
-			startTree = k
+			startTree = trees
 		}
 	}
 
@@ -385,24 +471,36 @@ func (b *activeParty) train() (*PartyModel, error) {
 	// next tree whenever the previous tree's dirty ratio exceeded 1/2:
 	// the optimistic bet lost more often than it won, so the re-done work
 	// outweighs the hidden idle time.
-	for t := startTree; t < b.cfg.Trees; t++ {
-		// Per-tree obfuscation stream: reseeding here makes tree t's
-		// exponent draws independent of how many trees ran before it, so
-		// a resumed session reproduces an uninterrupted run exactly.
-		b.codec.ReseedExp(b.cfg.Seed + int64(t+1)*0x5DEECE66D)
-		start := time.Now()
-		for i := 0; i < n; i++ {
-			b.grads[i], b.hess[i] = b.cfg.Loss.GradHess(b.labels[i], b.margins[i])
-		}
-		if err := b.sendGradients(t); err != nil {
-			return nil, err
+	var start time.Time
+	for t := startTree; t < totalTrees; t++ {
+		round, class := t/k, t%k
+		b.class = class
+		b.margins = b.marginsAll[class]
+		b.grads = b.gradsAll[class]
+		b.hess = b.hessAll[class]
+		if class == 0 {
+			// Per-round obfuscation stream: reseeding here makes round r's
+			// exponent draws independent of how many rounds ran before it,
+			// so a resumed session reproduces an uninterrupted run exactly.
+			b.codec.ReseedExp(b.cfg.Seed + int64(round+1)*0x5DEECE66D)
+			start = time.Now()
+			if err := b.cfg.Objective.GradHess(b.labels, b.marginsAll, b.gradsAll, b.hessAll); err != nil {
+				return nil, fmt.Errorf("core: objective %s: %w", b.cfg.Objective.Name(), err)
+			}
+			// One shipment per round carries every class's gradients.
+			if err := b.sendGradients(t); err != nil {
+				return nil, err
+			}
 		}
 		dirtyBefore := b.stats.DirtyNodes()
 		splitsBefore := b.stats.SplitsByA() + b.stats.SplitsByB()
 		var tree *FedTree
 		var leaves []leafResult
 		var err error
-		if b.cfg.OptimisticSplit && !(b.cfg.AdaptiveOptimism && b.backOff) {
+		// Multi-output rounds always run the sequential schedule: the
+		// optimistic protocol's tentative/abort machinery assumes node IDs
+		// restart with every shipment, which one-shipment-per-round breaks.
+		if k == 1 && b.cfg.OptimisticSplit && !(b.cfg.AdaptiveOptimism && b.backOff) {
 			tree, leaves, err = b.buildTreeOptimistic(t)
 			dirty := b.stats.DirtyNodes() - dirtyBefore
 			splits := b.stats.SplitsByA() + b.stats.SplitsByB() - splitsBefore
@@ -424,6 +522,13 @@ func (b *activeParty) train() (*PartyModel, error) {
 				return nil, err
 			}
 		}
+		b.stats.treesFinished.Add(1)
+		if class != k-1 {
+			continue
+		}
+		// Round boundary: clear pump leftovers and checkpoint. Mid-round
+		// trees never reset — the round's later per-class root histograms
+		// may already be sitting in the store.
 		for _, p := range b.pumps {
 			p.reset()
 		}
@@ -432,7 +537,6 @@ func (b *activeParty) train() (*PartyModel, error) {
 				return nil, fmt.Errorf("core: party B checkpoint: %w", err)
 			}
 		}
-		b.stats.treesFinished.Add(1)
 		b.perTreeTime = append(b.perTreeTime, time.Since(start))
 	}
 	for _, l := range b.links {
@@ -447,11 +551,24 @@ func (b *activeParty) train() (*PartyModel, error) {
 // every passive party. With blaster encryption the instances stream in
 // batches so encryption, WAN transfer, and root-histogram construction in
 // the passive parties overlap (Section 4.1); without it one bulk batch is
-// sent after all encryption finishes.
+// sent after all encryption finishes. A k-output round on the scalar path
+// ships k class streams back-to-back (each tagged with its Class, all
+// under the shipment tree t = round·k); the vec path interleaves all
+// classes into the lanes of a single stream.
 func (b *activeParty) sendGradients(t int) error {
 	if b.vec {
 		return b.sendVecGradients(t)
 	}
+	for c := 0; c < b.outputs; c++ {
+		if err := b.sendGradStream(t, c, b.gradsAll[c], b.hessAll[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendGradStream encrypts and ships one output's gradient vector.
+func (b *activeParty) sendGradStream(t, class int, grads, hess []float64) error {
 	n := b.rows
 	batch := b.cfg.BatchSize
 	if !b.cfg.BlasterEncryption {
@@ -493,10 +610,11 @@ func (b *activeParty) sendGradients(t int) error {
 			GExp:  make([]int16, end-start),
 			HExp:  make([]int16, end-start),
 			Last:  end == n,
+			Class: class,
 		}
 		encStart := time.Now()
 		endSpan := b.rec.Span("B:Encrypt", fmt.Sprintf("tree %d [%d,%d)", t, start, end))
-		if err := b.encryptRange(start, end, &m); err != nil {
+		if err := b.encryptRange(start, end, grads, hess, &m); err != nil {
 			return err
 		}
 		endSpan()
@@ -523,14 +641,17 @@ func (b *activeParty) sendGradients(t int) error {
 	return nil
 }
 
-// sendVecGradients is the slot-batched gradient stream: k = vplan.Pairs
-// ⟨g,h⟩ pairs travel per ciphertext, so the round ships ⌈n/k⌉ windows
-// instead of 2n scalars. Batches are rounded up to whole windows so every
-// MsgVecGradBatch starts window-aligned and instance i always occupies
-// pair slot i%k of window i/k.
+// sendVecGradients is the slot-batched gradient stream: ipw instances
+// travel per ciphertext (ipw = vplan.Pairs for a single-output round,
+// Pairs/k for a k-output round, where each instance occupies k
+// consecutive lane pairs — one per class), so the round ships ⌈n/ipw⌉
+// windows carrying every class's gradients in a single encryption pass.
+// Batches are rounded up to whole windows so every MsgVecGradBatch
+// starts window-aligned and instance i always occupies slot-group i%ipw
+// of window i/ipw.
 func (b *activeParty) sendVecGradients(t int) error {
 	n := b.rows
-	pairs := b.vplan.Pairs
+	pairs := b.ipw
 	batch := b.cfg.BatchSize
 	if !b.cfg.BlasterEncryption {
 		batch = n
@@ -598,11 +719,15 @@ func (b *activeParty) sendVecGradients(t int) error {
 }
 
 // encryptVecRange packs instances [start, end) into window ciphertexts,
-// parallelized across the configured workers. The final window of the
-// last batch may be partial; EncryptVec accepts short lane vectors and
-// the unused high lanes simply stay zero.
+// parallelized across the configured workers. Lane order within a
+// window is slot-group-major, class-minor: instance wStart+s, class c
+// lands at lanes 2·(s·k+c), 2·(s·k+c)+1 — for k == 1 exactly the
+// original pair-per-instance layout. The final window of the last batch
+// may be partial; EncryptVec accepts short lane vectors and the unused
+// high lanes simply stay zero.
 func (b *activeParty) encryptVecRange(start, end int, m *MsgVecGradBatch) error {
-	pairs := b.vplan.Pairs
+	pairs := b.ipw
+	k := b.outputs
 	var mu sync.Mutex
 	var firstErr error
 	parallelFor(len(m.Cts), b.cfg.Workers, func(lo, hi int) {
@@ -612,15 +737,17 @@ func (b *activeParty) encryptVecRange(start, end int, m *MsgVecGradBatch) error 
 			if wEnd > end {
 				wEnd = end
 			}
-			lanes := make([]*big.Int, 0, 2*(wEnd-wStart))
+			lanes := make([]*big.Int, 0, 2*k*(wEnd-wStart))
 			var err error
-			for i := wStart; i < wEnd; i++ {
-				var gl, hl *big.Int
-				gl, hl, err = b.vcodec.EncodeLanePair(b.grads[i], b.hess[i], b.vplan)
-				if err != nil {
-					break
+			for i := wStart; i < wEnd && err == nil; i++ {
+				for c := 0; c < k; c++ {
+					var gl, hl *big.Int
+					gl, hl, err = b.vcodec.EncodeLanePair(b.gradsAll[c][i], b.hessAll[c][i], b.vplan)
+					if err != nil {
+						break
+					}
+					lanes = append(lanes, gl, hl)
 				}
-				lanes = append(lanes, gl, hl)
 			}
 			if err == nil {
 				var v he.VecCiphertext
@@ -643,16 +770,16 @@ func (b *activeParty) encryptVecRange(start, end int, m *MsgVecGradBatch) error 
 
 // encryptRange fills a gradient batch with ciphertexts, parallelized
 // across the configured workers.
-func (b *activeParty) encryptRange(start, end int, m *MsgGradBatch) error {
+func (b *activeParty) encryptRange(start, end int, grads, hess []float64, m *MsgGradBatch) error {
 	var mu sync.Mutex
 	var firstErr error
 	parallelFor(end-start, b.cfg.Workers, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			i := start + k
-			eg, err := b.codec.EncryptValue(b.grads[i])
+			eg, err := b.codec.EncryptValue(grads[i])
 			if err == nil {
 				var eh fixedpoint.EncNum
-				eh, err = b.codec.EncryptValue(b.hess[i])
+				eh, err = b.codec.EncryptValue(hess[i])
 				if err == nil {
 					m.G[k] = b.dec.Marshal(eg.Ct)
 					m.H[k] = b.dec.Marshal(eh.Ct)
@@ -748,6 +875,74 @@ func (b *activeParty) passiveBest(party int, nh NodeHist, node *bNode) (candidat
 	return best, nil
 }
 
+// vecRootHist caches one passive party's decoded root-histogram bin sums
+// for every class of the current round. In a vectorized multi-output
+// session the root accumulators cover all instances and all class lanes,
+// so they are identical for every class tree of a round: the passive
+// party ships them once (tagged with the round's first tree) and B
+// decrypts them once, serving classes 1..k-1 from this cache. round
+// stores round+1 so the zero value never matches a real round.
+type vecRootHist struct {
+	round int
+	g, h  [][][]float64 // [class][feature][bin]
+}
+
+// passiveCand fetches a passive party's histogram for a node and returns
+// that party's best split. Root nodes of vectorized multi-output
+// sessions are served from the per-round all-class cache; every other
+// node takes the ordinary fetch-and-decrypt path.
+func (b *activeParty) passiveCand(party, tree int, node *bNode) (candidate, error) {
+	if b.vec && b.outputs > 1 && node.id == rootID {
+		return b.vecRootBest(party, tree, node)
+	}
+	nh, err := b.pumps[party].histFor(tree, node.id)
+	if err != nil {
+		return candidate{}, err
+	}
+	return b.passiveBest(party, nh, node)
+}
+
+// vecRootBest finds a passive party's best root split for the class tree
+// `tree`, decrypting the round's shared root histogram only on first use
+// (class 0) and extracting the current class's lanes from the cache on
+// every later class of the round.
+func (b *activeParty) vecRootBest(party, tree int, node *bNode) (candidate, error) {
+	round := tree / b.outputs
+	rh := &b.rootHists[party]
+	if rh.round != round+1 {
+		// The root histogram arrives exactly once per round, tagged
+		// with the round's first class tree.
+		nh, err := b.pumps[party].histFor(round*b.outputs, rootID)
+		if err != nil {
+			return candidate{}, err
+		}
+		decStart := time.Now()
+		endSpan := b.rec.Span("B:Decrypt+FindSplitA", fmt.Sprintf("node %d (all classes)", node.id))
+		g, h, err := b.decryptVecNodeAllClasses(nh)
+		endSpan()
+		addDur(&b.stats.decryptTime, time.Since(decStart))
+		if err != nil {
+			return candidate{}, err
+		}
+		rh.round, rh.g, rh.h = round+1, g, h
+	}
+	gSums, hSums := rh.g[b.class], rh.h[b.class]
+	findStart := time.Now()
+	best := candidate{split: gbdt.NoSplit, party: party}
+	for j := range gSums {
+		s := gbdt.BestSplitForFeature(int32(j), gSums[j], hSums[j], node.g, node.h, b.cfg.Split)
+		if !s.Valid() {
+			continue
+		}
+		c := candidate{split: s, party: party, globalFeat: b.offsets[party] + int32(j)}
+		if !best.valid() || betterCandidate(c, best) {
+			best = c
+		}
+	}
+	addDur(&b.stats.findSplitTime, time.Since(findStart))
+	return best, nil
+}
+
 // decryptNodeHist recovers the per-feature (g, h) bin sums of a passive
 // histogram, parallelized across features.
 func (b *activeParty) decryptNodeHist(nh NodeHist) (gSums, hSums [][]float64, err error) {
@@ -823,8 +1018,8 @@ func (b *activeParty) decryptVecFeature(fh FeatHist) (g, h []float64, err error)
 		if bin < 0 || bin >= fh.NumBins {
 			return nil, nil, fmt.Errorf("core: vectorized histogram bin %d out of [0,%d)", bin, fh.NumBins)
 		}
-		if slot < 0 || slot >= b.vplan.Pairs {
-			return nil, nil, fmt.Errorf("core: vectorized histogram pair slot %d out of [0,%d)", slot, b.vplan.Pairs)
+		if slot < 0 || slot >= b.ipw {
+			return nil, nil, fmt.Errorf("core: vectorized histogram pair slot %d out of [0,%d)", slot, b.ipw)
 		}
 		if count <= 0 || count > b.rows {
 			return nil, nil, fmt.Errorf("core: vectorized histogram accumulator claims %d instances of %d", count, b.rows)
@@ -838,8 +1033,11 @@ func (b *activeParty) decryptVecFeature(fh FeatHist) (g, h []float64, err error)
 			return nil, nil, err
 		}
 		b.codec.Stats().AddDecryptions(1)
-		gSum := b.vplan.LaneSumSigned(lanes[2*slot], int64(count))
-		hSum := b.vplan.LaneSumSigned(lanes[2*slot+1], int64(count))
+		// Slot-group s, class c sits at lane pair 2·(s·k+c); for a
+		// single-output session this is exactly 2·slot.
+		li := 2 * (slot*b.outputs + b.class)
+		gSum := b.vplan.LaneSumSigned(lanes[li], int64(count))
+		hSum := b.vplan.LaneSumSigned(lanes[li+1], int64(count))
 		if gMan[bin] == nil {
 			gMan[bin], hMan[bin] = gSum, hSum
 		} else {
@@ -855,6 +1053,108 @@ func (b *activeParty) decryptVecFeature(fh FeatHist) (g, h []float64, err error)
 		}
 		g[bin] = fixedpoint.DecodeSigned(gMan[bin], b.vplan.Base, b.vplan.Exp)
 		h[bin] = fixedpoint.DecodeSigned(hMan[bin], b.vplan.Base, b.vplan.Exp)
+	}
+	return g, h, nil
+}
+
+// decryptVecNodeAllClasses recovers every class's per-feature (g, h) bin
+// sums of a vectorized passive histogram in one pass: each accumulator
+// ciphertext is decrypted once and all k class lane pairs are extracted
+// from it, so the decryption count stays constant in the output count.
+func (b *activeParty) decryptVecNodeAllClasses(nh NodeHist) (gSums, hSums [][][]float64, err error) {
+	k := b.outputs
+	gSums = make([][][]float64, k)
+	hSums = make([][][]float64, k)
+	for c := 0; c < k; c++ {
+		gSums[c] = make([][]float64, len(nh.Feats))
+		hSums[c] = make([][]float64, len(nh.Feats))
+	}
+	var mu sync.Mutex
+	var firstErr error
+	parallelFor(len(nh.Feats), b.cfg.Workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			g, h, err := b.decryptVecFeatureAllClasses(nh.Feats[j])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for c := 0; c < k; c++ {
+				gSums[c][j], hSums[c][j] = g[c], h[c]
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return gSums, hSums, nil
+}
+
+// decryptVecFeatureAllClasses is decryptVecFeature generalized to return
+// every class's bin sums ([class][bin]) from a single decryption of each
+// accumulator ciphertext.
+func (b *activeParty) decryptVecFeatureAllClasses(fh FeatHist) (g, h [][]float64, err error) {
+	if !fh.Vec {
+		return nil, nil, fmt.Errorf("core: passive party sent a scalar histogram on the vectorized root path")
+	}
+	if len(fh.VecSlot) != len(fh.VecBin) || len(fh.VecCount) != len(fh.VecBin) || len(fh.VecCts) != len(fh.VecBin) {
+		return nil, nil, fmt.Errorf("core: vectorized feature histogram has mismatched columns (%d/%d/%d/%d)",
+			len(fh.VecBin), len(fh.VecSlot), len(fh.VecCount), len(fh.VecCts))
+	}
+	nk := b.outputs
+	gMan := make([][]*big.Int, nk)
+	hMan := make([][]*big.Int, nk)
+	for c := 0; c < nk; c++ {
+		gMan[c] = make([]*big.Int, fh.NumBins)
+		hMan[c] = make([]*big.Int, fh.NumBins)
+	}
+	for idx := range fh.VecBin {
+		bin, slot, count := int(fh.VecBin[idx]), int(fh.VecSlot[idx]), int(fh.VecCount[idx])
+		if bin < 0 || bin >= fh.NumBins {
+			return nil, nil, fmt.Errorf("core: vectorized histogram bin %d out of [0,%d)", bin, fh.NumBins)
+		}
+		if slot < 0 || slot >= b.ipw {
+			return nil, nil, fmt.Errorf("core: vectorized histogram pair slot %d out of [0,%d)", slot, b.ipw)
+		}
+		if count <= 0 || count > b.rows {
+			return nil, nil, fmt.Errorf("core: vectorized histogram accumulator claims %d instances of %d", count, b.rows)
+		}
+		v, err := b.vdec.UnmarshalVec(fh.VecCts[idx])
+		if err != nil {
+			return nil, nil, err
+		}
+		lanes, err := b.vdec.DecryptVec(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		b.codec.Stats().AddDecryptions(1)
+		for c := 0; c < nk; c++ {
+			li := 2 * (slot*nk + c)
+			gSum := b.vplan.LaneSumSigned(lanes[li], int64(count))
+			hSum := b.vplan.LaneSumSigned(lanes[li+1], int64(count))
+			if gMan[c][bin] == nil {
+				gMan[c][bin], hMan[c][bin] = gSum, hSum
+			} else {
+				gMan[c][bin].Add(gMan[c][bin], gSum)
+				hMan[c][bin].Add(hMan[c][bin], hSum)
+			}
+		}
+	}
+	g = make([][]float64, nk)
+	h = make([][]float64, nk)
+	for c := 0; c < nk; c++ {
+		g[c] = make([]float64, fh.NumBins)
+		h[c] = make([]float64, fh.NumBins)
+		for bin := 0; bin < fh.NumBins; bin++ {
+			if gMan[c][bin] == nil {
+				continue // empty bin
+			}
+			g[c][bin] = fixedpoint.DecodeSigned(gMan[c][bin], b.vplan.Base, b.vplan.Exp)
+			h[c][bin] = fixedpoint.DecodeSigned(hMan[c][bin], b.vplan.Base, b.vplan.Exp)
+		}
 	}
 	return g, h, nil
 }

@@ -33,12 +33,8 @@ func (b *activeParty) buildTreeSequential(t int) (*FedTree, []leafResult, error)
 			best := b.ownBest(ownHists[k], nd)
 			for pi := range b.links {
 				idle := time.Now()
-				nh, err := b.pumps[pi].histFor(t, nd.id)
+				c, err := b.passiveCand(pi, t, nd)
 				addDur(&b.stats.bIdleTime, time.Since(idle))
-				if err != nil {
-					return nil, nil, err
-				}
-				c, err := b.passiveBest(pi, nh, nd)
 				if err != nil {
 					return nil, nil, err
 				}

@@ -65,6 +65,11 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(h, " opt=%t/%t/%t/%t/%t/%t/%t batch=%d seed=%d",
 		c.BlasterEncryption, c.ReorderedAccumulation, c.OptimisticSplit, c.HistogramPacking,
 		c.AdaptivePacking, c.AdaptiveOptimism, c.HistogramSubtraction, c.BatchSize, c.Seed)
+	if c.Objective != nil && c.Objective.Name() != "binary" {
+		// A non-default objective reshapes every round (k class trees,
+		// k×n margins); binary sessions keep the historical fingerprint.
+		fmt.Fprintf(h, " obj=%s/%d", c.Objective.Name(), c.Objective.NumOutputs())
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -145,7 +150,8 @@ func (b *activeParty) enableCheckpoints(st *checkpoint.Store, resume bool) {
 // stepping further back when intermediate snapshots are missing or
 // invalid. It returns round 0 (fresh start) when nothing usable exists.
 func (b *activeParty) resumePoint() (int, *TrainState, error) {
-	limit := b.cfg.Trees
+	k := b.outputs
+	limit := b.cfg.Trees * k
 	for _, rt := range b.resumeTrees {
 		if rt < limit {
 			limit = rt
@@ -159,26 +165,39 @@ func (b *activeParty) resumePoint() (int, *TrainState, error) {
 	if latest < limit {
 		limit = latest
 	}
-	n := b.rows
-	for k := limit; k > 0; k-- {
+	// Checkpoints exist only at round boundaries — multiples of the
+	// output count — so clamp down and step back a round at a time.
+	limit -= limit % k
+	n := b.rows * k
+	for t := limit; t > 0; t -= k {
 		var ts TrainState
-		if err := b.ckpt.Load(k, &ts); err != nil {
+		if err := b.ckpt.Load(t, &ts); err != nil {
 			continue // missing or corrupt; step back one round
 		}
 		if ts.Fingerprint != b.cfg.Fingerprint() {
-			return 0, nil, fmt.Errorf("core: party B checkpoint %d was written under a different configuration", k)
+			return 0, nil, fmt.Errorf("core: party B checkpoint %d was written under a different configuration", t)
 		}
 		if ts.Role != RoleActive || ts.Fragment == nil ||
-			len(ts.Fragment.Trees) != k || len(ts.Margins) != n || ts.Trees != k {
-			return 0, nil, fmt.Errorf("core: party B checkpoint %d is inconsistent", k)
+			len(ts.Fragment.Trees) != t || len(ts.Margins) != n || ts.Trees != t {
+			return 0, nil, fmt.Errorf("core: party B checkpoint %d is inconsistent", t)
 		}
-		return k, &ts, nil
+		return t, &ts, nil
 	}
 	return 0, nil, nil
 }
 
-// saveCheckpoint snapshots Party B's state after round `trees`.
+// saveCheckpoint snapshots Party B's state after `trees` class trees (a
+// round boundary, so trees is a multiple of the output count). A
+// multi-output snapshot stores the k×n margin matrix flattened
+// class-major; the single-output layout is unchanged.
 func (b *activeParty) saveCheckpoint(trees int) error {
+	margins := b.margins
+	if b.outputs > 1 {
+		margins = make([]float64, 0, b.outputs*b.rows)
+		for _, row := range b.marginsAll {
+			margins = append(margins, row...)
+		}
+	}
 	return b.ckpt.Save(trees, TrainState{
 		Fingerprint: b.cfg.Fingerprint(),
 		Role:        RoleActive,
@@ -186,7 +205,7 @@ func (b *activeParty) saveCheckpoint(trees int) error {
 		Trees:       trees,
 		Fragment:    b.model,
 		BaseScore:   0,
-		Margins:     b.margins,
+		Margins:     margins,
 		BackOff:     b.backOff,
 	})
 }

@@ -385,9 +385,11 @@ func (s *Session) Train() (*FederatedModel, error) {
 		}
 		models[r.idx] = r.pm
 	}
-	// Pad passive fragments so every party indexes cfg.Trees trees.
+	// Pad passive fragments so every party indexes the full class-tree
+	// count (Trees rounds × k outputs).
+	totalTrees := s.cfg.Trees * s.cfg.outputs()
 	for _, pm := range models {
-		for len(pm.Trees) < s.cfg.Trees {
+		for len(pm.Trees) < totalTrees {
 			pm.Trees = append(pm.Trees, NewFedTree(rootID))
 		}
 	}
@@ -408,12 +410,19 @@ func (s *Session) Train() (*FederatedModel, error) {
 		splits[i] = n
 	}
 
-	return &FederatedModel{
+	fm := &FederatedModel{
 		Parties:       models,
 		LearningRate:  s.cfg.LearningRate,
 		BaseScore:     0,
 		SplitsByParty: splits,
-	}, nil
+	}
+	if k := s.cfg.outputs(); k > 1 {
+		fm.NumOutputs = k
+	}
+	if name := s.cfg.Objective.Name(); name != "binary" {
+		fm.Objective = name
+	}
+	return fm, nil
 }
 
 // RunPassiveParty runs a single passive party over an arbitrary transport

@@ -56,6 +56,15 @@ const (
 	// representation (Vec, VecBin, VecSlot, VecCount, VecCts) appended
 	// after Exp; scalar histograms keep encoding under idHistograms.
 	idHistogramsV2 uint16 = 26
+	// idSetupV4 extends the setup body with the negotiated multi-output
+	// objective (Objective, Outputs) appended after Headroom; the vec
+	// fields are always present in this layout. Binary sessions keep
+	// encoding under idSetupV2/idSetupV3, so their frames are unchanged.
+	idSetupV4 uint16 = 27
+	// idGradBatchV2 extends the gradient-batch body with the output index
+	// (Class) appended after Last. Class-0 batches — every batch of a
+	// binary session — keep the idGradBatch frame.
+	idGradBatchV2 uint16 = 28
 )
 
 // All ends of a deployment ship the same binary, so only the current
@@ -94,6 +103,20 @@ func init() {
 		return m, nil
 	})
 	wire.Register(idVecGradBatch, "MsgVecGradBatch", decodeMsg[MsgVecGradBatch])
+	wire.Register(idSetupV4, "MsgSetupV4", func(body []byte) (any, error) {
+		var m MsgSetup
+		if err := m.decodeFromV4(body); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	wire.Register(idGradBatchV2, "MsgGradBatchV2", func(body []byte) (any, error) {
+		var m MsgGradBatch
+		if err := m.decodeFrom(body, true); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
 	wire.Register(idHistogramsV2, "MsgHistogramsV2", func(body []byte) (any, error) {
 		var m MsgHistograms
 		if err := m.decodeFrom(body, true); err != nil {
@@ -131,7 +154,17 @@ func (m MsgSetup) vecWire() bool {
 	return m.Backend != "" || m.Slots != 0 || m.LaneBits != 0 || m.Headroom != 0
 }
 
+// objWire reports whether the setup carries objective-negotiation
+// fields, selecting the idSetupV4 layout (vec fields always present).
+// Binary sessions leave both fields zero and keep the older frames.
+func (m MsgSetup) objWire() bool {
+	return m.Objective != "" || m.Outputs != 0
+}
+
 func (m MsgSetup) WireID() uint16 {
+	if m.objWire() {
+		return idSetupV4
+	}
 	if m.vecWire() {
 		return idSetupV3
 	}
@@ -148,11 +181,15 @@ func (m MsgSetup) AppendTo(b []byte) []byte {
 	b = wire.AppendFloat64(b, m.Shift)
 	b = wire.AppendBytes(b, m.ObfBase)
 	b = wire.AppendInt(b, m.ObfBits)
-	if m.vecWire() {
+	if m.vecWire() || m.objWire() {
 		b = wire.AppendString(b, m.Backend)
 		b = wire.AppendInt(b, m.Slots)
 		b = wire.AppendInt(b, m.LaneBits)
 		b = wire.AppendInt(b, m.Headroom)
+	}
+	if m.objWire() {
+		b = wire.AppendString(b, m.Objective)
+		b = wire.AppendInt(b, m.Outputs)
 	}
 	return b
 }
@@ -179,6 +216,26 @@ func (m *MsgSetup) decodeFrom(body []byte, vec bool) error {
 	return d.Finish()
 }
 
+func (m *MsgSetup) decodeFromV4(body []byte) error {
+	d := wire.NewDec(body)
+	m.Scheme = d.String()
+	m.N = d.Bytes()
+	m.Bits = d.Int()
+	m.BaseExp = d.Int()
+	m.ExpSpread = d.Int()
+	m.PackBits = d.Int()
+	m.Shift = d.Float64()
+	m.ObfBase = d.Bytes()
+	m.ObfBits = d.Int()
+	m.Backend = d.String()
+	m.Slots = d.Int()
+	m.LaneBits = d.Int()
+	m.Headroom = d.Int()
+	m.Objective = d.String()
+	m.Outputs = d.Int()
+	return d.Finish()
+}
+
 // --- MsgReady ----------------------------------------------------------
 
 func (MsgReady) WireID() uint16 { return idReady }
@@ -199,7 +256,12 @@ func (m *MsgReady) DecodeFrom(body []byte) error {
 
 // --- MsgGradBatch ------------------------------------------------------
 
-func (MsgGradBatch) WireID() uint16 { return idGradBatch }
+func (m MsgGradBatch) WireID() uint16 {
+	if m.Class != 0 {
+		return idGradBatchV2
+	}
+	return idGradBatch
+}
 
 func (m MsgGradBatch) AppendTo(b []byte) []byte {
 	b = wire.AppendInt(b, m.Tree)
@@ -208,10 +270,16 @@ func (m MsgGradBatch) AppendTo(b []byte) []byte {
 	b = wire.AppendByteSlices(b, m.H)
 	b = wire.AppendInt16s(b, m.GExp)
 	b = wire.AppendInt16s(b, m.HExp)
-	return wire.AppendBool(b, m.Last)
+	b = wire.AppendBool(b, m.Last)
+	if m.Class != 0 {
+		b = wire.AppendInt(b, m.Class)
+	}
+	return b
 }
 
-func (m *MsgGradBatch) DecodeFrom(body []byte) error {
+func (m *MsgGradBatch) DecodeFrom(body []byte) error { return m.decodeFrom(body, false) }
+
+func (m *MsgGradBatch) decodeFrom(body []byte, v2 bool) error {
 	d := wire.NewDec(body)
 	m.Tree = d.Int()
 	m.Start = d.Int()
@@ -220,6 +288,9 @@ func (m *MsgGradBatch) DecodeFrom(body []byte) error {
 	m.GExp = d.Int16s()
 	m.HExp = d.Int16s()
 	m.Last = d.Bool()
+	if v2 {
+		m.Class = d.Int()
+	}
 	return d.Finish()
 }
 

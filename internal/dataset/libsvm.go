@@ -21,6 +21,17 @@ import (
 // and the widest column count seen (max index + 1). Labels of -1 are
 // normalized to 0.
 func ScanLibSVM(r io.Reader, cols int, fn func(indices []int32, values []float64, label float64) error) (rows, maxCols int, err error) {
+	return ScanLibSVMRanked(r, cols, func(indices []int32, values []float64, label float64, _ int64) error {
+		return fn(indices, values, label)
+	})
+}
+
+// ScanLibSVMRanked is ScanLibSVM extended with the ranking variant of
+// the format: an optional "qid:N" token after the label names the row's
+// query group. Rows without one are delivered with qid -1. Binary-label
+// normalization (-1 → 0) only applies to files with no qid tokens —
+// ranking labels are relevance grades, not classes.
+func ScanLibSVMRanked(r io.Reader, cols int, fn func(indices []int32, values []float64, label float64, qid int64) error) (rows, maxCols int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	var idxBuf []int32
@@ -37,12 +48,22 @@ func ScanLibSVM(r io.Reader, cols int, fn func(indices []int32, values []float64
 		if err != nil {
 			return rows, maxCols, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
 		}
+		qid := int64(-1)
+		feats := fields[1:]
+		if len(feats) > 0 && strings.HasPrefix(feats[0], "qid:") {
+			q, err := strconv.ParseInt(feats[0][len("qid:"):], 10, 64)
+			if err != nil || q < 0 {
+				return rows, maxCols, fmt.Errorf("dataset: line %d: bad qid %q", lineNo, feats[0])
+			}
+			qid = q
+			feats = feats[1:]
+		}
 		// Normalize {-1,+1} labels to {0,1}.
-		if label == -1 {
+		if label == -1 && qid < 0 {
 			label = 0
 		}
 		idxBuf, valBuf = idxBuf[:0], valBuf[:0]
-		for _, f := range fields[1:] {
+		for _, f := range feats {
 			colon := strings.IndexByte(f, ':')
 			if colon < 0 {
 				return rows, maxCols, fmt.Errorf("dataset: line %d: bad entry %q", lineNo, f)
@@ -73,7 +94,7 @@ func ScanLibSVM(r io.Reader, cols int, fn func(indices []int32, values []float64
 				return rows, maxCols, fmt.Errorf("dataset: line %d: duplicate column %d", lineNo, idxBuf[k])
 			}
 		}
-		if err := fn(idxBuf, valBuf, label); err != nil {
+		if err := fn(idxBuf, valBuf, label, qid); err != nil {
 			return rows, maxCols, err
 		}
 		rows++
@@ -124,6 +145,62 @@ func ReadLibSVM(r io.Reader, cols int) (*Dataset, error) {
 	d.cols = cols
 	d.Labels = labels
 	return d, nil
+}
+
+// ReadLibSVMRanking parses the ranking variant of the LibSVM format
+// ("label qid:N idx:val ...") and returns the dataset together with the
+// query-group sizes in row order. Every row must carry a qid, rows of
+// one query must be contiguous, and a qid may not reappear after
+// another — NDCG and the pairwise gradients are only defined over
+// contiguous groups.
+func ReadLibSVMRanking(r io.Reader, cols int) (*Dataset, []int, error) {
+	d := &Dataset{rowPtr: []int32{0}}
+	var labels []float64
+	var groups []int
+	seen := map[int64]bool{}
+	cur := int64(-1)
+	rows, maxCols, err := ScanLibSVMRanked(r, cols, func(indices []int32, values []float64, label float64, qid int64) error {
+		if qid < 0 {
+			return fmt.Errorf("dataset: ranking row %d has no qid", len(labels)+1)
+		}
+		if qid != cur {
+			if seen[qid] {
+				return fmt.Errorf("dataset: qid %d reappears after another group (rows of one query must be contiguous)", qid)
+			}
+			seen[qid] = true
+			cur = qid
+			groups = append(groups, 0)
+		}
+		groups[len(groups)-1]++
+		d.colIdx = append(d.colIdx, indices...)
+		d.values = append(d.values, values...)
+		d.rowPtr = append(d.rowPtr, int32(len(d.colIdx)))
+		labels = append(labels, label)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if cols <= 0 {
+		cols = maxCols
+	}
+	if cols == 0 {
+		return nil, nil, fmt.Errorf("dataset: no feature columns found")
+	}
+	d.rows = rows
+	d.cols = cols
+	d.Labels = labels
+	return d, groups, nil
+}
+
+// LoadLibSVMRankingFile reads a ranking LibSVM file from disk.
+func LoadLibSVMRankingFile(path string, cols int) (*Dataset, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadLibSVMRanking(f, cols)
 }
 
 // WriteLibSVM writes the dataset in LibSVM format. Unlabeled datasets are
@@ -189,6 +266,58 @@ func SaveLibSVMFile(path string, d *Dataset) error {
 		return err
 	}
 	if err := WriteLibSVM(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteLibSVMRanking writes the dataset with qid:N query-group tokens,
+// the inverse of ReadLibSVMRanking: groups holds the run-length sizes of
+// consecutive query groups (1-based qids), covering every row exactly.
+func WriteLibSVMRanking(w io.Writer, d *Dataset, groups []int) error {
+	total := 0
+	for gi, g := range groups {
+		if g <= 0 {
+			return fmt.Errorf("dataset: group %d has non-positive size %d", gi, g)
+		}
+		total += g
+	}
+	if total != d.Rows() {
+		return fmt.Errorf("dataset: groups cover %d rows, dataset has %d", total, d.Rows())
+	}
+	bw := bufio.NewWriter(w)
+	row := 0
+	for gi, g := range groups {
+		for end := row + g; row < end; row++ {
+			label := 0.0
+			if d.Labels != nil {
+				label = d.Labels[row]
+			}
+			if _, err := fmt.Fprintf(bw, "%g qid:%d", label, gi+1); err != nil {
+				return err
+			}
+			cols, vals := d.Row(row)
+			for k, j := range cols {
+				if _, err := fmt.Fprintf(bw, " %d:%g", j+1, vals[k]); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveLibSVMRankingFile writes a ranking LibSVM file to disk.
+func SaveLibSVMRankingFile(path string, d *Dataset, groups []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteLibSVMRanking(f, d, groups); err != nil {
 		f.Close()
 		return err
 	}

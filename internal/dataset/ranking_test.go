@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadLibSVMRanking(t *testing.T) {
+	in := "2 qid:1 1:0.5 3:1\n0 qid:1 2:-1\n1 qid:7 1:2\n1 qid:7 3:0.25\n"
+	d, groups, err := ReadLibSVMRanking(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 4 || len(groups) != 2 || groups[0] != 2 || groups[1] != 2 {
+		t.Fatalf("rows %d groups %v, want 4 rows, groups [2 2]", d.Rows(), groups)
+	}
+	if d.Labels[0] != 2 || d.Labels[2] != 1 {
+		t.Errorf("labels %v", d.Labels)
+	}
+	// Grades are not classes: a -1 label in a qid file must survive, not
+	// be normalized to 0.
+	if d2, _, err := ReadLibSVMRanking(strings.NewReader("-1 qid:1 1:1\n0 qid:1 2:1\n"), 0); err != nil {
+		t.Fatal(err)
+	} else if d2.Labels[0] != -1 {
+		t.Errorf("ranking label -1 was normalized to %g", d2.Labels[0])
+	}
+	// A qid reappearing after another group breaks group contiguity.
+	if _, _, err := ReadLibSVMRanking(strings.NewReader("1 qid:1 1:1\n1 qid:2 1:1\n1 qid:1 1:1\n"), 0); err == nil {
+		t.Error("reappearing qid accepted")
+	}
+}
+
+func TestRankingWriteReadRoundTrip(t *testing.T) {
+	d, groups, err := GenerateRanking(RankGenOptions{Groups: 5, GroupSize: 4, Cols: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibSVMRanking(&buf, d, groups); err != nil {
+		t.Fatal(err)
+	}
+	got, gotGroups, err := ReadLibSVMRanking(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != d.Rows() || len(gotGroups) != len(groups) {
+		t.Fatalf("round trip: %d rows %d groups, want %d/%d", got.Rows(), len(gotGroups), d.Rows(), len(groups))
+	}
+	for i := range groups {
+		if gotGroups[i] != groups[i] {
+			t.Fatalf("group %d = %d, want %d", i, gotGroups[i], groups[i])
+		}
+	}
+	for i := 0; i < d.Rows(); i++ {
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("label %d = %g, want %g", i, got.Labels[i], d.Labels[i])
+		}
+		ac, av := d.Row(i)
+		bc, bv := got.Row(i)
+		if len(ac) != len(bc) {
+			t.Fatalf("row %d width %d, want %d", i, len(bc), len(ac))
+		}
+		for k := range ac {
+			if ac[k] != bc[k] || av[k] != bv[k] {
+				t.Fatalf("row %d entry %d mismatch", i, k)
+			}
+		}
+	}
+	// Mis-sized groups must be rejected before any bytes are written.
+	if err := WriteLibSVMRanking(&bytes.Buffer{}, d, groups[:len(groups)-1]); err == nil {
+		t.Error("short group cover accepted")
+	}
+}
+
+func TestGenerateMulticlassShape(t *testing.T) {
+	d, err := GenerateMulticlass(MultiGenOptions{Rows: 200, Cols: 5, Classes: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]int{}
+	for _, y := range d.Labels {
+		if y < 0 || y > 3 || y != float64(int(y)) {
+			t.Fatalf("label %g outside class range", y)
+		}
+		seen[y]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d of 4 classes appear in 200 rows", len(seen))
+	}
+	if _, err := GenerateMulticlass(MultiGenOptions{Rows: 10, Cols: 2, Classes: 1}); err == nil {
+		t.Error("single-class generator accepted")
+	}
+}

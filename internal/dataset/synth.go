@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -124,6 +125,145 @@ func Generate(o GenOptions) (*Dataset, error) {
 	}
 	d.Labels = labels
 	return d, nil
+}
+
+// MultiGenOptions describes a synthetic multiclass dataset: dense
+// Gaussian features, one ground-truth weight vector per class, labels
+// by softmax sampling over the class logits.
+type MultiGenOptions struct {
+	Rows, Cols, Classes int
+	// NoiseProb replaces each label with a uniform class with this
+	// probability.
+	NoiseProb float64
+	Seed      int64
+}
+
+// GenerateMulticlass builds a k-class dataset deterministically from the
+// seed. Labels are class indices in [0, Classes) stored as float64.
+func GenerateMulticlass(o MultiGenOptions) (*Dataset, error) {
+	if o.Rows <= 0 || o.Cols <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive shape %dx%d", o.Rows, o.Cols)
+	}
+	if o.Classes < 2 {
+		return nil, fmt.Errorf("dataset: multiclass needs >= 2 classes, got %d", o.Classes)
+	}
+	rng := newRNG(o.Seed)
+	w := make([][]float64, o.Classes)
+	for c := range w {
+		w[c] = make([]float64, o.Cols)
+		for j := range w[c] {
+			w[c][j] = rng.NormFloat64() * 2
+		}
+	}
+	b := NewBuilder(o.Cols)
+	idx := make([]int32, o.Cols)
+	vals := make([]float64, o.Cols)
+	labels := make([]float64, 0, o.Rows)
+	logits := make([]float64, o.Classes)
+	for i := 0; i < o.Rows; i++ {
+		for j := 0; j < o.Cols; j++ {
+			idx[j] = int32(j)
+			vals[j] = rng.NormFloat64()
+		}
+		for c := range logits {
+			var dot float64
+			for j, v := range vals {
+				dot += v * w[c][j]
+			}
+			logits[c] = dot / math.Sqrt(float64(o.Cols))
+		}
+		best := 0
+		for c := 1; c < o.Classes; c++ {
+			if logits[c] > logits[best] {
+				best = c
+			}
+		}
+		if o.NoiseProb > 0 && rng.Float64() < o.NoiseProb {
+			best = rng.Intn(o.Classes)
+		}
+		labels = append(labels, float64(best))
+		if err := b.AddRowUnlabeled(idx, vals); err != nil {
+			return nil, err
+		}
+	}
+	d := b.Build()
+	d.Labels = labels
+	return d, nil
+}
+
+// RankGenOptions describes a synthetic learning-to-rank dataset:
+// Groups query groups of GroupSize documents each, dense Gaussian
+// features, and relevance grades assigned by within-group quantile of a
+// noisy ground-truth score, so every group carries the full grade range.
+type RankGenOptions struct {
+	Groups, GroupSize, Cols int
+	// Grades is the number of relevance levels (labels 0..Grades-1);
+	// defaults to 3 when zero.
+	Grades int
+	// Noise is the std of the Gaussian perturbation on the ground-truth
+	// score before grading; higher noise lowers the achievable NDCG.
+	Noise float64
+	Seed  int64
+}
+
+// GenerateRanking builds the dataset deterministically from the seed and
+// returns it with the query-group sizes (all GroupSize, in row order).
+func GenerateRanking(o RankGenOptions) (*Dataset, []int, error) {
+	if o.Groups <= 0 || o.GroupSize < 2 || o.Cols <= 0 {
+		return nil, nil, fmt.Errorf("dataset: ranking shape %d groups × %d docs × %d cols invalid", o.Groups, o.GroupSize, o.Cols)
+	}
+	grades := o.Grades
+	if grades == 0 {
+		grades = 3
+	}
+	if grades < 2 {
+		return nil, nil, fmt.Errorf("dataset: ranking needs >= 2 grades, got %d", grades)
+	}
+	rng := newRNG(o.Seed)
+	w := make([]float64, o.Cols)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 2
+	}
+	b := NewBuilder(o.Cols)
+	idx := make([]int32, o.Cols)
+	vals := make([]float64, o.Cols)
+	labels := make([]float64, 0, o.Groups*o.GroupSize)
+	scores := make([]float64, o.GroupSize)
+	order := make([]int, o.GroupSize)
+	groups := make([]int, o.Groups)
+	for g := 0; g < o.Groups; g++ {
+		groups[g] = o.GroupSize
+		for doc := 0; doc < o.GroupSize; doc++ {
+			var dot float64
+			for j := 0; j < o.Cols; j++ {
+				idx[j] = int32(j)
+				vals[j] = rng.NormFloat64()
+				dot += vals[j] * w[j]
+			}
+			scores[doc] = dot/math.Sqrt(float64(o.Cols)) + rng.NormFloat64()*o.Noise
+			if err := b.AddRowUnlabeled(idx, vals); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Grade by within-group rank: the top fraction gets the highest
+		// grade, so grades are present in every group.
+		for doc := range order {
+			order[doc] = doc
+		}
+		sortInts(order, func(a, b int) bool { return scores[a] > scores[b] })
+		groupLabels := make([]float64, o.GroupSize)
+		for pos, doc := range order {
+			groupLabels[doc] = float64(grades - 1 - pos*grades/o.GroupSize)
+		}
+		labels = append(labels, groupLabels...)
+	}
+	d := b.Build()
+	d.Labels = labels
+	return d, groups, nil
+}
+
+func sortInts(idx []int, less func(a, b int) bool) {
+	sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
 }
 
 // Preset describes one of the paper's Table 3 datasets as a synthetic

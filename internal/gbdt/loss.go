@@ -38,8 +38,12 @@ func (LogisticLoss) GradHess(label, margin float64) (float64, float64) {
 
 func (LogisticLoss) GradBound() float64 { return 1 }
 
-// SquaredLoss is 0.5·(y-ŷ)² for regression tasks.
-type SquaredLoss struct{}
+// SquaredLoss is 0.5·(y-ŷ)² for regression tasks. Bound, when set,
+// overrides the default gradient bound; fit it with FitSquaredBound
+// before training on unnormalized targets.
+type SquaredLoss struct {
+	Bound float64
+}
 
 func (SquaredLoss) Name() string { return "squared" }
 
@@ -47,9 +51,31 @@ func (SquaredLoss) GradHess(label, margin float64) (float64, float64) {
 	return margin - label, 1
 }
 
-// GradBound for squared loss depends on the label range; a generous
-// constant suits the normalized targets used in the examples.
-func (SquaredLoss) GradBound() float64 { return 64 }
+// GradBound for squared loss depends on the label range. An unfitted
+// loss keeps the historical constant 64 (safe for normalized targets);
+// a fitted one returns the bound derived from the observed labels, so
+// the histogram-packing shift cannot silently overflow on raw targets.
+func (l SquaredLoss) GradBound() float64 {
+	if l.Bound > 0 {
+		return l.Bound
+	}
+	return 64
+}
+
+// FitSquaredBound derives a squared-loss gradient bound from the
+// observed label range. Margins start at zero and boosting contracts
+// the residual, so |g| = |margin − y| stays within a small multiple of
+// max|y|; 4× leaves headroom for transient overshoot and keeps the
+// bound a power-of-two-ish round number for the packing shift.
+func FitSquaredBound(labels []float64) float64 {
+	maxAbs := 1.0
+	for _, y := range labels {
+		if a := math.Abs(y); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return 4 * maxAbs
+}
 
 // LossByName resolves a loss by name; it returns nil for unknown names.
 func LossByName(name string) Loss {

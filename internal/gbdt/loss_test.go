@@ -1,0 +1,40 @@
+package gbdt
+
+import "testing"
+
+func TestLossByName(t *testing.T) {
+	if l := LossByName("logistic"); l == nil || l.Name() != "logistic" {
+		t.Errorf("LossByName(logistic) = %v", l)
+	}
+	if l := LossByName("squared"); l == nil || l.Name() != "squared" {
+		t.Errorf("LossByName(squared) = %v", l)
+	}
+	for _, bad := range []string{"", "nope", "Logistic", "squared "} {
+		if l := LossByName(bad); l != nil {
+			t.Errorf("LossByName(%q) = %v, want nil", bad, l)
+		}
+	}
+}
+
+func TestSquaredBound(t *testing.T) {
+	if b := (SquaredLoss{}).GradBound(); b != 64 {
+		t.Errorf("unfitted squared bound = %g, want the historical 64", b)
+	}
+	// Fitting derives the bound from the observed label range instead of
+	// the hard-coded constant, with 4x overshoot headroom and a floor of
+	// 4 for near-zero targets.
+	cases := []struct {
+		labels []float64
+		want   float64
+	}{
+		{[]float64{0.1, -0.2, 0.5}, 4},
+		{[]float64{100, -250, 30}, 1000},
+		{nil, 4},
+	}
+	for _, c := range cases {
+		fit := SquaredLoss{Bound: FitSquaredBound(c.labels)}
+		if got := fit.GradBound(); got != c.want {
+			t.Errorf("fitted bound for %v = %g, want %g", c.labels, got, c.want)
+		}
+	}
+}

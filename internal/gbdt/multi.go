@@ -1,0 +1,135 @@
+package gbdt
+
+import (
+	"fmt"
+
+	"vf2boost/internal/dataset"
+)
+
+// MultiObjective is the slice of the objective-layer interface the
+// trainer consumes, declared structurally so gbdt does not import
+// internal/objective (which imports gbdt for the Loss compat shim).
+// An implementation with NumOutputs() == k trains k trees per boosting
+// round over a k×n margin matrix; GradHess is called once per round and
+// its k gradient vectors are shared by all k trees of that round.
+type MultiObjective interface {
+	Name() string
+	NumOutputs() int
+	InitMargin(labels []float64, output int) float64
+	GradHess(labels []float64, margins, grads, hess [][]float64) error
+}
+
+// Outputs returns the model's output count (1 for classic single-output
+// models serialized before the field existed).
+func (m *Model) Outputs() int {
+	if m.NumOutputs > 1 {
+		return m.NumOutputs
+	}
+	return 1
+}
+
+// PredictOutputs returns the k raw margins of row i. Trees are stored
+// round-robin: tree t belongs to output t mod k.
+func (m *Model) PredictOutputs(d *dataset.Dataset, i int) []float64 {
+	k := m.Outputs()
+	out := make([]float64, k)
+	for c := range out {
+		out[c] = m.BaseScore
+	}
+	for t, tree := range m.Trees {
+		out[t%k] += m.LearningRate * tree.Predict(d, i)
+	}
+	return out
+}
+
+// PredictAllOutputs returns the k×n raw margin matrix for every row.
+func (m *Model) PredictAllOutputs(d *dataset.Dataset) [][]float64 {
+	k := m.Outputs()
+	out := make([][]float64, k)
+	for c := range out {
+		out[c] = make([]float64, d.Rows())
+	}
+	parallelRows(d.Rows(), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for t, tree := range m.Trees {
+				out[t%k][i] += m.LearningRate * tree.Predict(d, i)
+			}
+		}
+	})
+	if m.BaseScore != 0 {
+		for c := range out {
+			for i := range out[c] {
+				out[c][i] += m.BaseScore
+			}
+		}
+	}
+	return out
+}
+
+// TrainMulti fits a multi-output GBDT model on a labeled dataset.
+func TrainMulti(d *dataset.Dataset, obj MultiObjective, p Params) (*Model, error) {
+	if d.Labels == nil {
+		return nil, fmt.Errorf("gbdt: dataset has no labels")
+	}
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	mapper, err := NewBinMapper(d, p.MaxBins)
+	if err != nil {
+		return nil, err
+	}
+	return TrainMultiBinned(NewBinnedMatrix(d, mapper), d.Labels, obj, p)
+}
+
+// TrainMultiBinned fits a k-output GBDT model: p.NumTrees boosting
+// rounds of k trees each, one per output in round-robin order. The
+// objective's GradHess runs once per round — the local mirror of the
+// federated engine's one-encryption-pass-per-round schedule — and the
+// round's k trees consume its k gradient vectors.
+func TrainMultiBinned(bv BinView, labels []float64, obj MultiObjective, p Params) (*Model, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	k := obj.NumOutputs()
+	if k < 1 {
+		return nil, fmt.Errorf("gbdt: objective %s has %d outputs", obj.Name(), k)
+	}
+	n := bv.Rows()
+	if len(labels) != n {
+		return nil, fmt.Errorf("gbdt: %d labels for %d rows", len(labels), n)
+	}
+	margins := make([][]float64, k)
+	grads := make([][]float64, k)
+	hess := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		margins[c] = make([]float64, n)
+		grads[c] = make([]float64, n)
+		hess[c] = make([]float64, n)
+		init := p.BaseScore + obj.InitMargin(labels, c)
+		for i := range margins[c] {
+			margins[c][i] = init
+		}
+	}
+	model := &Model{
+		LearningRate: p.LearningRate,
+		BaseScore:    p.BaseScore,
+		LossName:     obj.Name(),
+		NumFeatures:  len(bv.Mapper().Cuts),
+		NumOutputs:   k,
+	}
+
+	for round := 0; round < p.NumTrees; round++ {
+		if err := obj.GradHess(labels, margins, grads, hess); err != nil {
+			return nil, err
+		}
+		for c := 0; c < k; c++ {
+			tree := growTree(bv, grads[c], hess[c], p)
+			model.Trees = append(model.Trees, tree)
+			updateMarginsBinned(margins[c], tree, bv, p.LearningRate, p.Workers)
+		}
+		if p.OnTreeDone != nil {
+			p.OnTreeDone(round, model)
+		}
+	}
+	return model, nil
+}

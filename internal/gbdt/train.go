@@ -74,6 +74,9 @@ type Model struct {
 	BaseScore    float64 `json:"base_score"`
 	LossName     string  `json:"loss"`
 	NumFeatures  int     `json:"num_features"`
+	// NumOutputs is k for multi-output models (trees stored round-robin,
+	// tree t belongs to output t mod k); 0 or 1 means single-output.
+	NumOutputs int `json:"num_outputs,omitempty"`
 }
 
 // PredictMargin returns the raw margin of row i.

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multi-output and ranking metrics: softmax logloss and argmax accuracy
+// over a k×n margin matrix (margins[c][i] is output c of instance i),
+// and NDCG@k over contiguous query groups.
+
+// Softmax converts one instance's k raw margins to probabilities in
+// place-safe fashion (out may alias margins). The max-shift keeps the
+// exponentials finite for any margin range.
+func Softmax(margins, out []float64) {
+	maxM := margins[0]
+	for _, m := range margins[1:] {
+		if m > maxM {
+			maxM = m
+		}
+	}
+	var sum float64
+	for c, m := range margins {
+		e := math.Exp(m - maxM)
+		out[c] = e
+		sum += e
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+func checkMulti(margins [][]float64, labels []float64) error {
+	if len(margins) < 2 {
+		return errors.New("metrics: multiclass needs at least 2 outputs")
+	}
+	n := len(labels)
+	if n == 0 {
+		return errors.New("metrics: empty input")
+	}
+	for c := range margins {
+		if len(margins[c]) != n {
+			return fmt.Errorf("metrics: output %d has %d margins for %d labels", c, len(margins[c]), n)
+		}
+	}
+	return nil
+}
+
+// SoftmaxLogLoss computes the mean multiclass cross-entropy (mlogloss)
+// from a k×n margin matrix. Labels must be integers in [0, k).
+func SoftmaxLogLoss(margins [][]float64, labels []float64) (float64, error) {
+	if err := checkMulti(margins, labels); err != nil {
+		return 0, err
+	}
+	k := len(margins)
+	row := make([]float64, k)
+	var sum float64
+	for i, y := range labels {
+		cls := int(y)
+		if float64(cls) != y || cls < 0 || cls >= k {
+			return 0, fmt.Errorf("metrics: label %v is not a class in [0,%d)", y, k)
+		}
+		for c := 0; c < k; c++ {
+			row[c] = margins[c][i]
+		}
+		Softmax(row, row)
+		sum += -math.Log(math.Max(row[cls], 1e-15))
+	}
+	return sum / float64(len(labels)), nil
+}
+
+// MulticlassAccuracy computes argmax accuracy from a k×n margin matrix.
+// Labels must be integers in [0, k).
+func MulticlassAccuracy(margins [][]float64, labels []float64) (float64, error) {
+	if err := checkMulti(margins, labels); err != nil {
+		return 0, err
+	}
+	k := len(margins)
+	correct := 0
+	for i, y := range labels {
+		cls := int(y)
+		if float64(cls) != y || cls < 0 || cls >= k {
+			return 0, fmt.Errorf("metrics: label %v is not a class in [0,%d)", y, k)
+		}
+		best := 0
+		for c := 1; c < k; c++ {
+			if margins[c][i] > margins[best][i] {
+				best = c
+			}
+		}
+		if best == cls {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}
+
+// NDCGAt computes the mean NDCG@k over contiguous query groups: groups
+// lists the group sizes in row order and must sum to len(scores). Labels
+// are non-negative relevance grades; the gain of grade r is 2^r − 1.
+// Groups whose ideal DCG is zero (all grades zero) count as NDCG 1 — the
+// ranking cannot be wrong when nothing is relevant.
+func NDCGAt(k int, scores, labels []float64, groups []int) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, errors.New("metrics: scores and labels length mismatch")
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("metrics: NDCG cutoff %d must be positive", k)
+	}
+	total := 0
+	for _, g := range groups {
+		if g <= 0 {
+			return 0, fmt.Errorf("metrics: group size %d must be positive", g)
+		}
+		total += g
+	}
+	if total != len(scores) {
+		return 0, fmt.Errorf("metrics: groups cover %d rows of %d", total, len(scores))
+	}
+	if len(groups) == 0 {
+		return 0, errors.New("metrics: empty input")
+	}
+	var sum float64
+	start := 0
+	for _, g := range groups {
+		sum += ndcgGroup(k, scores[start:start+g], labels[start:start+g])
+		start += g
+	}
+	return sum / float64(len(groups)), nil
+}
+
+func ndcgGroup(k int, scores, labels []float64) float64 {
+	n := len(scores)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by score descending; ties broken by row order for determinism.
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	dcg := dcgAt(k, order, labels)
+	sort.Slice(order, func(a, b int) bool {
+		if labels[order[a]] != labels[order[b]] {
+			return labels[order[a]] > labels[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	idcg := dcgAt(k, order, labels)
+	if idcg == 0 {
+		return 1
+	}
+	return dcg / idcg
+}
+
+func dcgAt(k int, order []int, labels []float64) float64 {
+	var dcg float64
+	for pos, i := range order {
+		if pos >= k {
+			break
+		}
+		dcg += (math.Exp2(labels[i]) - 1) / math.Log2(float64(pos)+2)
+	}
+	return dcg
+}

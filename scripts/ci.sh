@@ -47,6 +47,25 @@ echo "== HE backend matrix (conformance across registered backends, vec protocol
 go test -race -count=1 -run 'TestBackendConformance|TestVec|TestScalarBackendByteIdentity|TestUnknownBackendRejected|TestPeerBackendRejection' \
   ./internal/he ./internal/core
 
+echo "== objective smoke (multiclass + ranking: parity, shared-pass counters, rejection paths, race-enabled) =="
+# The multi-output protocol interleaves class lanes inside shared
+# ciphertext windows and advances passive-party class trees mid-round;
+# both are concurrency-sensitive, so this leg runs under the race
+# detector across the scalar and mock-batched paths.
+go test -race -count=1 \
+  -run 'TestMulticlass|TestRanking|TestPeerObjectiveRejection|TestUnregisteredMultiOutputObjectiveRejected|TestSoftmax|TestLambdaRank|TestNewArgParsing|TestNewUnknownName' \
+  ./internal/core ./internal/objective
+
+echo "== objective CLI smoke (sim: multiclass over -he paillier-batched, ranking over scalar) =="
+obj_tmp=$(mktemp -d)
+go run ./cmd/datagen -classes 3 -rows 300 -cols 6 -seed 5 -out "$obj_tmp/mc.libsvm" >/dev/null
+go run ./cmd/datagen -rank-groups 30 -group-size 6 -cols 6 -seed 5 -out "$obj_tmp/rank.libsvm" >/dev/null
+go run ./cmd/vf2boost sim -data "$obj_tmp/mc.libsvm" -split 3,3 -objective multiclass:3 \
+  -he paillier-batched -keybits 512 -trees 2 -depth 2 -out "$obj_tmp/mc.json" >/dev/null
+go run ./cmd/vf2boost sim -data "$obj_tmp/rank.libsvm" -split 3,3 -objective ranking:5 \
+  -scheme mock -trees 2 -depth 2 -out "$obj_tmp/rank.json" >/dev/null
+rm -rf "$obj_tmp"
+
 echo "== fuzz smoke (wire decode) =="
 go test -run='^$' -fuzz=FuzzWireDecode -fuzztime=10s ./internal/core
 
