@@ -36,6 +36,7 @@ import (
 	"vf2boost/internal/core"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fault"
+	"vf2boost/internal/fault/fsfault"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
 	"vf2boost/internal/metrics"
@@ -191,12 +192,21 @@ func oocFlags(fs *flag.FlagSet) func() oocSettings {
 	budget := fs.String("mem-budget", "256MiB", "resident shard-cache cap for -ooc (bytes, or with K/M/G[iB] suffix; 0 = unlimited)")
 	chunkRows := fs.Int("chunk-rows", 1<<16, "shard height in rows for -ooc store builds")
 	prefetch := fs.Bool("prefetch", true, "next-shard readahead at shallow tree depth (-ooc)")
+	chaos := fs.String("fschaos", "", "seeded storage fault injection for stores and checkpoints, e.g. seed=7,flip=0.02,readerr=0.05,shortwrite=0.1,tornrename=0.2,enospc=1MiB,crash=40")
 	return func() oocSettings {
 		b, err := parseBytes(*budget)
 		if err != nil {
 			log.Fatalf("bad -mem-budget: %v", err)
 		}
-		return oocSettings{dir: *dir, budget: b, chunkRows: *chunkRows, prefetch: *prefetch}
+		s := oocSettings{dir: *dir, budget: b, chunkRows: *chunkRows, prefetch: *prefetch}
+		if *chaos != "" {
+			cfg, err := fsfault.ParseSpec(*chaos)
+			if err != nil {
+				log.Fatalf("bad -fschaos: %v", err)
+			}
+			s.fsys = fsfault.Wrap(nil, cfg)
+		}
+		return s
 	}
 }
 
@@ -205,22 +215,24 @@ type oocSettings struct {
 	budget    int64
 	chunkRows int
 	prefetch  bool
+	fsys      fsfault.FS // nil = real filesystem; set by -fschaos
 }
 
 // openStore builds the store from src if dir has no manifest yet, then
 // opens it under the configured budget. An existing store is reused
 // as-is (delete the directory to force a rebuild).
 func (s oocSettings) openStore(src ooc.Source, maxBins int) *ooc.Store {
-	st, err := ooc.Open(s.dir, ooc.Options{MemBudget: s.budget, Prefetch: s.prefetch})
+	opt := ooc.Options{MemBudget: s.budget, Prefetch: s.prefetch, Source: src, FS: s.fsys}
+	st, err := ooc.Open(s.dir, opt)
 	if err == nil {
 		fmt.Printf("ooc: reusing store %s (%d rows, %d shards)\n", s.dir, st.Rows(), st.NumShards())
 		return st
 	}
 	start := time.Now()
-	if err := ooc.Build(s.dir, src, ooc.BuildOptions{MaxBins: maxBins, ChunkRows: s.chunkRows}); err != nil {
+	if err := ooc.Build(s.dir, src, ooc.BuildOptions{MaxBins: maxBins, ChunkRows: s.chunkRows, FS: s.fsys}); err != nil {
 		log.Fatalf("ooc: building %s: %v", s.dir, err)
 	}
-	st, err = ooc.Open(s.dir, ooc.Options{MemBudget: s.budget, Prefetch: s.prefetch})
+	st, err = ooc.Open(s.dir, opt)
 	if err != nil {
 		log.Fatalf("ooc: opening %s: %v", s.dir, err)
 	}
@@ -312,6 +324,10 @@ func cmdLocal(args []string) {
 		cs := st.Stats()
 		fmt.Printf("trained %d trees out-of-core in %v; cache: %d loads, %d prefetches, %d evictions, peak %d bytes\n",
 			cfg.Trees, time.Since(start).Round(time.Millisecond), cs.Loads, cs.Prefetches, cs.Evictions, cs.PeakBytes)
+		if cs.RetriedLoads > 0 || cs.Quarantined > 0 || cs.Rebuilds > 0 {
+			fmt.Printf("self-heal: %d retried loads, %d quarantined shards, %d rebuilds (generation %d)\n",
+				cs.RetriedLoads, cs.Quarantined, cs.Rebuilds, st.Generation())
+		}
 		if err := m.SaveFile(*out); err != nil {
 			log.Fatal(err)
 		}
@@ -409,6 +425,11 @@ func cmdSim(args []string) {
 		}
 		if total != base.Cols() {
 			log.Fatalf("sim: -split %v covers %d features, %s has %d", counts, total, *data, base.Cols())
+		}
+		if oc.fsys != nil {
+			// The same injector that hits the shard stores also hits any
+			// checkpoint stores the session opens.
+			opts = append(opts, core.WithCheckpointFS(oc.fsys))
 		}
 		views := make([]gbdt.BinView, len(counts))
 		lo := 0
@@ -643,7 +664,7 @@ func cmdParty(args []string) {
 		if *ckptDir == "" {
 			return nil
 		}
-		st, err := checkpoint.Open(filepath.Join(*ckptDir, sub))
+		st, err := checkpoint.OpenFS(filepath.Join(*ckptDir, sub), oc.fsys)
 		if err != nil {
 			log.Fatal(err)
 		}

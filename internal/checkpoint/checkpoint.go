@@ -16,11 +16,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"vf2boost/internal/fault/fsfault"
 )
 
 const (
@@ -28,6 +29,7 @@ const (
 	headerSize = len(magic) + 4 + 8
 	prefix     = "ckpt-"
 	suffix     = ".vfck"
+	tmpPrefix  = ".tmp-"
 )
 
 // Store manages the snapshots of one party in one directory. Snapshot
@@ -35,15 +37,43 @@ const (
 // completed trees); Save overwrites an existing sequence atomically.
 type Store struct {
 	dir  string
+	fs   fsfault.FS
 	keep int // retain at most this many newest snapshots; 0 = all
 }
 
-// Open creates the directory if needed and returns a store over it.
+// Open creates the directory if needed and returns a store over it,
+// sweeping any temp debris a crashed writer left behind.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open with an explicit filesystem (nil means the real one);
+// the storage-chaos harness installs a fault injector here.
+func OpenFS(dir string, fsys fsfault.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = fsfault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, fs: fsys}
+	s.sweepTemp()
+	return s, nil
+}
+
+// sweepTemp removes orphaned temp files — debris of writers that died
+// between CreateTemp and rename. They never carried a committed name, so
+// deleting them cannot lose a snapshot.
+func (s *Store) sweepTemp() {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			s.fs.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
 }
 
 // Dir returns the store's directory.
@@ -73,7 +103,7 @@ func (s *Store) Save(seq int, v any) error {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(body)))
 	buf = append(buf, body...)
 
-	tmp, err := os.CreateTemp(s.dir, ".tmp-"+prefix+"*")
+	tmp, err := s.fs.CreateTemp(s.dir, tmpPrefix+prefix+"*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: temp file: %w", err)
 	}
@@ -85,11 +115,11 @@ func (s *Store) Save(seq int, v any) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmpName)
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: writing snapshot %d: %w", seq, err)
 	}
-	if err := os.Rename(tmpName, s.path(seq)); err != nil {
-		os.Remove(tmpName)
+	if err := s.fs.Rename(tmpName, s.path(seq)); err != nil {
+		s.fs.Remove(tmpName)
 		return fmt.Errorf("checkpoint: publishing snapshot %d: %w", seq, err)
 	}
 	s.prune()
@@ -103,7 +133,7 @@ func (s *Store) prune() {
 	}
 	seqs := s.Seqs()
 	for len(seqs) > s.keep {
-		os.Remove(s.path(seqs[0]))
+		s.fs.Remove(s.path(seqs[0]))
 		seqs = seqs[1:]
 	}
 }
@@ -111,7 +141,7 @@ func (s *Store) prune() {
 // Seqs lists the stored snapshot sequence numbers in ascending order
 // (whatever files exist — integrity is checked at load time).
 func (s *Store) Seqs() []int {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil
 	}
@@ -133,7 +163,7 @@ func (s *Store) Seqs() []int {
 
 // Load reads snapshot seq into v, verifying magic, length, and CRC.
 func (s *Store) Load(seq int, v any) error {
-	raw, err := os.ReadFile(s.path(seq))
+	raw, err := s.fs.ReadFile(s.path(seq))
 	if err != nil {
 		return fmt.Errorf("checkpoint: reading snapshot %d: %w", seq, err)
 	}
@@ -157,8 +187,11 @@ func (s *Store) Load(seq int, v any) error {
 
 // LoadLatest loads the newest snapshot that passes integrity checks into
 // v and returns its sequence number. It returns (0, nil) when no valid
-// snapshot exists — corrupted files are skipped, not fatal.
+// snapshot exists — corrupted files are skipped, not fatal. Orphaned
+// temp files encountered on the way are cleaned up, so a crash between
+// temp write and rename leaves no debris past the next recovery.
 func (s *Store) LoadLatest(v any) (int, error) {
+	s.sweepTemp()
 	seqs := s.Seqs()
 	for i := len(seqs) - 1; i >= 0; i-- {
 		if err := s.Load(seqs[i], v); err == nil {

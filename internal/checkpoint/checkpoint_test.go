@@ -156,3 +156,69 @@ func TestSaveRejectsBadSeq(t *testing.T) {
 		t.Error("Save(0) accepted a non-positive sequence")
 	}
 }
+
+// A crash at rename time — the classic torn write — leaves either a
+// truncated committed name or stale temp debris. LoadLatest must skip the
+// torn snapshot to the newest valid one, and opening or recovering the
+// store must clean the orphaned temp files.
+func TestTornWriteAtRenameRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 2; seq++ {
+		if err := st.Save(seq, snap{Round: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot 3 "crashed" mid-rename: the committed name holds a prefix
+	// of the frame (data blocks never synced).
+	raw, err := os.ReadFile(st.path(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(3), raw[:headerSize+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot 4 "crashed" before rename: only temp debris exists.
+	debris := []string{
+		filepath.Join(dir, tmpPrefix+prefix+"123456"),
+		filepath.Join(dir, tmpPrefix+prefix+"999999"),
+	}
+	for _, p := range debris {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got snap
+	seq, err := st.LoadLatest(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || got.Round != 2 {
+		t.Fatalf("LoadLatest = %d (round %d), want the newest valid snapshot 2", seq, got.Round)
+	}
+	for _, p := range debris {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphaned temp file %s survived recovery", filepath.Base(p))
+		}
+	}
+}
+
+// Reopening a directory with temp debris sweeps it immediately, before
+// any load.
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	debris := filepath.Join(dir, tmpPrefix+prefix+"42")
+	if err := os.WriteFile(debris, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Error("Open left orphaned temp file in place")
+	}
+}

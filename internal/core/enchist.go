@@ -60,15 +60,21 @@ func (eh *EncHistogram) totalBins() int { return eh.offsets[len(eh.offsets)-1] }
 
 // Accumulate sweeps the given instances of the binned matrix into the
 // histogram. It is not safe for concurrent use; parallel builders use one
-// histogram per shard and merge.
-func (eh *EncHistogram) Accumulate(bm gbdt.BinView, insts []int32, gh *encGH) {
+// histogram per shard and merge. A view failure (disk-backed views only)
+// stops the sweep; the partial histogram must be discarded and the error
+// routed into the session-abort path.
+func (eh *EncHistogram) Accumulate(bm gbdt.BinView, insts []int32, gh *encGH) error {
 	for _, i := range insts {
-		cols, bins := bm.Row(int(i))
+		cols, bins, err := bm.Row(int(i))
+		if err != nil {
+			return err
+		}
 		for k, j := range cols {
 			idx := eh.offsets[j] + int(bins[k])
 			eh.add(idx, gh.g[i], gh.h[i])
 		}
 	}
+	return nil
 }
 
 func (eh *EncHistogram) add(idx int, g, h fixedpoint.EncNum) {

@@ -27,7 +27,10 @@ func (b *activeParty) buildTreeOptimistic(t int) (*FedTree, []leafResult, error)
 	var leaves []leafResult
 
 	for layer := 0; layer < b.cfg.MaxDepth && len(active) > 0; layer++ {
-		ownHists := b.buildOwnHistograms(active)
+		ownHists, err := b.buildOwnHistograms(active)
+		if err != nil {
+			return nil, nil, err
+		}
 
 		// Phase 1: tentative resolution from B's own splits only.
 		type tentative struct {
@@ -42,7 +45,10 @@ func (b *activeParty) buildTreeOptimistic(t int) (*FedTree, []leafResult, error)
 			tn := tentative{node: nd, cand: b.ownBest(ownHists[k], nd)}
 			if tn.cand.valid() {
 				tn.leftID, tn.rightID = b.allocID(), b.allocID()
-				bits, left, right := b.placementBitmap(nd.insts, tn.cand.split.Feature, tn.cand.split.Bin)
+				bits, left, right, err := b.placementBitmap(nd.insts, tn.cand.split.Feature, tn.cand.split.Bin)
+				if err != nil {
+					return nil, nil, err
+				}
 				tn.left, tn.right = left, right
 				decs = append(decs, NodeDecision{
 					Node: nd.id, Action: ActionSplitB,

@@ -469,6 +469,7 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 	rootParts := p.rootPartsAll[m.Class]
 	workers := len(rootParts)
 	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
 	chunk := (len(insts) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -485,10 +486,19 @@ func (p *passiveParty) handleGradBatch(m MsgGradBatch) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			rootParts[w].Accumulate(p.view, insts[lo:hi], gh)
+			workerErrs[w] = rootParts[w].Accumulate(p.view, insts[lo:hi], gh)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			// Notify B before unwinding: without the abort the active
+			// party would wait forever for this root histogram.
+			err = fmt.Errorf("core: party %d root histogram sweep: %w", p.index, err)
+			p.fail(err)
+			return err
+		}
+	}
 	p.rootCountAll[m.Class] += len(insts)
 	endSpan()
 	addDur(&p.stats.buildHistTime, time.Since(start))
@@ -604,6 +614,7 @@ func (p *passiveParty) handleVecGradBatch(m MsgVecGradBatch) error {
 	}
 	workers := len(p.rootVecParts)
 	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
 	chunk := (len(insts) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -620,10 +631,19 @@ func (p *passiveParty) handleVecGradBatch(m MsgVecGradBatch) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			p.rootVecParts[w].accumulate(p.view, insts[lo:hi], p.vgh)
+			workerErrs[w] = p.rootVecParts[w].accumulate(p.view, insts[lo:hi], p.vgh)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			// Notify B before unwinding: without the abort the active
+			// party would wait forever for this root histogram.
+			err = fmt.Errorf("core: party %d root histogram sweep: %w", p.index, err)
+			p.fail(err)
+			return err
+		}
+	}
 	p.rootCount += len(insts)
 	endSpan()
 	addDur(&p.stats.buildHistTime, time.Since(start))
@@ -839,7 +859,14 @@ func (p *passiveParty) applyDecision(layer int, d NodeDecision) error {
 			// My split: record it, compute the placement and answer.
 			threshold := p.mapper.Threshold(int(d.Feature), int(d.Bin))
 			p.recordSplit(d.Node, d.Feature, threshold, d.LeftID, d.RightID)
-			left, right := p.partition(insts, d.Feature, d.Bin)
+			left, right, err := p.partition(insts, d.Feature, d.Bin)
+			if err != nil {
+				// Notify B before unwinding: it is waiting on the placement
+				// this partition was about to produce.
+				err = fmt.Errorf("core: party %d partitioning node %d: %w", p.index, d.Node, err)
+				p.fail(err)
+				return err
+			}
 			bits := make([]bool, len(insts))
 			li := 0
 			for k, inst := range insts {
@@ -916,15 +943,19 @@ func (p *passiveParty) recordSplit(node int32, feature int32, threshold float64,
 }
 
 // partition splits an instance list on one of this party's features.
-func (p *passiveParty) partition(insts []int32, feature, bin int32) (left, right []int32) {
+func (p *passiveParty) partition(insts []int32, feature, bin int32) (left, right []int32, err error) {
 	for _, i := range insts {
-		if gbdt.GoesLeft(p.view, i, feature, bin) {
+		goesLeft, err := gbdt.GoesLeft(p.view, i, feature, bin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if goesLeft {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
 		}
 	}
-	return left, right
+	return left, right, nil
 }
 
 // childReady registers the children of a split node and schedules their
@@ -971,7 +1002,11 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 		defer p.taskWG.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		bins, ok := p.buildBins(task, small, gh, wins)
+		bins, ok, err := p.buildBins(task, small, gh, wins)
+		if err != nil {
+			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, smallID, err))
+			return
+		}
 		if !ok {
 			return
 		}
@@ -1019,10 +1054,13 @@ func (p *passiveParty) scheduleHistPair(parent *cachedBins, layer int, leftID in
 
 // buildBins accumulates one node's histogram in abort-checked chunks and
 // finalizes it into the representation the session runs — scalar bins or
-// vectorized accumulators. ok is false when the task was aborted.
-func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH, wins []he.VecCiphertext) (bins *cachedBins, ok bool) {
+// vectorized accumulators. ok is false when the task was aborted. A
+// non-nil error means the binned view failed to deliver a row even after
+// its own retries/rebuilds — a storage fault the caller must turn into a
+// session abort.
+func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH, wins []he.VecCiphertext) (bins *cachedBins, ok bool, err error) {
 	if task.aborted.Load() {
-		return nil, false
+		return nil, false, nil
 	}
 	if dh, ok := p.view.(gbdt.DepthHinter); ok {
 		dh.HintDepth(task.layer)
@@ -1035,37 +1073,41 @@ func (p *passiveParty) buildBins(task *histTask, insts []int32, gh *encGH, wins 
 		vh := newVecHist(p.codec, p.vbackend, p.offsets, p.pairs)
 		for lo := 0; lo < len(insts); lo += chunk {
 			if task.aborted.Load() {
-				return nil, false
+				return nil, false, nil
 			}
 			hi := lo + chunk
 			if hi > len(insts) {
 				hi = len(insts)
 			}
-			vh.accumulate(p.view, insts[lo:hi], wins)
+			if err := vh.accumulate(p.view, insts[lo:hi], wins); err != nil {
+				return nil, false, err
+			}
 		}
 		addDur(&p.stats.buildHistTime, time.Since(start))
 		if task.aborted.Load() {
-			return nil, false
+			return nil, false, nil
 		}
-		return &cachedBins{vec: vh}, true
+		return &cachedBins{vec: vh}, true, nil
 	}
 	eh := NewEncHistogram(p.codec, p.mapper, p.cfg.ReorderedAccumulation)
 	for lo := 0; lo < len(insts); lo += chunk {
 		if task.aborted.Load() {
-			return nil, false
+			return nil, false, nil
 		}
 		hi := lo + chunk
 		if hi > len(insts) {
 			hi = len(insts)
 		}
-		eh.Accumulate(p.view, insts[lo:hi], gh)
+		if err := eh.Accumulate(p.view, insts[lo:hi], gh); err != nil {
+			return nil, false, err
+		}
 	}
 	addDur(&p.stats.buildHistTime, time.Since(start))
 	if task.aborted.Load() {
-		return nil, false
+		return nil, false, nil
 	}
 	g, h := eh.FinalizeBins(-1)
-	return &cachedBins{g: g, h: h}, true
+	return &cachedBins{g: g, h: h}, true, nil
 }
 
 // subtractCached derives the sibling bins as parent − child in whichever
@@ -1132,7 +1174,14 @@ func (p *passiveParty) scheduleHist(node int32, layer int, insts []int32) {
 		defer p.taskWG.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		bins, ok := p.buildBins(task, insts, gh, wins)
+		bins, ok, err := p.buildBins(task, insts, gh, wins)
+		if err != nil {
+			// The binned view exhausted its self-healing (retry + rebuild)
+			// budget: the shard is unrecoverable, so abort the session
+			// cleanly instead of training on a partial histogram.
+			p.fail(fmt.Errorf("core: party %d histogram for node %d: %w", p.index, node, err))
+			return
+		}
 		if !ok {
 			return
 		}

@@ -1182,18 +1182,22 @@ func (b *activeParty) childStats(insts []int32) (g, h float64) {
 
 // placementBitmap computes the left/right bitmap of a Party-B split over
 // a node's instances.
-func (b *activeParty) placementBitmap(insts []int32, feature, bin int32) ([]byte, []int32, []int32) {
+func (b *activeParty) placementBitmap(insts []int32, feature, bin int32) ([]byte, []int32, []int32, error) {
 	bits := make([]bool, len(insts))
 	var left, right []int32
 	for k, i := range insts {
-		if gbdt.GoesLeft(b.view, i, feature, bin) {
+		goesLeft, err := gbdt.GoesLeft(b.view, i, feature, bin)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if goesLeft {
 			bits[k] = true
 			left = append(left, i)
 		} else {
 			right = append(right, i)
 		}
 	}
-	return packBitmap(bits), left, right
+	return packBitmap(bits), left, right, nil
 }
 
 // allocID hands out the next tree-node ID.
@@ -1204,7 +1208,7 @@ func (b *activeParty) allocID() int32 {
 
 // buildOwnHistograms builds Party B's plaintext histograms for a set of
 // nodes.
-func (b *activeParty) buildOwnHistograms(nodes []*bNode) []*gbdt.Histogram {
+func (b *activeParty) buildOwnHistograms(nodes []*bNode) ([]*gbdt.Histogram, error) {
 	lists := make([][]int32, len(nodes))
 	for k, nd := range nodes {
 		lists[k] = nd.insts

@@ -50,12 +50,18 @@ func TestPlacementBitmapPartition(t *testing.T) {
 	for i := range insts {
 		insts[i] = int32(i)
 	}
-	bits, left, right := b.placementBitmap(insts, 0, 0)
+	bits, left, right, err := b.placementBitmap(insts, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(left)+len(right) != 60 {
 		t.Fatalf("partition lost instances: %d + %d", len(left), len(right))
 	}
 	for k, inst := range insts {
-		wantLeft := gbdt.GoesLeft(b.view, inst, 0, 0)
+		wantLeft, err := gbdt.GoesLeft(b.view, inst, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if bitmapGet(bits, k) != wantLeft {
 			t.Fatalf("bitmap bit %d disagrees with GoesLeft", k)
 		}
@@ -116,7 +122,10 @@ func TestOwnBestMatchesLocalBestSplit(t *testing.T) {
 		h0 += b.hess[i]
 	}
 	node := &bNode{id: rootID, insts: insts, g: g0, h: h0}
-	hists := b.buildOwnHistograms([]*bNode{node})
+	hists, err := b.buildOwnHistograms([]*bNode{node})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cand := b.ownBest(hists[0], node)
 	want := gbdt.BestSplit(hists[0], g0, h0, b.cfg.Split)
 	if cand.split != want {

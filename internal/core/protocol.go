@@ -18,7 +18,10 @@ func (b *activeParty) buildTreeSequential(t int) (*FedTree, []leafResult, error)
 	var leaves []leafResult
 
 	for layer := 0; layer < b.cfg.MaxDepth && len(active) > 0; layer++ {
-		ownHists := b.buildOwnHistograms(active)
+		ownHists, err := b.buildOwnHistograms(active)
+		if err != nil {
+			return nil, nil, err
+		}
 
 		decisions := make([][]NodeDecision, len(b.links))
 		type pendingA struct {
@@ -52,7 +55,10 @@ func (b *activeParty) buildTreeSequential(t int) (*FedTree, []leafResult, error)
 			case best.party == len(b.links):
 				// Party B owns the split.
 				leftID, rightID := b.allocID(), b.allocID()
-				bits, left, right := b.placementBitmap(nd.insts, best.split.Feature, best.split.Bin)
+				bits, left, right, err := b.placementBitmap(nd.insts, best.split.Feature, best.split.Bin)
+				if err != nil {
+					return nil, nil, err
+				}
 				b.recordSplitB(tree, nd, best, leftID, rightID)
 				for pi := range decisions {
 					decisions[pi] = append(decisions[pi], NodeDecision{

@@ -9,6 +9,7 @@ import (
 	"vf2boost/internal/checkpoint"
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/fault"
+	"vf2boost/internal/fault/fsfault"
 	"vf2boost/internal/fixedpoint"
 	"vf2boost/internal/gbdt"
 	"vf2boost/internal/he"
@@ -38,6 +39,7 @@ type Session struct {
 	chaos   *fault.Config
 	res     *ResilientConfig
 	ckptDir string
+	ckptFS  fsfault.FS
 	resume  bool
 
 	// wrapped collects the session's resilient transports for stats and
@@ -100,6 +102,13 @@ func WithResilience(cfg ResilientConfig) SessionOption {
 // party).
 func WithCheckpoints(dir string) SessionOption {
 	return func(s *Session) { s.ckptDir = dir }
+}
+
+// WithCheckpointFS routes every checkpoint store's I/O through the given
+// filesystem — the storage counterpart of WithChaos, used to inject disk
+// faults into the snapshot path and assert that recovery still converges.
+func WithCheckpointFS(fsys fsfault.FS) SessionOption {
+	return func(s *Session) { s.ckptFS = fsys }
 }
 
 // WithResume resumes training from the newest mutually-consistent
@@ -245,14 +254,14 @@ func (s *Session) Train() (*FederatedModel, error) {
 		passive []*checkpoint.Store
 	}
 	if s.ckptDir != "" {
-		st, err := checkpoint.Open(filepath.Join(s.ckptDir, "active"))
+		st, err := checkpoint.OpenFS(filepath.Join(s.ckptDir, "active"), s.ckptFS)
 		if err != nil {
 			return nil, err
 		}
 		stores.active = st
 		stores.passive = make([]*checkpoint.Store, numPassive)
 		for i := 0; i < numPassive; i++ {
-			if stores.passive[i], err = checkpoint.Open(filepath.Join(s.ckptDir, fmt.Sprintf("passive%d", i))); err != nil {
+			if stores.passive[i], err = checkpoint.OpenFS(filepath.Join(s.ckptDir, fmt.Sprintf("passive%d", i)), s.ckptFS); err != nil {
 				return nil, err
 			}
 		}

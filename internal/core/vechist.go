@@ -48,12 +48,16 @@ func newVecHist(codec *fixedpoint.Codec, backend he.Backend, offsets []int, pair
 // accumulate sweeps instances into the per-(bin, slot) accumulators. wins
 // holds the tree's window ciphertexts, indexed by instance/pairs; it is
 // read-only here, so shard builders may share it. Not safe for concurrent
-// use on one vecHist.
-func (vh *vecHist) accumulate(bm gbdt.BinView, insts []int32, wins []he.VecCiphertext) {
+// use on one vecHist. A view failure stops the sweep and invalidates the
+// partial accumulation.
+func (vh *vecHist) accumulate(bm gbdt.BinView, insts []int32, wins []he.VecCiphertext) error {
 	for _, i := range insts {
 		w := wins[int(i)/vh.pairs]
 		slot := int(i) % vh.pairs
-		cols, bins := bm.Row(int(i))
+		cols, bins, err := bm.Row(int(i))
+		if err != nil {
+			return err
+		}
 		for k, j := range cols {
 			idx := (vh.offsets[j]+int(bins[k]))*vh.pairs + slot
 			if vh.cts[idx] == nil {
@@ -65,6 +69,7 @@ func (vh *vecHist) accumulate(bm gbdt.BinView, insts []int32, wins []he.VecCiphe
 			vh.counts[idx]++
 		}
 	}
+	return nil
 }
 
 // merge folds another shard's accumulators (same shape) into this one.

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"vf2boost/internal/dataset"
@@ -84,6 +87,62 @@ func TestViewSessionOOCParity(t *testing.T) {
 	}
 	if !bytes.Equal(saveModel(t, ref), saveModel(t, m)) {
 		t.Fatal("out-of-core federated model differs from in-memory model")
+	}
+}
+
+// A passive party whose shard store rots mid-training (no rebuild
+// source attached) must abort the session cleanly: Train returns an
+// error carrying the typed shard detail — never a panic, never a hang.
+func TestViewSessionFaultyStoreAborts(t *testing.T) {
+	_, parts := twoPartyData(t, 300, 5, 5, 0.5, false, 21)
+	cfg := quickConfig(SchemeMock)
+
+	views := make([]gbdt.BinView, len(parts))
+	var labels []float64
+	for i, p := range parts {
+		dir := t.TempDir()
+		if err := ooc.Build(dir, ooc.NewDatasetSource(p), ooc.BuildOptions{MaxBins: cfg.MaxBins, ChunkRows: 64}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// Corrupt every shard of the passive party's store so its
+			// first demand load after Open fails unrecoverably.
+			shards, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+			if err != nil || len(shards) == 0 {
+				t.Fatalf("no shards to corrupt: %v", err)
+			}
+			for _, name := range shards {
+				buf, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf[len(buf)-1] ^= 0xFF
+				if err := os.WriteFile(name, buf, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st, err := ooc.Open(dir, ooc.Options{RetryLoads: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = st
+		if i == len(parts)-1 {
+			if labels, err = st.Labels(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s, err := NewViewSession(views, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Train()
+	if err == nil {
+		t.Fatal("training over a corrupt store reported success")
+	}
+	if !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("abort error %v does not carry the shard detail", err)
 	}
 }
 

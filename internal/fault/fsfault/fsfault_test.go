@@ -1,0 +1,239 @@
+package fsfault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeThrough performs the durable-write idiom the storage layers use:
+// temp file, write, sync, close, rename.
+func writeThrough(f FS, path string, buf []byte) error {
+	tmp, err := f.CreateTemp(filepath.Dir(path), ".t-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		f.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		f.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		f.Remove(name)
+		return err
+	}
+	return f.Rename(name, path)
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	want := []byte("hello storage")
+	if err := writeThrough(OS, path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "crash=200,enospc=1048576,flip=0.02,nosync=1,readerr=0.05,seed=7,shortread=0.02,shortwrite=0.01,tornrename=0.03,writeerr=0.04"
+	c, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 7 || c.ReadErr != 0.05 || c.FlipBit != 0.02 || c.DiskBudget != 1<<20 ||
+		c.CrashAfter != 200 || !c.NoSync || c.TornRename != 0.03 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if got := c.String(); got != spec {
+		t.Fatalf("String = %q, want %q", got, spec)
+	}
+	if !c.Enabled() {
+		t.Fatal("config not Enabled")
+	}
+	if c, err := ParseSpec(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec = %+v, %v", c, err)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"bogus=1", "drop=0.5", "readerr=1.5", "seed", "crash=x"} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+// Equal seeds must replay equal fault schedules over equal op sequences.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() Stats {
+		dir := t.TempDir()
+		j := Wrap(OS, Config{Seed: 42, ReadErr: 0.2, ShortRead: 0.2, FlipBit: 0.2})
+		path := filepath.Join(dir, "f.bin")
+		if err := writeThrough(j, path, bytes.Repeat([]byte{0xAB}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			j.ReadFile(path)
+		}
+		return j.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("schedules diverged: %+v vs %+v", a, b)
+	}
+	if a.ReadErrs == 0 || a.ShortReads == 0 || a.FlippedBits == 0 {
+		t.Fatalf("no faults delivered: %+v", a)
+	}
+}
+
+// A bit flip corrupts the returned copy only; the on-disk bytes stay
+// intact, so a retry heals it.
+func TestFlipBitLeavesDiskIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	want := bytes.Repeat([]byte{0x5C}, 256)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := Wrap(OS, Config{Seed: 3, FlipBit: 1})
+	got, err := j.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("flip=1 returned intact bytes")
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, want) {
+		t.Fatal("bit flip reached the disk")
+	}
+}
+
+// A short write persists a prefix but reports success — the published
+// file is torn.
+func TestShortWriteTearsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	j := Wrap(OS, Config{Seed: 9, ShortWrite: 1})
+	buf := bytes.Repeat([]byte{1}, 4096)
+	if err := writeThrough(j, path, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(buf) {
+		t.Fatalf("short write persisted %d of %d bytes", len(got), len(buf))
+	}
+	if j.Stats().ShortWrites == 0 {
+		t.Fatal("no short write recorded")
+	}
+}
+
+// A torn rename publishes a truncated file.
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	j := Wrap(OS, Config{Seed: 5, TornRename: 1})
+	buf := bytes.Repeat([]byte{2}, 4096)
+	if err := writeThrough(j, path, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(buf) {
+		t.Fatalf("torn rename persisted %d of %d bytes", len(got), len(buf))
+	}
+}
+
+// The disk budget fails writes with an error satisfying
+// errors.Is(err, syscall.ENOSPC) and refunds removed files.
+func TestDiskBudgetENOSPCAndRefund(t *testing.T) {
+	dir := t.TempDir()
+	j := Wrap(OS, Config{Seed: 1, DiskBudget: 1024})
+	a := filepath.Join(dir, "a.bin")
+	if err := writeThrough(j, a, bytes.Repeat([]byte{3}, 800)); err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.bin")
+	err := writeThrough(j, b, bytes.Repeat([]byte{4}, 800))
+	if err == nil {
+		t.Fatal("write past budget succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("budget error = %v, want ENOSPC", err)
+	}
+	// Freeing a.bin refunds its bytes; the retry fits.
+	if err := j.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeThrough(j, b, bytes.Repeat([]byte{4}, 800)); err != nil {
+		t.Fatalf("write after refund: %v", err)
+	}
+}
+
+// After the crash point every operation fails with ErrCrashed and the
+// half-written temp file stays behind as debris.
+func TestCrashLeavesDebris(t *testing.T) {
+	dir := t.TempDir()
+	// CreateTemp(1) + one Write(2) pass, then crash: Sync(3) dies.
+	j := Wrap(OS, Config{Seed: 2, CrashAfter: 2})
+	tmp, err := j.CreateTemp(dir, ".t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash = %v, want ErrCrashed", err)
+	}
+	tmp.Close()
+	if _, err := j.ReadFile(tmp.Name()); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadFile after crash = %v, want ErrCrashed", err)
+	}
+	if !j.Crashed() {
+		t.Fatal("injector not Crashed")
+	}
+	// The debris is visible to a fresh ("rebooted") FS.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want 1 debris file, got %d", len(entries))
+	}
+}
+
+// NoSync + crash models data lost in the page cache: Sync reports
+// success but is a no-op (observable only via the config; here we just
+// assert the call chain stays alive).
+func TestNoSync(t *testing.T) {
+	dir := t.TempDir()
+	j := Wrap(OS, Config{Seed: 4, NoSync: true})
+	if err := writeThrough(j, filepath.Join(dir, "f.bin"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,7 +28,13 @@ type BinView interface {
 	// feature. The slices alias backing storage and must not be modified;
 	// an out-of-core view guarantees they stay readable even if the
 	// backing shard is later evicted (the GC keeps them alive).
-	Row(i int) ([]int32, []uint8)
+	//
+	// A disk-backed view may fail: the error is the view's typed fault
+	// (e.g. *ooc.ShardError after retry and rebuild were exhausted) and
+	// the sweep in progress must stop and propagate it — training treats
+	// it as unrecoverable for the round, and the federated engines turn
+	// it into a clean session abort. In-memory views always return nil.
+	Row(i int) ([]int32, []uint8, error)
 }
 
 // DepthHinter is an optional BinView capability: the trainer announces
@@ -128,10 +134,10 @@ func (bm *BinnedMatrix) Rows() int { return bm.rows }
 func (bm *BinnedMatrix) Mapper() *BinMapper { return bm.mapper }
 
 // Row returns the stored (feature, bin) pairs of row i; the slices alias
-// internal storage.
-func (bm *BinnedMatrix) Row(i int) ([]int32, []uint8) {
+// internal storage. The error is always nil: memory does not fail.
+func (bm *BinnedMatrix) Row(i int) ([]int32, []uint8, error) {
 	lo, hi := bm.rowPtr[i], bm.rowPtr[i+1]
-	return bm.cols[lo:hi], bm.bins[lo:hi]
+	return bm.cols[lo:hi], bm.bins[lo:hi], nil
 }
 
 // NNZ returns the stored entry count.

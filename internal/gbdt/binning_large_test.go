@@ -77,7 +77,11 @@ func TestPartitionConsistentWithPredictRouting(t *testing.T) {
 					}
 				}
 				wantLeft := !stored || v <= threshold
-				if got := GoesLeft(bm, int32(i), int32(j), int32(k)); got != wantLeft {
+				got, err := GoesLeft(bm, int32(i), int32(j), int32(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != wantLeft {
 					t.Fatalf("feature %d bin %d instance %d: binned routing %v, raw routing %v",
 						j, k, i, got, wantLeft)
 				}

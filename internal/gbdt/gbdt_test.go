@@ -397,7 +397,11 @@ func TestGoesLeftMissing(t *testing.T) {
 	d := b.Build()
 	m, _ := NewBinMapper(d, 4)
 	bm := NewBinnedMatrix(d, m)
-	if !GoesLeft(bm, 0, 1, 0) {
+	left, err := GoesLeft(bm, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left {
 		t.Error("missing feature must route left")
 	}
 }

@@ -36,10 +36,14 @@ func (h *Histogram) NumFeatures() int { return len(h.Offsets) - 1 }
 func (h *Histogram) Bins() int { return len(h.G) }
 
 // Accumulate sweeps the given instances of the binned view into the
-// histogram.
-func (h *Histogram) Accumulate(bm BinView, instances []int32, grads, hess []float64) {
+// histogram, stopping at the first row the view fails to deliver (the
+// partial accumulation is then meaningless and must be discarded).
+func (h *Histogram) Accumulate(bm BinView, instances []int32, grads, hess []float64) error {
 	for _, i := range instances {
-		cols, bins := bm.Row(int(i))
+		cols, bins, err := bm.Row(int(i))
+		if err != nil {
+			return err
+		}
 		gi, hi := grads[i], hess[i]
 		for k, j := range cols {
 			idx := h.Offsets[j] + int(bins[k])
@@ -48,6 +52,7 @@ func (h *Histogram) Accumulate(bm BinView, instances []int32, grads, hess []floa
 			h.Count[idx]++
 		}
 	}
+	return nil
 }
 
 // Merge adds another histogram (same shape) into this one; used to reduce

@@ -123,9 +123,14 @@ func TrainMultiBinned(bv BinView, labels []float64, obj MultiObjective, p Params
 			return nil, err
 		}
 		for c := 0; c < k; c++ {
-			tree := growTree(bv, grads[c], hess[c], p)
+			tree, err := growTree(bv, grads[c], hess[c], p)
+			if err != nil {
+				return nil, err
+			}
 			model.Trees = append(model.Trees, tree)
-			updateMarginsBinned(margins[c], tree, bv, p.LearningRate, p.Workers)
+			if err := updateMarginsBinned(margins[c], tree, bv, p.LearningRate, p.Workers); err != nil {
+				return nil, err
+			}
 		}
 		if p.OnTreeDone != nil {
 			p.OnTreeDone(round, model)

@@ -153,9 +153,14 @@ func TrainBinned(bv BinView, labels []float64, p Params) (*Model, error) {
 		for i := 0; i < n; i++ {
 			grads[i], hess[i] = p.Loss.GradHess(labels[i], margins[i])
 		}
-		tree := growTree(bv, grads, hess, p)
+		tree, err := growTree(bv, grads, hess, p)
+		if err != nil {
+			return nil, err
+		}
 		model.Trees = append(model.Trees, tree)
-		updateMarginsBinned(margins, tree, bv, p.LearningRate, p.Workers)
+		if err := updateMarginsBinned(margins, tree, bv, p.LearningRate, p.Workers); err != nil {
+			return nil, err
+		}
 		if p.OnTreeDone != nil {
 			p.OnTreeDone(t, model)
 		}
@@ -163,8 +168,10 @@ func TrainBinned(bv BinView, labels []float64, p Params) (*Model, error) {
 	return model, nil
 }
 
-// growTree grows one tree layer-by-layer.
-func growTree(bm BinView, grads, hess []float64, p Params) *Tree {
+// growTree grows one tree layer-by-layer. A view failure (a disk-backed
+// view that could not deliver a row even after its self-healing path ran)
+// aborts the tree and surfaces as the view's typed error.
+func growTree(bm BinView, grads, hess []float64, p Params) (*Tree, error) {
 	tree := NewTree()
 	all := make([]int32, bm.Rows())
 	var g0, h0 float64
@@ -179,7 +186,10 @@ func growTree(bm BinView, grads, hess []float64, p Params) *Tree {
 		if dh, ok := bm.(DepthHinter); ok {
 			dh.HintDepth(depth)
 		}
-		hists := buildLayerHistograms(bm, active, grads, hess, p.Workers)
+		hists, err := buildLayerHistograms(bm, active, grads, hess, p.Workers)
+		if err != nil {
+			return nil, err
+		}
 		var next []*nodeWork
 		for k, nw := range active {
 			split := BestSplit(hists[k], nw.g, nw.h, p.Split)
@@ -189,7 +199,10 @@ func growTree(bm BinView, grads, hess []float64, p Params) *Tree {
 			}
 			threshold := bm.Mapper().Threshold(int(split.Feature), int(split.Bin))
 			leftID, rightID := tree.AddSplit(nw.id, split.Feature, threshold, split.Gain)
-			left, right := partition(bm, nw.insts, split.Feature, split.Bin)
+			left, right, err := partition(bm, nw.insts, split.Feature, split.Bin)
+			if err != nil {
+				return nil, err
+			}
 			next = append(next,
 				&nodeWork{id: leftID, insts: left, g: split.GL, h: split.HL},
 				&nodeWork{id: rightID, insts: right, g: nw.g - split.GL, h: nw.h - split.HL},
@@ -201,26 +214,33 @@ func growTree(bm BinView, grads, hess []float64, p Params) *Tree {
 	for _, nw := range active {
 		tree.SetLeaf(nw.id, LeafWeight(nw.g, nw.h, p.Split.Lambda))
 	}
-	return tree
+	return tree, nil
 }
 
 // partition splits a node's instances: stored bin <= k or missing → left.
-func partition(bm BinView, insts []int32, feature int32, bin int32) (left, right []int32) {
+func partition(bm BinView, insts []int32, feature int32, bin int32) (left, right []int32, err error) {
 	for _, i := range insts {
-		if GoesLeft(bm, i, feature, bin) {
+		goesLeft, err := GoesLeft(bm, i, feature, bin)
+		if err != nil {
+			return nil, nil, err
+		}
+		if goesLeft {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
 		}
 	}
-	return left, right
+	return left, right, nil
 }
 
 // GoesLeft reports whether instance i routes to the left child of a split
 // on (feature, bin): stored values in bins <= bin go left, missing goes
 // left.
-func GoesLeft(bm BinView, i, feature, bin int32) bool {
-	cols, bins := bm.Row(int(i))
+func GoesLeft(bm BinView, i, feature, bin int32) (bool, error) {
+	cols, bins, err := bm.Row(int(i))
+	if err != nil {
+		return false, err
+	}
 	lo, hi := 0, len(cols)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -231,16 +251,16 @@ func GoesLeft(bm BinView, i, feature, bin int32) bool {
 		}
 	}
 	if lo < len(cols) && cols[lo] == feature {
-		return int32(bins[lo]) <= bin
+		return int32(bins[lo]) <= bin, nil
 	}
-	return true // missing
+	return true, nil // missing
 }
 
 // BuildHistograms builds one histogram per instance list, parallelizing
 // across nodes when there are many and across instance shards when there
 // are few. It is shared with the federated engine, where Party B builds
 // its plaintext histograms with exactly the local trainer's code.
-func BuildHistograms(bm BinView, lists [][]int32, grads, hess []float64, workers int) []*Histogram {
+func BuildHistograms(bm BinView, lists [][]int32, grads, hess []float64, workers int) ([]*Histogram, error) {
 	nodes := make([]*nodeWork, len(lists))
 	for k, l := range lists {
 		nodes[k] = &nodeWork{insts: l}
@@ -248,13 +268,38 @@ func BuildHistograms(bm BinView, lists [][]int32, grads, hess []float64, workers
 	return buildLayerHistograms(bm, nodes, grads, hess, workers)
 }
 
+// errCollector retains the first error reported by a set of workers.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (c *errCollector) add(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *errCollector) first() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 // buildLayerHistograms builds one histogram per active node, parallelizing
 // across nodes when the layer is wide and across instance shards when it
-// is narrow (the root).
-func buildLayerHistograms(bm BinView, active []*nodeWork, grads, hess []float64, workers int) []*Histogram {
+// is narrow (the root). The first view failure any worker hits wins; the
+// partial layer is discarded.
+func buildLayerHistograms(bm BinView, active []*nodeWork, grads, hess []float64, workers int) ([]*Histogram, error) {
 	hists := make([]*Histogram, len(active))
 	if len(active) >= workers {
 		var wg sync.WaitGroup
+		var ec errCollector
 		sem := make(chan struct{}, workers)
 		for k, nw := range active {
 			wg.Add(1)
@@ -263,29 +308,39 @@ func buildLayerHistograms(bm BinView, active []*nodeWork, grads, hess []float64,
 				defer wg.Done()
 				defer func() { <-sem }()
 				h := NewHistogram(bm.Mapper())
-				h.Accumulate(bm, nw.insts, grads, hess)
+				ec.add(h.Accumulate(bm, nw.insts, grads, hess))
 				hists[k] = h
 			}(k, nw)
 		}
 		wg.Wait()
-		return hists
+		if err := ec.first(); err != nil {
+			return nil, err
+		}
+		return hists, nil
 	}
 	for k, nw := range active {
-		hists[k] = shardedHistogram(bm, nw.insts, grads, hess, workers)
+		h, err := shardedHistogram(bm, nw.insts, grads, hess, workers)
+		if err != nil {
+			return nil, err
+		}
+		hists[k] = h
 	}
-	return hists
+	return hists, nil
 }
 
 // shardedHistogram accumulates one node's histogram with instance-level
 // parallelism.
-func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers int) *Histogram {
+func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers int) (*Histogram, error) {
 	if workers <= 1 || len(insts) < 1024 {
 		h := NewHistogram(bm.Mapper())
-		h.Accumulate(bm, insts, grads, hess)
-		return h
+		if err := h.Accumulate(bm, insts, grads, hess); err != nil {
+			return nil, err
+		}
+		return h, nil
 	}
 	parts := make([]*Histogram, workers)
 	var wg sync.WaitGroup
+	var ec errCollector
 	chunk := (len(insts) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -300,11 +355,14 @@ func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			h := NewHistogram(bm.Mapper())
-			h.Accumulate(bm, insts[lo:hi], grads, hess)
+			ec.add(h.Accumulate(bm, insts[lo:hi], grads, hess))
 			parts[w] = h
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ec.first(); err != nil {
+		return nil, err
+	}
 	var acc *Histogram
 	for _, ph := range parts {
 		if ph == nil {
@@ -316,7 +374,7 @@ func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers 
 			acc.Merge(ph)
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 // updateMarginsBinned adds each instance's leaf weight to its margin,
@@ -324,14 +382,20 @@ func shardedHistogram(bm BinView, insts []int32, grads, hess []float64, workers 
 // node's threshold is a mapper cut, so precomputing its bin index lets a
 // row walk the tree on stored bins alone; missing features route left,
 // matching Tree.Predict.
-func updateMarginsBinned(margins []float64, tree *Tree, bv BinView, eta float64, workers int) {
+func updateMarginsBinned(margins []float64, tree *Tree, bv BinView, eta float64, workers int) error {
 	bins := splitBins(tree, bv.Mapper())
+	var ec errCollector
 	parallelRows(len(margins), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			cols, rowBins := bv.Row(i)
+			cols, rowBins, err := bv.Row(i)
+			if err != nil {
+				ec.add(err)
+				return
+			}
 			margins[i] += eta * predictBinnedRow(tree, bins, cols, rowBins)
 		}
 	})
+	return ec.first()
 }
 
 // splitBins precomputes, for every internal node, the bin index of its

@@ -2,10 +2,15 @@ package ooc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
 
+	"vf2boost/internal/fault/fsfault"
 	"vf2boost/internal/gbdt"
 )
 
@@ -23,6 +28,9 @@ type BuildOptions struct {
 	// bound is εa+εb, so cuts are no longer byte-identical to the
 	// in-memory path.
 	FastSketch bool
+	// FS is the filesystem the build writes through; nil means the real
+	// one. Tests and the -fschaos CLI knob install a fault injector here.
+	FS fsfault.FS
 }
 
 func (o *BuildOptions) normalize() error {
@@ -37,6 +45,9 @@ func (o *BuildOptions) normalize() error {
 	}
 	if o.ChunkRows < 1 {
 		return fmt.Errorf("ooc: ChunkRows %d must be positive", o.ChunkRows)
+	}
+	if o.FS == nil {
+		o.FS = fsfault.OS
 	}
 	return nil
 }
@@ -67,7 +78,41 @@ const (
 	manifestVersion = 1
 	manifestName    = "manifest.json"
 	labelsName      = "labels.bin"
+	// quarantineSuffix marks a shard file pulled out of service after its
+	// content failed validation beyond retry; kept (not deleted) so the
+	// evidence survives for post-mortems, swept when disk space runs out.
+	quarantineSuffix = ".bad"
 )
+
+// manifestFileName names generation gen's commit record. Generation 0 is
+// the legacy un-numbered name, so stores built before generations existed
+// read as generation 0.
+func manifestFileName(gen int) string {
+	if gen == 0 {
+		return manifestName
+	}
+	return fmt.Sprintf("manifest-%06d.json", gen)
+}
+
+// parseManifestGen inverts manifestFileName.
+func parseManifestGen(name string) (int, bool) {
+	if name == manifestName {
+		return 0, true
+	}
+	rest, ok := strings.CutPrefix(name, "manifest-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".json")
+	if !ok || len(rest) != 6 {
+		return 0, false
+	}
+	gen, err := strconv.Atoi(rest)
+	if err != nil || gen < 1 {
+		return 0, false
+	}
+	return gen, true
+}
 
 // Build constructs a binned shard store under dir from two streaming
 // passes over src: pass 1 proposes cuts (see sketch.go), pass 2
@@ -76,11 +121,17 @@ const (
 // 8 bytes/row, the one per-row cost that never spills — and land in a
 // framed labels file. The manifest is written last as the commit point.
 // Peak memory is the pass-1 accumulators plus one chunk's CSR buffers.
+//
+// A disk-full failure on any spill triggers backpressure instead of a
+// fail-stop: the build sweeps aborted-write temp files and quarantined
+// shards out of the directory and retries the write once; only a second
+// ENOSPC propagates.
 func Build(dir string, src Source, opt BuildOptions) error {
 	if err := opt.normalize(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 
@@ -113,7 +164,9 @@ func Build(dir string, src Source, opt BuildOptions) error {
 			return nil
 		}
 		name := fmt.Sprintf("shard-%06d.bin", len(man.Shards))
-		if err := writeShard(filepath.Join(dir, name), cur); err != nil {
+		if err := writeRetryNoSpace(fsys, dir, func() error {
+			return writeShard(fsys, filepath.Join(dir, name), cur)
+		}); err != nil {
 			return err
 		}
 		man.Shards = append(man.Shards, shardRecord{
@@ -157,26 +210,68 @@ func Build(dir string, src Source, opt BuildOptions) error {
 	}
 
 	if labels != nil {
-		if err := writeLabels(filepath.Join(dir, labelsName), labels); err != nil {
+		if err := writeRetryNoSpace(fsys, dir, func() error {
+			return writeLabels(fsys, filepath.Join(dir, labelsName), labels)
+		}); err != nil {
 			return err
 		}
 	}
 
-	// Plain JSON, no binary frame: human-inspectable, and the loader
-	// cross-checks it structurally. Written atomically, last.
+	return writeRetryNoSpace(fsys, dir, func() error {
+		return writeManifest(fsys, dir, man, 0)
+	})
+}
+
+// writeManifest commits one manifest generation: plain JSON, no binary
+// frame — human-inspectable, and the loader cross-checks it structurally.
+// Written atomically, last.
+func writeManifest(fsys fsfault.FS, dir string, man *manifest, gen int) error {
 	buf, err := json.MarshalIndent(man, "", " ")
 	if err != nil {
 		return err
 	}
-	return writeAtomic(filepath.Join(dir, manifestName), buf)
+	return writeAtomic(fsys, filepath.Join(dir, manifestFileName(gen)), buf)
 }
 
-// readManifest loads and validates the commit record.
-func readManifest(dir string) (*manifest, error) {
-	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if err != nil {
-		return nil, err
+// writeRetryNoSpace runs a write, and on a disk-full failure (real or
+// injected — both satisfy errors.Is(err, syscall.ENOSPC)) sweeps the
+// store directory's reclaimable debris and retries once.
+func writeRetryNoSpace(fsys fsfault.FS, dir string, write func() error) error {
+	err := write()
+	if err == nil || !errors.Is(err, syscall.ENOSPC) {
+		return err
 	}
+	if n := sweepDebris(fsys, dir); n == 0 {
+		return err // nothing reclaimable; retrying would just fail again
+	}
+	return write()
+}
+
+// sweepDebris removes aborted-write temp files and quarantined shards
+// from a store directory, returning how many files it freed. Both kinds
+// are disposable by construction: temp debris never had a committed name,
+// and a quarantined shard's content already failed validation.
+func sweepDebris(fsys fsfault.FS, dir string) int {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	freed := 0
+	for _, e := range entries {
+		name := e.Name()
+		ok, _ := filepath.Match(tempPattern, name)
+		if !ok && !strings.HasSuffix(name, quarantineSuffix) {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, name)) == nil {
+			freed++
+		}
+	}
+	return freed
+}
+
+// decodeManifest parses and validates one commit record's bytes.
+func decodeManifest(buf []byte) (*manifest, error) {
 	var man manifest
 	if err := json.Unmarshal(buf, &man); err != nil {
 		return nil, fmt.Errorf("ooc: manifest: %w", err)
@@ -202,6 +297,52 @@ func readManifest(dir string) (*manifest, error) {
 		return nil, fmt.Errorf("ooc: manifest shards cover %d rows, want %d", want, man.Rows)
 	}
 	return &man, nil
+}
+
+// readManifest finds the newest consistent commit record in a store
+// directory. Generations are tried newest first, so a crash mid-commit —
+// which can leave the newest generation torn, truncated, or garbage —
+// rolls the store back to the previous consistent generation instead of
+// failing the open. Unreadable newer generations are removed once an
+// older one validates (they are aborted commits, not data). Returns the
+// manifest and its generation.
+func readManifest(fsys fsfault.FS, dir string) (*manifest, int, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var gens []int
+	for _, e := range entries {
+		if gen, ok := parseManifestGen(e.Name()); ok {
+			gens = append(gens, gen)
+		}
+	}
+	if len(gens) == 0 {
+		// Preserve the classic "no manifest" error shape (fs.ErrNotExist).
+		_, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+		return nil, 0, err
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	var firstErr error
+	var rejected []int
+	for _, gen := range gens {
+		buf, err := fsys.ReadFile(filepath.Join(dir, manifestFileName(gen)))
+		if err == nil {
+			var man *manifest
+			man, err = decodeManifest(buf)
+			if err == nil {
+				for _, bad := range rejected {
+					fsys.Remove(filepath.Join(dir, manifestFileName(bad)))
+				}
+				return man, gen, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("ooc: manifest generation %d: %w", gen, err)
+		}
+		rejected = append(rejected, gen)
+	}
+	return nil, 0, firstErr
 }
 
 // Mapper reconstructs the bin mapper recorded in the manifest.

@@ -2,6 +2,7 @@ package ooc
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -11,6 +12,16 @@ import (
 	"vf2boost/internal/dataset"
 	"vf2boost/internal/gbdt"
 )
+
+// rowOf reads one row of a BinView, failing the test on a view error.
+func rowOf(t *testing.T, bv gbdt.BinView, i int) ([]int32, []uint8) {
+	t.Helper()
+	cols, bins, err := bv.Row(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cols, bins
+}
 
 func synth(t *testing.T, rows, cols int) *dataset.Dataset {
 	t.Helper()
@@ -52,8 +63,8 @@ func TestStoreMatchesBinnedMatrix(t *testing.T) {
 		t.Fatalf("rows %d != %d", st.Rows(), bm.Rows())
 	}
 	for i := 0; i < st.Rows(); i++ {
-		sc, sb := st.Row(i)
-		mc, mb := bm.Row(i)
+		sc, sb := rowOf(t, st, i)
+		mc, mb := rowOf(t, bm, i)
 		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
 			t.Fatalf("row %d differs", i)
 		}
@@ -126,9 +137,10 @@ func TestModelByteParity(t *testing.T) {
 	}
 }
 
-// A flipped byte in a shard must fail the CRC and panic on access (the
-// BinView contract has no error channel).
-func TestShardCorruptionPanics(t *testing.T) {
+// A flipped byte in a shard must fail the CRC and, with no source to
+// rebuild from, surface on the Row path as a typed *ShardError naming
+// the shard and carrying the CRC detail — never a panic.
+func TestShardCorruptionTypedError(t *testing.T) {
 	d := synth(t, 200, 6)
 	dir := t.TempDir()
 	if err := Build(dir, NewDatasetSource(d), BuildOptions{ChunkRows: 64}); err != nil {
@@ -147,26 +159,86 @@ func TestShardCorruptionPanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("corrupt shard did not panic")
-		}
-		if !strings.Contains(pstring(r), "CRC") {
-			t.Fatalf("panic %v does not mention CRC", r)
-		}
-	}()
-	st.Row(100) // second shard
+	_, _, err = st.Row(100) // second shard
+	if err == nil {
+		t.Fatal("corrupt shard returned no error")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *ShardError", err)
+	}
+	if se.Shard != 1 {
+		t.Errorf("ShardError names shard %d, want 1", se.Shard)
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("error %v does not carry the CRC detail", err)
+	}
+	if se.Attempts < 2 {
+		t.Errorf("corrupt shard got %d attempts, want the default retry budget", se.Attempts)
+	}
+	if st.Stats().RetriedLoads == 0 {
+		t.Error("retry counter did not move")
+	}
 }
 
-func pstring(r any) string {
-	if err, ok := r.(error); ok {
-		return err.Error()
+// The same corruption heals transparently when the store has its build
+// source attached: the bad shard is quarantined, rebuilt, committed under
+// a new manifest generation, and every row reads back exactly.
+func TestShardCorruptionRebuildsFromSource(t *testing.T) {
+	d := synth(t, 200, 6)
+	dir := t.TempDir()
+	if err := Build(dir, NewDatasetSource(d), BuildOptions{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
 	}
-	if s, ok := r.(string); ok {
-		return s
+	name := filepath.Join(dir, "shard-000001.bin")
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return ""
+	buf[len(buf)-1] ^= 0xFF
+	if err := os.WriteFile(name, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{Source: NewDatasetSource(d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := gbdt.NewBinMapper(d, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := gbdt.NewBinnedMatrix(d, mapper)
+	for i := 0; i < st.Rows(); i++ {
+		sc, sb := rowOf(t, st, i)
+		mc, mb := rowOf(t, bm, i)
+		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
+			t.Fatalf("row %d differs after rebuild", i)
+		}
+	}
+	s := st.Stats()
+	if s.Rebuilds != 1 || s.Quarantined != 1 {
+		t.Fatalf("rebuilds=%d quarantined=%d, want 1/1", s.Rebuilds, s.Quarantined)
+	}
+	if st.Generation() != 1 {
+		t.Fatalf("generation %d after rebuild, want 1", st.Generation())
+	}
+	if _, err := os.Stat(name + quarantineSuffix); err != nil {
+		t.Fatalf("quarantined shard evidence missing: %v", err)
+	}
+
+	// The committed generation must survive a reopen without the source.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Generation() != 1 {
+		t.Fatalf("reopened at generation %d, want 1", st2.Generation())
+	}
+	sc, sb := rowOf(t, st2, 100)
+	mc, mb := rowOf(t, bm, 100)
+	if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
+		t.Fatal("rebuilt shard differs on reopen")
+	}
 }
 
 // Without a manifest the directory is not a store (the manifest is the
@@ -220,8 +292,8 @@ func TestColumnSliceMatchesVerticalSplit(t *testing.T) {
 	}
 	bm := gbdt.NewBinnedMatrix(parts[0], mapper)
 	for i := 0; i < st.Rows(); i++ {
-		sc, sb := st.Row(i)
-		mc, mb := bm.Row(i)
+		sc, sb := rowOf(t, st, i)
+		mc, mb := rowOf(t, bm, i)
 		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
 			t.Fatalf("row %d differs", i)
 		}
@@ -264,8 +336,8 @@ func TestLibSVMSourceRoundTrip(t *testing.T) {
 	}
 	bm := gbdt.NewBinnedMatrix(d2, mapper)
 	for i := 0; i < st.Rows(); i++ {
-		sc, sb := st.Row(i)
-		mc, mb := bm.Row(i)
+		sc, sb := rowOf(t, st, i)
+		mc, mb := rowOf(t, bm, i)
 		if !reflect.DeepEqual(sc, mc) || !bytes.Equal(sb, mb) {
 			t.Fatalf("row %d differs", i)
 		}

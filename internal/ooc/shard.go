@@ -5,8 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
+
+	"vf2boost/internal/fault/fsfault"
 )
 
 // On-disk shard format, following the checkpoint store's framing idiom:
@@ -142,44 +143,49 @@ func checkFrame(buf []byte, magic string) ([]byte, error) {
 	return body, nil
 }
 
+// tempPattern names the build/rebuild temp files; debris matching it is
+// an aborted write and safe to sweep.
+const tempPattern = ".ooc-*"
+
 // writeAtomic atomically writes a payload: temp file in the same
-// directory, sync, rename.
-func writeAtomic(path string, buf []byte) error {
+// directory, write, sync, close, rename. All I/O goes through fsys so
+// fault injection sees every step.
+func writeAtomic(fsys fsfault.FS, path string, buf []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ooc-*")
+	tmp, err := fsys.CreateTemp(dir, tempPattern)
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
 	return nil
 }
 
 // writeShard persists one shard.
-func writeShard(path string, sd *shardData) error {
-	return writeAtomic(path, encodeShard(sd))
+func writeShard(fsys fsfault.FS, path string, sd *shardData) error {
+	return writeAtomic(fsys, path, encodeShard(sd))
 }
 
 // readShard loads and validates one shard.
-func readShard(path string, wantCols int) (*shardData, error) {
-	buf, err := os.ReadFile(path)
+func readShard(fsys fsfault.FS, path string, wantCols int) (*shardData, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +197,7 @@ func readShard(path string, wantCols int) (*shardData, error) {
 }
 
 // writeLabels persists the label vector under the same framing.
-func writeLabels(path string, labels []float64) error {
+func writeLabels(fsys fsfault.FS, path string, labels []float64) error {
 	buf := make([]byte, frameHeader+len(labels)*8)
 	body := buf[frameHeader:]
 	for i, v := range labels {
@@ -200,12 +206,12 @@ func writeLabels(path string, labels []float64) error {
 	copy(buf, labelsMagic)
 	binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(body))
 	binary.LittleEndian.PutUint64(buf[12:], uint64(len(body)))
-	return writeAtomic(path, buf)
+	return writeAtomic(fsys, path, buf)
 }
 
 // readLabels loads the label vector.
-func readLabels(path string, wantRows int) ([]float64, error) {
-	buf, err := os.ReadFile(path)
+func readLabels(fsys fsfault.FS, path string, wantRows int) ([]float64, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,15 @@
 package ooc
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"vf2boost/internal/fault/fsfault"
 	"vf2boost/internal/gbdt"
 )
 
@@ -23,17 +26,52 @@ type Options struct {
 	// store. Prefetched shards never evict the shard that triggered them
 	// and are skipped entirely when the budget has no room.
 	Prefetch bool
+	// RetryLoads is how many extra read attempts a failed demand load
+	// gets before the store escalates to quarantine-and-rebuild. Retries
+	// heal transient faults (EIO, bit rot on the read path) because the
+	// on-disk bytes may be intact. 0 means the default of 2; negative
+	// disables retries.
+	RetryLoads int
+	// Source, when set, lets the store rebuild a shard that failed
+	// validation beyond retry: the bad file is quarantined and the
+	// shard's row range is re-discretized from this source (which must be
+	// the replayable source the store was built from). Without it an
+	// unrecoverable shard surfaces as a *ShardError.
+	Source Source
+	// FS is the filesystem the store reads and repairs through; nil means
+	// the real one. Tests and the -fschaos CLI knob install a fault
+	// injector here.
+	FS fsfault.FS
+}
+
+func (o *Options) normalize() {
+	switch {
+	case o.RetryLoads == 0:
+		o.RetryLoads = 2
+	case o.RetryLoads < 0:
+		o.RetryLoads = 0
+	}
+	if o.FS == nil {
+		o.FS = fsfault.OS
+	}
 }
 
 // Store is a disk-backed gbdt.BinView over a built shard directory: rows
 // resolve against an LRU cache of loaded shards kept under Options.
 // MemBudget. The read path (Row) is lock-free on cache hits; loads and
-// evictions serialize on a mutex. Row panics if a shard fails to load or
-// fails its CRC — the BinView contract has no error channel, and a
-// corrupt store mid-training is not a recoverable condition.
+// evictions serialize on a mutex.
+//
+// The load path self-heals instead of failing stop: a shard that fails
+// its CRC or validation is retried (bounded by Options.RetryLoads), then
+// quarantined and rebuilt from Options.Source; only when both fail does
+// Row surface a *ShardError. A rebuild republishes the shard under a new
+// file name and commits a new manifest generation, so a crash anywhere in
+// the repair reopens at the previous consistent generation.
 type Store struct {
 	dir    string
+	fs     fsfault.FS
 	man    *manifest
+	gen    int
 	mapper *gbdt.BinMapper
 	opt    Options
 
@@ -42,11 +80,13 @@ type Store struct {
 	clock   atomic.Int64
 	depth   atomic.Int32
 
-	mu       sync.Mutex // serializes load/evict; guards resident + stats
+	mu       sync.Mutex // serializes load/evict; guards resident + stats + closed
 	resident int64
 	stats    CacheStats
+	closed   bool
 
 	prefetching atomic.Bool
+	prefetchWG  sync.WaitGroup
 
 	labelsOnce sync.Once
 	labels     []float64
@@ -61,27 +101,65 @@ type CacheStats struct {
 	Prefetches int64
 	// Evictions counts shards dropped to stay under budget.
 	Evictions int64
+	// RetriedLoads counts extra read attempts after a failed shard load.
+	RetriedLoads int64
+	// Quarantined counts shard files renamed out of service after
+	// failing validation beyond retry.
+	Quarantined int64
+	// Rebuilds counts shards re-discretized from the source.
+	Rebuilds int64
 	// ResidentBytes is the current cached shard footprint.
 	ResidentBytes int64
 	// PeakBytes is the high-water resident footprint.
 	PeakBytes int64
 }
 
+// ShardError is the typed failure of an unrecoverable shard: every retry
+// failed and the shard could not be rebuilt (no source, or the rebuild
+// itself failed). It unwraps to the last load failure.
+type ShardError struct {
+	Dir      string
+	Shard    int
+	File     string
+	Attempts int
+	// Err is the last load failure.
+	Err error
+	// RebuildErr is why the rebuild could not run or did not succeed.
+	RebuildErr error
+}
+
+func (e *ShardError) Error() string {
+	msg := fmt.Sprintf("ooc: shard %d (%s) unrecoverable after %d attempts: %v",
+		e.Shard, filepath.Join(e.Dir, e.File), e.Attempts, e.Err)
+	if e.RebuildErr != nil {
+		msg += fmt.Sprintf(" (rebuild: %v)", e.RebuildErr)
+	}
+	return msg
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ErrClosed is returned by loads against a closed store.
+var ErrClosed = errors.New("ooc: store is closed")
+
 var (
 	_ gbdt.BinView     = (*Store)(nil)
 	_ gbdt.DepthHinter = (*Store)(nil)
 )
 
-// Open loads a store's manifest and prepares the shard cache; no shard
-// is read until the first Row call.
+// Open loads a store's newest consistent manifest generation and
+// prepares the shard cache; no shard is read until the first Row call.
 func Open(dir string, opt Options) (*Store, error) {
-	man, err := readManifest(dir)
+	opt.normalize()
+	man, gen, err := readManifest(opt.FS, dir)
 	if err != nil {
 		return nil, err
 	}
 	return &Store{
 		dir:     dir,
+		fs:      opt.FS,
 		man:     man,
+		gen:     gen,
 		mapper:  man.mapper(),
 		opt:     opt,
 		data:    make([]atomic.Pointer[shardData], len(man.Shards)),
@@ -98,23 +176,36 @@ func (s *Store) Mapper() *gbdt.BinMapper { return s.mapper }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.man.Shards) }
 
+// Generation returns the manifest generation the store is running on; it
+// advances when a shard rebuild commits.
+func (s *Store) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
 // HintDepth records the layer the trainer is about to build; readahead
 // runs only while depth <= 1.
 func (s *Store) HintDepth(depth int) { s.depth.Store(int32(depth)) }
 
 // Row returns row i's sorted (columns, bins) pair. The slices alias the
 // owning shard's arrays and stay valid after eviction (eviction only
-// drops the cache reference). Panics on shard corruption or I/O failure.
-func (s *Store) Row(i int) ([]int32, []uint8) {
+// drops the cache reference). A load failure that survives retry and
+// rebuild surfaces as a *ShardError.
+func (s *Store) Row(i int) ([]int32, []uint8, error) {
 	k := i / s.man.ChunkRows
 	sd := s.data[k].Load()
 	if sd == nil {
-		sd = s.loadShard(k)
+		var err error
+		sd, err = s.loadShard(k)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	s.lastUse[k].Store(s.clock.Add(1))
 	local := i - sd.startRow
 	lo, hi := sd.rowPtr[local], sd.rowPtr[local+1]
-	return sd.cols[lo:hi], sd.bins[lo:hi]
+	return sd.cols[lo:hi], sd.bins[lo:hi], nil
 }
 
 // Labels reads the store's label vector (active-party stores only).
@@ -124,7 +215,7 @@ func (s *Store) Labels() ([]float64, error) {
 			s.labelsErr = fmt.Errorf("ooc: store %s holds no labels (passive-party store)", s.dir)
 			return
 		}
-		s.labels, s.labelsErr = readLabels(filepath.Join(s.dir, labelsName), s.man.Rows)
+		s.labels, s.labelsErr = readLabels(s.fs, filepath.Join(s.dir, labelsName), s.man.Rows)
 	})
 	return s.labels, s.labelsErr
 }
@@ -138,17 +229,47 @@ func (s *Store) Stats() CacheStats {
 	return st
 }
 
+// Close marks the store closed, joins the prefetch goroutine and drops
+// the shard cache. Subsequent loads fail with ErrClosed; rows already
+// handed out stay valid (they alias shard arrays the GC owns). Close is
+// idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.prefetchWG.Wait()
+
+	s.mu.Lock()
+	for i := range s.data {
+		if s.data[i].Load() != nil {
+			s.data[i].Store(nil)
+		}
+	}
+	s.resident = 0
+	s.mu.Unlock()
+	return nil
+}
+
 // loadShard demand-loads shard k, evicting LRU shards to fit the budget
 // (k itself is always admitted), then kicks readahead when shallow.
-func (s *Store) loadShard(k int) *shardData {
+func (s *Store) loadShard(k int) (*shardData, error) {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
 	sd := s.data[k].Load()
 	if sd == nil {
 		var err error
 		sd, err = s.readAndAdmit(k, k, true)
 		if err != nil {
 			s.mu.Unlock()
-			panic(err)
+			return nil, err
 		}
 		s.stats.Loads++
 	}
@@ -156,11 +277,13 @@ func (s *Store) loadShard(k int) *shardData {
 
 	if s.opt.Prefetch && s.depth.Load() <= 1 && k+1 < len(s.data) && s.data[k+1].Load() == nil {
 		if s.prefetching.CompareAndSwap(false, true) {
+			s.prefetchWG.Add(1)
 			go func(next, protect int) {
+				defer s.prefetchWG.Done()
 				defer s.prefetching.Store(false)
 				s.mu.Lock()
 				defer s.mu.Unlock()
-				if s.data[next].Load() != nil {
+				if s.closed || s.data[next].Load() != nil {
 					return
 				}
 				if _, err := s.readAndAdmit(next, protect, false); err == nil {
@@ -169,14 +292,16 @@ func (s *Store) loadShard(k int) *shardData {
 			}(k+1, k)
 		}
 	}
-	return sd
+	return sd, nil
 }
 
 // readAndAdmit reads shard k from disk and installs it, evicting LRU
-// shards (never protect, never k) to make room. With force, the shard is
-// admitted even if the budget cannot be met (one-shard floor); without
-// it, an errNoRoom sentinel is returned and nothing changes. Caller
-// holds s.mu.
+// shards (never protect, never k) to make room. With force (demand
+// loads), the shard is admitted even if the budget cannot be met
+// (one-shard floor) and the read self-heals through retry and rebuild;
+// without it (prefetch), an errNoRoom sentinel is returned on budget
+// pressure and read failures propagate untreated — opportunistic
+// readahead never repairs. Caller holds s.mu.
 func (s *Store) readAndAdmit(k, protect int, force bool) (*shardData, error) {
 	rec := s.man.Shards[k]
 	size := estShardBytes(rec.Rows, rec.NNZ)
@@ -190,13 +315,15 @@ func (s *Store) readAndAdmit(k, protect int, force bool) (*shardData, error) {
 			}
 		}
 	}
-	sd, err := readShard(filepath.Join(s.dir, rec.File), s.man.Cols)
+	var sd *shardData
+	var err error
+	if force {
+		sd, err = s.readShardHealing(k)
+	} else {
+		sd, err = s.readShardOnce(k)
+	}
 	if err != nil {
 		return nil, err
-	}
-	if sd.startRow != rec.StartRow || len(sd.rowPtr)-1 != rec.Rows {
-		return nil, fmt.Errorf("ooc: shard %s covers [%d,+%d), manifest says [%d,+%d)",
-			rec.File, sd.startRow, len(sd.rowPtr)-1, rec.StartRow, rec.Rows)
 	}
 	s.data[k].Store(sd)
 	s.lastUse[k].Store(s.clock.Add(1))
@@ -204,6 +331,125 @@ func (s *Store) readAndAdmit(k, protect int, force bool) (*shardData, error) {
 	if s.resident > s.stats.PeakBytes {
 		s.stats.PeakBytes = s.resident
 	}
+	return sd, nil
+}
+
+// readShardOnce reads and cross-checks shard k against its manifest
+// record, once.
+func (s *Store) readShardOnce(k int) (*shardData, error) {
+	rec := s.man.Shards[k]
+	sd, err := readShard(s.fs, filepath.Join(s.dir, rec.File), s.man.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if sd.startRow != rec.StartRow || len(sd.rowPtr)-1 != rec.Rows {
+		return nil, fmt.Errorf("ooc: shard %s covers [%d,+%d), manifest says [%d,+%d)",
+			rec.File, sd.startRow, len(sd.rowPtr)-1, rec.StartRow, rec.Rows)
+	}
+	return sd, nil
+}
+
+// readShardHealing is the demand-load read with the full healing ladder:
+// bounded retry (transient read faults leave the disk bytes intact, so a
+// clean re-read often succeeds), then quarantine-and-rebuild from the
+// source, then a typed *ShardError. Caller holds s.mu.
+func (s *Store) readShardHealing(k int) (*shardData, error) {
+	attempts := 1 + s.opt.RetryLoads
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			s.stats.RetriedLoads++
+		}
+		sd, err := s.readShardOnce(k)
+		if err == nil {
+			return sd, nil
+		}
+		lastErr = err
+		if errors.Is(err, fs.ErrNotExist) {
+			// Retrying a missing file cannot help; go straight to rebuild.
+			break
+		}
+	}
+	sd, rbErr := s.rebuildShard(k)
+	if rbErr != nil {
+		return nil, &ShardError{
+			Dir:        s.dir,
+			Shard:      k,
+			File:       s.man.Shards[k].File,
+			Attempts:   attempts,
+			Err:        lastErr,
+			RebuildErr: rbErr,
+		}
+	}
+	return sd, nil
+}
+
+// errStopScan aborts a source scan early once the rebuilt range is
+// complete.
+var errStopScan = errors.New("ooc: stop scan")
+
+// rebuildShard re-derives shard k from the store's source: the bad file
+// is quarantined (renamed aside, preserving the evidence), the shard's
+// row range is re-discretized through the store's own mapper, verified
+// against the manifest record, published under a generation-stamped name
+// and committed by a new manifest generation. Every step is re-runnable:
+// a crash at any point leaves the previous generation consistent and a
+// reopened store heals the same shard again. Caller holds s.mu.
+func (s *Store) rebuildShard(k int) (*shardData, error) {
+	if s.opt.Source == nil {
+		return nil, errors.New("no source attached (Options.Source) to rebuild from")
+	}
+	rec := s.man.Shards[k]
+
+	old := filepath.Join(s.dir, rec.File)
+	if _, err := s.fs.Stat(old); err == nil {
+		if err := s.fs.Rename(old, old+quarantineSuffix); err != nil {
+			return nil, fmt.Errorf("quarantining %s: %w", rec.File, err)
+		}
+		s.stats.Quarantined++
+	}
+
+	sd := &shardData{startRow: rec.StartRow, rowPtr: []int32{0}}
+	end := rec.StartRow + rec.Rows
+	err := s.opt.Source.Scan(func(row int, indices []int32, values []float64, label float64) error {
+		if row < rec.StartRow {
+			return nil
+		}
+		if row >= end {
+			return errStopScan
+		}
+		for i, j := range indices {
+			sd.cols = append(sd.cols, j)
+			sd.bins = append(sd.bins, uint8(s.mapper.Bin(int(j), values[i])))
+		}
+		sd.rowPtr = append(sd.rowPtr, int32(len(sd.cols)))
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return nil, fmt.Errorf("rescanning source: %w", err)
+	}
+	if got := len(sd.rowPtr) - 1; got != rec.Rows || len(sd.cols) != rec.NNZ {
+		return nil, fmt.Errorf("source drifted: rebuilt %d rows / %d nnz, manifest says %d / %d",
+			len(sd.rowPtr)-1, len(sd.cols), rec.Rows, rec.NNZ)
+	}
+
+	name := fmt.Sprintf("shard-%06d.g%06d.bin", k, s.gen+1)
+	if err := writeRetryNoSpace(s.fs, s.dir, func() error {
+		return writeShard(s.fs, filepath.Join(s.dir, name), sd)
+	}); err != nil {
+		return nil, fmt.Errorf("writing rebuilt shard: %w", err)
+	}
+	s.man.Shards[k].File = name
+	if err := writeRetryNoSpace(s.fs, s.dir, func() error {
+		return writeManifest(s.fs, s.dir, s.man, s.gen+1)
+	}); err != nil {
+		// Roll the in-memory record back so a later attempt re-derives a
+		// consistent state instead of pointing at an uncommitted name.
+		s.man.Shards[k].File = rec.File
+		return nil, fmt.Errorf("committing rebuilt manifest: %w", err)
+	}
+	s.gen++
+	s.stats.Rebuilds++
 	return sd, nil
 }
 
@@ -232,10 +478,18 @@ func (s *Store) evictLRU(skip1, skip2 int) bool {
 	return true
 }
 
-// RemoveStore deletes a store directory and everything in it.
+// RemoveStore deletes a store directory and everything in it. Any
+// manifest generation marks the directory as a store — a half-repaired
+// store (newest generation torn) is still removable.
 func RemoveStore(dir string) error {
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
 		return fmt.Errorf("ooc: %s is not a store: %w", dir, err)
 	}
-	return os.RemoveAll(dir)
+	for _, e := range entries {
+		if _, ok := parseManifestGen(e.Name()); ok {
+			return os.RemoveAll(dir)
+		}
+	}
+	return fmt.Errorf("ooc: %s is not a store: no manifest", dir)
 }

@@ -34,6 +34,19 @@ GOMEMLIMIT=256MiB go test -race -short -count=1 -run 'TestBoundedMemoryTraining|
 echo "== chaos smoke (seeded faults must reproduce the fault-free model) =="
 go test -race -run 'TestChaosTrainingMatchesBaseline|TestSessionCheckpointResume' ./internal/core
 
+echo "== storage chaos smoke (disk faults: self-heal or typed abort, byte-identical resume) =="
+# Seeded filesystem fault injection over the ooc store and checkpoint
+# layers. -short caps the soak at ~30 kill-and-corrupt scenarios (the
+# full few-hundred-scenario sweep runs with the tier-1 suite); every
+# scenario must self-heal or abort with a typed error — zero panics —
+# and every recovered run must resume to the byte-identical model.
+go test -race -short -count=1 \
+  -run 'TestStorageChaosSoak|TestShardCorruption|TestManifest|TestStoreClose|TestTornWriteAtRenameRecovery|TestOpenSweepsOrphanedTempFiles|TestViewSessionFaultyStoreAborts' \
+  ./internal/fault/fsfault ./internal/ooc ./internal/checkpoint ./internal/core
+
+echo "== fuzz smoke (ooc manifest/shard decode: hostile bytes must never panic) =="
+go test -run='^$' -fuzz=FuzzOpenHostileStore -fuzztime=10s ./internal/ooc
+
 echo "== serve chaos smoke (overload, breaker trip/recover, no-hang contract) =="
 go test -race -timeout 120s \
   -run 'TestServeChaosHTTPNeverHangs|TestServeHardCutRedialRecovery|TestServeBreakerTimeoutTripAndRecover|TestBreaker|TestBatcherQueueBound' \
