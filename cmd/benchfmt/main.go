@@ -6,7 +6,11 @@
 //
 // With -check FILE it instead validates that FILE parses as a benchfmt
 // document with at least one benchmark, exiting non-zero otherwise; CI uses
-// this to guarantee the committed BENCH_crypto.json never rots.
+// this to guarantee the committed BENCH_crypto.json never rots. -check also
+// recognizes the out-of-core sweep schema that cmd/experiments writes to
+// BENCH_ooc.json (a top-level "runs" array instead of "benchmarks") and
+// validates its own invariants: a positive build rate, per-run load
+// counters, and byte-identical models across the budget sweep.
 package main
 
 import (
@@ -238,6 +242,13 @@ func checkFile(path string) error {
 	if err != nil {
 		return err
 	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if _, ok := top["runs"]; ok {
+		return checkOOC(raw)
+	}
 	var doc Document
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return fmt.Errorf("invalid JSON: %w", err)
@@ -251,6 +262,55 @@ func checkFile(path string) error {
 		}
 		if b.NsPerOp <= 0 {
 			return fmt.Errorf("benchmark %q has non-positive ns_per_op", b.Name)
+		}
+	}
+	return nil
+}
+
+// oocDoc mirrors the parts of the BENCH_ooc.json schema (written by
+// internal/experiments.WriteOOCJSON) that the check gates on.
+type oocDoc struct {
+	Build struct {
+		RowsPerSec float64 `json:"rows_per_sec"`
+		Shards     int     `json:"shards"`
+	} `json:"build"`
+	Runs []struct {
+		Budget            int64   `json:"budget_bytes"`
+		RowsPerSec        float64 `json:"rows_per_sec"`
+		Loads             int64   `json:"loads"`
+		LoadsPerShardTree float64 `json:"loads_per_shard_tree"`
+		ModelMatchesRef   bool    `json:"model_matches_ref"`
+	} `json:"runs"`
+}
+
+// checkOOC validates the out-of-core sweep baseline: every budget point
+// must have trained at a positive rate on a byte-identical model, and
+// the per-shard-per-tree load counter — the read-amplification headline
+// the shard-major schedule exists to bound — must be present and
+// positive on every budget-capped run.
+func checkOOC(raw []byte) error {
+	var doc oocDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("invalid ooc document: %w", err)
+	}
+	if doc.Build.RowsPerSec <= 0 {
+		return fmt.Errorf("ooc build has non-positive rows_per_sec")
+	}
+	if doc.Build.Shards <= 0 {
+		return fmt.Errorf("ooc build has no shards")
+	}
+	if len(doc.Runs) == 0 {
+		return fmt.Errorf("ooc document has no runs")
+	}
+	for i, r := range doc.Runs {
+		if r.RowsPerSec <= 0 {
+			return fmt.Errorf("ooc run %d (budget %d) has non-positive rows_per_sec", i, r.Budget)
+		}
+		if !r.ModelMatchesRef {
+			return fmt.Errorf("ooc run %d (budget %d) drifted from the reference model", i, r.Budget)
+		}
+		if r.Budget > 0 && (r.Loads <= 0 || r.LoadsPerShardTree <= 0) {
+			return fmt.Errorf("ooc run %d (budget %d) is missing load counters", i, r.Budget)
 		}
 	}
 	return nil

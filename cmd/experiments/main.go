@@ -25,15 +25,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		run     = flag.String("run", "all", "comma-separated experiments: fig7,table1,table2,fig10,table4,table5,table6 or all")
-		preset  = flag.String("preset", "census", "preset for fig10 (census or a9a)")
-		scale   = flag.Float64("scale", 0, "override dataset scale divisor (0 = per-experiment default)")
-		keyBits = flag.Int("keybits", 512, "Paillier modulus size S")
-		trees   = flag.Int("trees", 0, "override tree count (0 = per-experiment default)")
-		oocRows = flag.Int("ooc-rows", 0, "override oocscale row count (0 = default)")
-		jsonOut = flag.String("json", "", "write oocscale/objscale results to this JSON file")
-		objRows = flag.Int("obj-rows", 0, "override objscale row count (0 = default)")
-		backend = flag.String("backend", "", "override objscale HE backend (default paillier-batched)")
+		run          = flag.String("run", "all", "comma-separated experiments: fig7,table1,table2,fig10,table4,table5,table6 or all")
+		preset       = flag.String("preset", "census", "preset for fig10 (census or a9a)")
+		scale        = flag.Float64("scale", 0, "override dataset scale divisor (0 = per-experiment default)")
+		keyBits      = flag.Int("keybits", 512, "Paillier modulus size S")
+		trees        = flag.Int("trees", 0, "override tree count (0 = per-experiment default)")
+		oocRows      = flag.Int("ooc-rows", 0, "override oocscale row count (0 = default)")
+		buildWorkers = flag.Int("build-workers", 0, "override oocscale store-build workers (0 = default)")
+		histWorkers  = flag.Int("hist-workers", 0, "override oocscale histogram workers (0 = default)")
+		jsonOut      = flag.String("json", "", "write oocscale/objscale results to this JSON file")
+		objRows      = flag.Int("obj-rows", 0, "override objscale row count (0 = default)")
+		backend      = flag.String("backend", "", "override objscale HE backend (default paillier-batched)")
 	)
 	flag.Parse()
 
@@ -191,6 +193,12 @@ func main() {
 			}
 			if *trees > 0 {
 				tc.Trees = *trees
+			}
+			if *buildWorkers > 0 {
+				tc.BuildWorkers = *buildWorkers
+			}
+			if *histWorkers > 0 {
+				tc.HistWorkers = *histWorkers
 			}
 			build, rows, err := experiments.OOCScale(tc)
 			if err != nil {

@@ -191,14 +191,15 @@ func oocFlags(fs *flag.FlagSet) func() oocSettings {
 	dir := fs.String("ooc", "", "train out-of-core: build (if absent) and use a binned shard store under this directory")
 	budget := fs.String("mem-budget", "256MiB", "resident shard-cache cap for -ooc (bytes, or with K/M/G[iB] suffix; 0 = unlimited)")
 	chunkRows := fs.Int("chunk-rows", 1<<16, "shard height in rows for -ooc store builds")
-	prefetch := fs.Bool("prefetch", true, "next-shard readahead at shallow tree depth (-ooc)")
+	buildWorkers := fs.Int("build-workers", 1, "parallel discretization workers for -ooc store builds (range-scannable sources; output is byte-identical to a serial build)")
+	prefetch := fs.Bool("prefetch", true, "readahead of the next shard in the sweep plan (-ooc)")
 	chaos := fs.String("fschaos", "", "seeded storage fault injection for stores and checkpoints, e.g. seed=7,flip=0.02,readerr=0.05,shortwrite=0.1,tornrename=0.2,enospc=1MiB,crash=40")
 	return func() oocSettings {
 		b, err := parseBytes(*budget)
 		if err != nil {
 			log.Fatalf("bad -mem-budget: %v", err)
 		}
-		s := oocSettings{dir: *dir, budget: b, chunkRows: *chunkRows, prefetch: *prefetch}
+		s := oocSettings{dir: *dir, budget: b, chunkRows: *chunkRows, buildWorkers: *buildWorkers, prefetch: *prefetch}
 		if *chaos != "" {
 			cfg, err := fsfault.ParseSpec(*chaos)
 			if err != nil {
@@ -211,11 +212,12 @@ func oocFlags(fs *flag.FlagSet) func() oocSettings {
 }
 
 type oocSettings struct {
-	dir       string
-	budget    int64
-	chunkRows int
-	prefetch  bool
-	fsys      fsfault.FS // nil = real filesystem; set by -fschaos
+	dir          string
+	budget       int64
+	chunkRows    int
+	buildWorkers int
+	prefetch     bool
+	fsys         fsfault.FS // nil = real filesystem; set by -fschaos
 }
 
 // openStore builds the store from src if dir has no manifest yet, then
@@ -229,7 +231,7 @@ func (s oocSettings) openStore(src ooc.Source, maxBins int) *ooc.Store {
 		return st
 	}
 	start := time.Now()
-	if err := ooc.Build(s.dir, src, ooc.BuildOptions{MaxBins: maxBins, ChunkRows: s.chunkRows, FS: s.fsys}); err != nil {
+	if err := ooc.Build(s.dir, src, ooc.BuildOptions{MaxBins: maxBins, ChunkRows: s.chunkRows, Workers: s.buildWorkers, FS: s.fsys}); err != nil {
 		log.Fatalf("ooc: building %s: %v", s.dir, err)
 	}
 	st, err = ooc.Open(s.dir, opt)

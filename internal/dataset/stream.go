@@ -3,7 +3,6 @@ package dataset
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 )
 
@@ -53,10 +52,9 @@ func NewStreamGenerator(o GenOptions) (*StreamGenerator, error) {
 	// Welford pass over the per-row dot products: numerically stable at
 	// any row count, O(1) memory.
 	var mean, m2 float64
-	idx := make([]int32, 0, g.nnzPerRow)
-	vals := make([]float64, 0, g.nnzPerRow)
+	sc := g.newScanner()
 	for i := 0; i < o.Rows; i++ {
-		_, _, dot, _ := g.row(i, idx[:0], vals[:0])
+		_, _, dot := sc.row(i)
 		d := dot - mean
 		mean += d / float64(i+1)
 		m2 += d * (dot - mean)
@@ -84,30 +82,94 @@ func rowSeed(seed int64, row int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// row regenerates row i's features into the provided buffers and returns
-// them sorted by column, with the ground-truth dot product and the row's
-// RNG positioned after the feature draws (the label draws follow on the
-// same stream).
-func (g *StreamGenerator) row(i int, idx []int32, vals []float64) ([]int32, []float64, float64, *rand.Rand) {
-	rng := newRNG(rowSeed(g.opts.Seed, i))
+// rowRNG is the per-row generation PRNG: a splitmix64 state walk. Its
+// essential property is O(1) re-seeding — the stream seeds once per row
+// so any range can be replayed independently, and math/rand's
+// lagged-Fibonacci source pays a ~600-step warmup on every Seed, which
+// at one seed per row dominated the whole build pass. Draw quality is
+// splitmix64's (passes BigCrush), more than enough for synthetic data.
+type rowRNG struct{ state uint64 }
+
+func (r *rowRNG) Seed(seed int64) { r.state = uint64(seed) }
+
+func (r *rowRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4B9B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1) with 53 random bits.
+func (r *rowRNG) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Intn returns a uniform draw in [0,n) for n > 0; the modulo bias is
+// ~n/2⁶⁴, irrelevant at feature-count scale.
+func (r *rowRNG) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// NormFloat64 draws a standard normal via Box–Muller. The spare value is
+// deliberately not cached: replay after Seed must not depend on the
+// parity of earlier draws.
+func (r *rowRNG) NormFloat64() float64 {
+	u := 1 - r.Float64() // (0,1]: keeps Log away from zero
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*r.Float64())
+}
+
+// rowScanner is the reusable per-scan state of row generation: one RNG
+// re-seeded per row, an epoch-stamped duplicate filter replacing a
+// per-row map (same skip decisions, zero allocation), and the shared
+// index/value buffers. Each Scan/ScanRange call owns its own scanner,
+// so concurrent scans never share state — the property the parallel
+// out-of-core build pass relies on.
+type rowScanner struct {
+	g     *StreamGenerator
+	rng   rowRNG
+	stamp []int64
+	epoch int64
+	idx   []int32
+	vals  []float64
+}
+
+func (g *StreamGenerator) newScanner() *rowScanner {
+	s := &rowScanner{
+		g:    g,
+		idx:  make([]int32, 0, g.nnzPerRow),
+		vals: make([]float64, 0, g.nnzPerRow),
+	}
+	if !g.opts.Dense && g.nnzPerRow < g.opts.Cols {
+		s.stamp = make([]int64, g.opts.Cols)
+	}
+	return s
+}
+
+// row regenerates row i's features into the scanner's buffers and
+// returns them sorted by column, with the ground-truth dot product. The
+// scanner's RNG is left positioned after the feature draws (the label
+// draws follow on the same stream).
+func (s *rowScanner) row(i int) ([]int32, []float64, float64) {
+	g := s.g
+	s.rng.Seed(rowSeed(g.opts.Seed, i))
+	idx, vals := s.idx[:0], s.vals[:0]
 	var dot float64
 	if g.opts.Dense || g.nnzPerRow >= g.opts.Cols {
 		for j := 0; j < g.opts.Cols; j++ {
-			v := rng.NormFloat64()
+			v := s.rng.NormFloat64()
 			idx = append(idx, int32(j))
 			vals = append(vals, v)
 			dot += v * g.w[j]
 		}
-		return idx, vals, dot, rng
+		s.idx, s.vals = idx, vals
+		return idx, vals, dot
 	}
-	seen := make(map[int32]bool, g.nnzPerRow)
-	for len(seen) < g.nnzPerRow {
-		j := int32(rng.Intn(g.opts.Cols))
-		if seen[j] {
+	s.epoch++
+	for n := 0; n < g.nnzPerRow; {
+		j := int32(s.rng.Intn(g.opts.Cols))
+		if s.stamp[j] == s.epoch {
 			continue
 		}
-		seen[j] = true
-		v := rng.Float64()
+		s.stamp[j] = s.epoch
+		n++
+		v := s.rng.Float64()
 		if v == 0 {
 			v = 0.5
 		}
@@ -118,7 +180,8 @@ func (g *StreamGenerator) row(i int, idx []int32, vals []float64) ([]int32, []fl
 	if !sort.SliceIsSorted(idx, func(x, y int) bool { return idx[x] < idx[y] }) {
 		sort.Sort(&rowSorter{idx: idx, vals: vals})
 	}
-	return idx, vals, dot, rng
+	s.idx, s.vals = idx, vals
+	return idx, vals, dot
 }
 
 // Scan streams every row through the callback in order. The indices and
@@ -126,19 +189,27 @@ func (g *StreamGenerator) row(i int, idx []int32, vals []float64) ([]int32, []fl
 // retained; entries are sorted by column. Scan may be called any number
 // of times and always replays the identical stream.
 func (g *StreamGenerator) Scan(fn func(row int, indices []int32, values []float64, label float64) error) error {
-	idx := make([]int32, 0, g.nnzPerRow)
-	vals := make([]float64, 0, g.nnzPerRow)
-	for i := 0; i < g.opts.Rows; i++ {
-		var dot float64
-		var rng *rand.Rand
-		idx, vals, dot, rng = g.row(i, idx[:0], vals[:0])
+	return g.ScanRange(0, g.opts.Rows, fn)
+}
+
+// ScanRange streams rows [lo, hi) through the callback. Every row is
+// generated from its own seed, so any range replays exactly the rows a
+// full Scan delivers, and concurrent ScanRange calls are independent
+// (each owns its iteration state).
+func (g *StreamGenerator) ScanRange(lo, hi int, fn func(row int, indices []int32, values []float64, label float64) error) error {
+	if lo < 0 || hi > g.opts.Rows || lo > hi {
+		return fmt.Errorf("dataset: row range [%d,%d) out of [0,%d)", lo, hi, g.opts.Rows)
+	}
+	s := g.newScanner()
+	for i := lo; i < hi; i++ {
+		idx, vals, dot := s.row(i)
 		logit := (dot - g.mean) / g.sd * 2
 		p := 1 / (1 + math.Exp(-logit))
 		y := 0.0
-		if rng.Float64() < p {
+		if s.rng.Float64() < p {
 			y = 1
 		}
-		if g.opts.NoiseProb > 0 && rng.Float64() < g.opts.NoiseProb {
+		if g.opts.NoiseProb > 0 && s.rng.Float64() < g.opts.NoiseProb {
 			y = 1 - y
 		}
 		if err := fn(i, idx, vals, y); err != nil {

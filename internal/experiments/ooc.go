@@ -31,6 +31,14 @@ type OOCConfig struct {
 	// everything-resident reference point).
 	Budgets []int64
 	Seed    int64
+	// BuildWorkers parallelizes pass 2 of the store build (and chunk
+	// generation in pass 1); <= 1 builds serially. The output directory
+	// is byte-identical either way.
+	BuildWorkers int
+	// HistWorkers bounds histogram-build parallelism during the training
+	// sweep; <= 0 uses one worker (the historical single-threaded
+	// reference point).
+	HistWorkers int
 	// Dir holds the store between runs; empty uses a temp dir removed at
 	// the end.
 	Dir string
@@ -48,6 +56,9 @@ func DefaultOOC() OOCConfig {
 		ChunkRows: 1 << 16,
 		Budgets:   []int64{0, 64 << 20, 16 << 20, 4 << 20},
 		Seed:      17,
+
+		BuildWorkers: 4,
+		HistWorkers:  1,
 	}
 }
 
@@ -57,6 +68,7 @@ type OOCBuild struct {
 	RowsPerSec float64       `json:"rows_per_sec"`
 	Shards     int           `json:"shards"`
 	PeakHeap   uint64        `json:"peak_heap_bytes"`
+	Workers    int           `json:"workers"`
 }
 
 // OOCRow is one budget point of the training sweep.
@@ -69,6 +81,16 @@ type OOCRow struct {
 	Prefetches int64         `json:"prefetches"`
 	Evictions  int64         `json:"evictions"`
 	PeakCache  int64         `json:"peak_cache_bytes"`
+	// LoadsPerShardTree is Loads / (shards × trees): 1.0 means every
+	// shard was read exactly once per tree — the shard-major floor is
+	// depth+1 per tree (one fused sweep per level plus the margin
+	// update), and the node-major schedule this experiment used to
+	// measure sat around 127.
+	LoadsPerShardTree float64 `json:"loads_per_shard_tree"`
+	// ModelMatchesRef reports whether this budget's model is
+	// byte-identical to the first run's (the unlimited-budget,
+	// everything-resident reference).
+	ModelMatchesRef bool `json:"model_matches_ref"`
 }
 
 // heapSampler tracks peak HeapAlloc while a measured section runs. The
@@ -128,10 +150,14 @@ func OOCScale(tc OOCConfig) (OOCBuild, []OOCRow, error) {
 		return OOCBuild{}, nil, err
 	}
 
+	buildWorkers := tc.BuildWorkers
+	if buildWorkers < 1 {
+		buildWorkers = 1
+	}
 	runtime.GC()
 	hs := startHeapSampler()
 	buildStart := time.Now()
-	if err := ooc.Build(dir, src, ooc.BuildOptions{MaxBins: tc.MaxBins, ChunkRows: tc.ChunkRows}); err != nil {
+	if err := ooc.Build(dir, src, ooc.BuildOptions{MaxBins: tc.MaxBins, ChunkRows: tc.ChunkRows, Workers: buildWorkers}); err != nil {
 		hs.Stop()
 		return OOCBuild{}, nil, err
 	}
@@ -140,15 +166,20 @@ func OOCScale(tc OOCConfig) (OOCBuild, []OOCRow, error) {
 		Wall:       buildWall,
 		RowsPerSec: float64(tc.Rows) / secs(buildWall),
 		PeakHeap:   hs.Stop(),
+		Workers:    buildWorkers,
 	}
 
 	p := gbdt.DefaultParams()
 	p.NumTrees = tc.Trees
 	p.MaxDepth = tc.Depth
 	p.MaxBins = tc.MaxBins
-	p.Workers = 1
+	p.Workers = tc.HistWorkers
+	if p.Workers < 1 {
+		p.Workers = 1
+	}
 
 	var rows []OOCRow
+	var refModel []byte
 	for _, budget := range tc.Budgets {
 		st, err := ooc.Open(dir, ooc.Options{MemBudget: budget, Prefetch: true})
 		if err != nil {
@@ -164,21 +195,32 @@ func OOCScale(tc OOCConfig) (OOCBuild, []OOCRow, error) {
 		runtime.GC()
 		hs := startHeapSampler()
 		start := time.Now()
-		if _, err := gbdt.TrainBinned(st, labels, p); err != nil {
+		m, err := gbdt.TrainBinned(st, labels, p)
+		if err != nil {
 			hs.Stop()
 			return build, nil, err
 		}
 		wall := time.Since(start)
 		cs := st.Stats()
+		encoded, err := json.Marshal(m)
+		if err != nil {
+			hs.Stop()
+			return build, nil, err
+		}
+		if refModel == nil {
+			refModel = encoded
+		}
 		rows = append(rows, OOCRow{
-			Budget:     budget,
-			Wall:       wall,
-			RowsPerSec: float64(tc.Rows) * float64(tc.Trees) / secs(wall),
-			PeakHeap:   hs.Stop(),
-			Loads:      cs.Loads,
-			Prefetches: cs.Prefetches,
-			Evictions:  cs.Evictions,
-			PeakCache:  cs.PeakBytes,
+			Budget:            budget,
+			Wall:              wall,
+			RowsPerSec:        float64(tc.Rows) * float64(tc.Trees) / secs(wall),
+			PeakHeap:          hs.Stop(),
+			Loads:             cs.Loads,
+			Prefetches:        cs.Prefetches,
+			Evictions:         cs.Evictions,
+			PeakCache:         cs.PeakBytes,
+			LoadsPerShardTree: float64(cs.Loads) / float64(st.NumShards()*tc.Trees),
+			ModelMatchesRef:   string(encoded) == string(refModel),
 		})
 	}
 	return build, rows, nil
@@ -188,18 +230,23 @@ func OOCScale(tc OOCConfig) (OOCBuild, []OOCRow, error) {
 func PrintOOC(w io.Writer, tc OOCConfig, build OOCBuild, rows []OOCRow) {
 	fmt.Fprintf(w, "Out-of-core scale: %d x %d (density %.2f), T=%d depth %d, %d shards of %d rows\n",
 		tc.Rows, tc.Cols, tc.Density, tc.Trees, tc.Depth, build.Shards, tc.ChunkRows)
-	fmt.Fprintf(w, "  build: %v (%.0f rows/s), peak heap %s\n",
-		build.Wall.Round(time.Millisecond), build.RowsPerSec, fmtBytes(int64(build.PeakHeap)))
-	fmt.Fprintf(w, "  %-10s | %10s | %12s | %10s | %7s | %5s | %7s | %10s\n",
-		"budget", "wall", "rows/s", "peak heap", "loads", "pref", "evict", "peak cache")
+	fmt.Fprintf(w, "  build: %v (%.0f rows/s, %d workers), peak heap %s\n",
+		build.Wall.Round(time.Millisecond), build.RowsPerSec, build.Workers, fmtBytes(int64(build.PeakHeap)))
+	fmt.Fprintf(w, "  %-10s | %10s | %12s | %10s | %7s | %8s | %5s | %7s | %10s | %5s\n",
+		"budget", "wall", "rows/s", "peak heap", "loads", "ld/sh·t", "pref", "evict", "peak cache", "model")
 	for _, r := range rows {
 		budget := "unlimited"
 		if r.Budget > 0 {
 			budget = fmtBytes(r.Budget)
 		}
-		fmt.Fprintf(w, "  %-10s | %10v | %12.0f | %10s | %7d | %5d | %7d | %10s\n",
+		match := "match"
+		if !r.ModelMatchesRef {
+			match = "DRIFT"
+		}
+		fmt.Fprintf(w, "  %-10s | %10v | %12.0f | %10s | %7d | %8.2f | %5d | %7d | %10s | %5s\n",
 			budget, r.Wall.Round(time.Millisecond), r.RowsPerSec,
-			fmtBytes(int64(r.PeakHeap)), r.Loads, r.Prefetches, r.Evictions, fmtBytes(r.PeakCache))
+			fmtBytes(int64(r.PeakHeap)), r.Loads, r.LoadsPerShardTree,
+			r.Prefetches, r.Evictions, fmtBytes(r.PeakCache), match)
 	}
 }
 

@@ -38,10 +38,14 @@ type BinView interface {
 }
 
 // DepthHinter is an optional BinView capability: the trainer announces
-// the tree depth it is about to sweep so an out-of-core view can tune
-// its prefetch window — root sweeps are sequential over all rows, deep
-// layers touch sparse row subsets where aggressive prefetch would only
-// churn the shard cache.
+// the tree depth it is about to sweep. The hint is purely advisory —
+// a view may use it to tune readahead or cache policy, but correctness
+// must never depend on it: callers are free to skip hints, repeat
+// them, or send depths in any order, and implementations must accept
+// any int (clamping negative or oversized values) without changing the
+// bytes any Row call returns. Under the shard-major schedule the
+// sweep's own next-shard announcements (ShardPrefetcher) carry the
+// precise readahead plan; the depth hint merely brackets the layers.
 type DepthHinter interface{ HintDepth(depth int) }
 
 // BinMapper holds the per-feature candidate split values ("cuts"). Bin k

@@ -1,0 +1,427 @@
+package gbdt
+
+import (
+	"sort"
+	"sync"
+)
+
+// Shard-major tree growth.
+//
+// The node-major schedule in train.go sweeps one instance list per node
+// per layer. Over an in-memory BinnedMatrix that is optimal — every row
+// costs the same — but over a disk-backed view whose rows live in
+// row-range shards it re-reads every shard once per *node list* that
+// crosses it, and the store's LRU cache turns a layer into shards ×
+// nodes worth of load/evict churn (the measured 11.8k shard loads for a
+// 31-shard, 3-tree, depth-6 run — ~127× read amplification over
+// shards × trees).
+//
+// The shard-major schedule inverts the loops: each layer walks the
+// shards in row order exactly once, and while a shard is resident it
+// accumulates *every* node's rows that live in it. Two invariants make
+// the result byte-identical to the node-major path (float addition is
+// not associative, so this is a scheduling property, not a given):
+//
+//  1. The accumulation units are the node-major path's own units — the
+//     whole list on wide layers, shardedHistogram's fixed-size chunks on
+//     narrow ones — merged in the same order. Nothing is regrouped.
+//  2. Instance lists are ascending (the root list is 0..n-1 and
+//     partition preserves order), so a unit's rows inside one shard form
+//     a contiguous subrange, and the per-shard barrier of the sweep
+//     delivers those subranges to each unit's histogram in ascending
+//     order — the exact sequence a sequential Accumulate performs.
+//
+// Parallelism therefore lives across units within a shard (distinct
+// histograms, no races) and in the I/O: the sweep hints the next
+// planned shard to a ShardPrefetcher so its read overlaps this shard's
+// compute, and the store's singleflight load path (internal/ooc) lets
+// concurrent loads of distinct shards proceed without serializing on a
+// store-wide mutex.
+//
+// Tree growth additionally fuses partitioning into the next layer's
+// sweep (growTreeShardMajor): one shard pass both routes the previous
+// layer's split rows to their children and accumulates the children's
+// histograms, so a tree of depth d costs d sweeps plus the margin
+// update — (d+1) × shards loads per tree in total, the bound the
+// regression tests assert.
+
+// ShardedView is an optional BinView capability implemented by views
+// whose rows live in contiguous row-range shards with non-uniform
+// access cost (the disk-backed store in internal/ooc). When a view
+// reports more than one shard, tree growth and histogram construction
+// switch to the shard-major schedule above; models stay byte-identical
+// across schedules.
+type ShardedView interface {
+	BinView
+	// NumShards returns the shard count.
+	NumShards() int
+	// ShardRowRange returns the half-open row range [lo, hi) of shard k.
+	// Shards cover the row space contiguously and in index order.
+	ShardRowRange(k int) (lo, hi int)
+}
+
+// ShardPrefetcher is an optional capability of a ShardedView: the
+// shard-major sweep announces the next shard it is going to touch so
+// the view can read it ahead asynchronously. PrefetchShard must not
+// block; a view is free to ignore hints (e.g. under budget pressure).
+type ShardPrefetcher interface{ PrefetchShard(k int) }
+
+// hintDepth forwards the layer announcement to views that want it.
+func hintDepth(bm BinView, depth int) {
+	if dh, ok := bm.(DepthHinter); ok {
+		dh.HintDepth(depth)
+	}
+}
+
+// shardMajor reports whether bm should be swept shard-major.
+func shardMajor(bm BinView) (ShardedView, bool) {
+	sv, ok := bm.(ShardedView)
+	return sv, ok && sv.NumShards() > 1
+}
+
+// histChunk is one accumulation unit of a layer: a node's whole
+// instance list, or one of shardedHistogram's fixed-size chunks of it.
+type histChunk struct {
+	node  int
+	insts []int32
+	hist  *Histogram
+}
+
+// planChunks reproduces the node-major path's accumulation units for
+// one layer: one unit per node on wide layers (len(active) >= workers),
+// shardedHistogram's chunking on narrow ones. Unit boundaries and the
+// later merge order must match the node-major path exactly — they
+// decide the float addition order.
+func planChunks(m *BinMapper, active []*nodeWork, workers int) ([]*histChunk, [][]*histChunk) {
+	perNode := make([][]*histChunk, len(active))
+	var all []*histChunk
+	wide := len(active) >= workers
+	for k, nw := range active {
+		if wide || workers <= 1 || len(nw.insts) < 1024 {
+			c := &histChunk{node: k, insts: nw.insts, hist: NewHistogram(m)}
+			perNode[k] = []*histChunk{c}
+			all = append(all, c)
+			continue
+		}
+		chunk := (len(nw.insts) + workers - 1) / workers
+		for lo := 0; lo < len(nw.insts); lo += chunk {
+			hi := min(lo+chunk, len(nw.insts))
+			c := &histChunk{node: k, insts: nw.insts[lo:hi], hist: NewHistogram(m)}
+			perNode[k] = append(perNode[k], c)
+			all = append(all, c)
+		}
+	}
+	return all, perNode
+}
+
+// shardTask is one chunk's contiguous instance subrange inside one shard.
+type shardTask struct {
+	c      *histChunk
+	lo, hi int
+}
+
+// planShardTasks splits every chunk at shard boundaries. Instance lists
+// are ascending, so a chunk's rows inside one shard are one contiguous
+// subrange, found by binary search.
+func planShardTasks(sv ShardedView, chunks []*histChunk) [][]shardTask {
+	tasks := make([][]shardTask, sv.NumShards())
+	for _, c := range chunks {
+		i := 0
+		for i < len(c.insts) {
+			s := shardOf(sv, int(c.insts[i]))
+			_, hiRow := sv.ShardRowRange(s)
+			j := i + sort.Search(len(c.insts)-i, func(x int) bool { return int(c.insts[i+x]) >= hiRow })
+			tasks[s] = append(tasks[s], shardTask{c: c, lo: i, hi: j})
+			i = j
+		}
+	}
+	return tasks
+}
+
+// shardOf locates the shard holding a row.
+func shardOf(sv ShardedView, row int) int {
+	return sort.Search(sv.NumShards(), func(s int) bool {
+		_, hi := sv.ShardRowRange(s)
+		return row < hi
+	})
+}
+
+// sweepShards walks the planned shards in row order, making each one
+// resident exactly once per layer and running its tasks with up to
+// `workers` goroutines before moving on. The per-shard barrier is what
+// keeps every chunk's subranges arriving in ascending order; the
+// prefetch hint is what keeps the next shard's read overlapped with
+// this shard's compute.
+func sweepShards(sv ShardedView, tasks [][]shardTask, workers int, run func(t shardTask) error) error {
+	pf, _ := sv.(ShardPrefetcher)
+	var touched []int
+	for s := range tasks {
+		if len(tasks[s]) > 0 {
+			touched = append(touched, s)
+		}
+	}
+	for ti, s := range touched {
+		// Make the shard resident with one demand row before fanning out,
+		// then hint the next planned shard so its read runs behind the
+		// compute. Prefetching before the demand load would race it for
+		// the cache's LRU slots; after it, the current shard is the
+		// most-recently-used and safe.
+		lo, _ := sv.ShardRowRange(s)
+		if _, _, err := sv.Row(lo); err != nil {
+			return err
+		}
+		if pf != nil && ti+1 < len(touched) {
+			pf.PrefetchShard(touched[ti+1])
+		}
+		ts := tasks[s]
+		if workers <= 1 || len(ts) == 1 {
+			for _, t := range ts {
+				if err := run(t); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		var ec errCollector
+		sem := make(chan struct{}, workers)
+		for _, t := range ts {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t shardTask) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ec.add(run(t))
+			}(t)
+		}
+		wg.Wait()
+		if err := ec.first(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildLayerHistogramsSharded is the shard-major equivalent of
+// buildLayerHistograms: same histograms, bit for bit, at most one load
+// per shard for the whole layer.
+func buildLayerHistogramsSharded(sv ShardedView, active []*nodeWork, grads, hess []float64, workers int) ([]*Histogram, error) {
+	chunks, perNode := planChunks(sv.Mapper(), active, workers)
+	tasks := planShardTasks(sv, chunks)
+	err := sweepShards(sv, tasks, workers, func(t shardTask) error {
+		return t.c.hist.Accumulate(sv, t.c.insts[t.lo:t.hi], grads, hess)
+	})
+	if err != nil {
+		return nil, err
+	}
+	hists := make([]*Histogram, len(active))
+	for k, cs := range perNode {
+		acc := cs[0].hist
+		for _, c := range cs[1:] {
+			acc.Merge(c.hist)
+		}
+		hists[k] = acc
+	}
+	return hists, nil
+}
+
+// listsAscending reports whether every instance list is sorted — the
+// precondition for splitting lists at shard boundaries. Lists produced
+// by this package and by the federated engines always are; the check
+// guards external callers of BuildHistograms.
+func listsAscending(lists [][]int32) bool {
+	for _, l := range lists {
+		for i := 1; i < len(l); i++ {
+			if l[i-1] > l[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fuseTask is one split carried into the next layer's sweep: the parent
+// list still to be routed, and the two children whose instance lists
+// and (when fused) histograms the sweep fills in.
+type fuseTask struct {
+	parent       *nodeWork
+	feature, bin int32
+	left, right  *nodeWork
+}
+
+// canFuse reports whether the next layer's histograms can be built in
+// the same sweep that routes the parents' rows: true when every child
+// is a single accumulation unit — the next layer is wide enough to get
+// one unit per node, or small enough that shardedHistogram would not
+// chunk it (children can't outgrow their parents). Otherwise the chunk
+// boundaries depend on final child list lengths unknowable mid-sweep,
+// and the layer falls back to a routing sweep followed by a histogram
+// sweep — two shard passes instead of one, only on narrow layers with
+// large parents.
+func canFuse(fusion []*fuseTask, nextCount, workers int) bool {
+	if workers <= 1 || nextCount >= workers {
+		return true
+	}
+	for _, f := range fusion {
+		if len(f.parent.insts) >= 1024 {
+			return false
+		}
+	}
+	return true
+}
+
+// routeScratch is the per-task routing buffer pair.
+type routeScratch struct{ left, right []int32 }
+
+// routeSegment routes one contiguous slice of a parent's instances
+// through its split, appending to the scratch buffers.
+func routeSegment(sv ShardedView, f *fuseTask, seg []int32, sc *routeScratch) error {
+	sc.left, sc.right = sc.left[:0], sc.right[:0]
+	for _, i := range seg {
+		goesLeft, err := GoesLeft(sv, i, f.feature, f.bin)
+		if err != nil {
+			return err
+		}
+		if goesLeft {
+			sc.left = append(sc.left, i)
+		} else {
+			sc.right = append(sc.right, i)
+		}
+	}
+	return nil
+}
+
+// fusedSweep performs one shard pass that both routes every parent's
+// rows to its children and accumulates the children's histograms. Rows
+// are routed shard by shard in ascending order, so child lists come out
+// ascending and each child histogram receives its rows in exactly the
+// order a dedicated node-major sweep would add them.
+func fusedSweep(sv ShardedView, fusion []*fuseTask, grads, hess []float64, workers int) ([]*Histogram, error) {
+	m := sv.Mapper()
+	chunks := make([]*histChunk, len(fusion))
+	for i, f := range fusion {
+		chunks[i] = &histChunk{node: i, insts: f.parent.insts}
+	}
+	lh := make([]*Histogram, len(fusion))
+	rh := make([]*Histogram, len(fusion))
+	for i := range fusion {
+		lh[i] = NewHistogram(m)
+		rh[i] = NewHistogram(m)
+	}
+	pool := sync.Pool{New: func() any { return new(routeScratch) }}
+	tasks := planShardTasks(sv, chunks)
+	err := sweepShards(sv, tasks, workers, func(t shardTask) error {
+		f := fusion[t.c.node]
+		sc := pool.Get().(*routeScratch)
+		defer pool.Put(sc)
+		if err := routeSegment(sv, f, f.parent.insts[t.lo:t.hi], sc); err != nil {
+			return err
+		}
+		if err := lh[t.c.node].Accumulate(sv, sc.left, grads, hess); err != nil {
+			return err
+		}
+		if err := rh[t.c.node].Accumulate(sv, sc.right, grads, hess); err != nil {
+			return err
+		}
+		f.left.insts = append(f.left.insts, sc.left...)
+		f.right.insts = append(f.right.insts, sc.right...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	hists := make([]*Histogram, 0, 2*len(fusion))
+	for i := range fusion {
+		hists = append(hists, lh[i], rh[i])
+	}
+	return hists, nil
+}
+
+// partitionSweepSharded routes every parent's rows to its children in
+// one shard pass without touching histograms — the first half of the
+// two-pass fallback when fusion can't predict child chunk boundaries.
+func partitionSweepSharded(sv ShardedView, fusion []*fuseTask, workers int) error {
+	chunks := make([]*histChunk, len(fusion))
+	for i, f := range fusion {
+		chunks[i] = &histChunk{node: i, insts: f.parent.insts}
+	}
+	pool := sync.Pool{New: func() any { return new(routeScratch) }}
+	return sweepShards(sv, tasksOf(sv, chunks), workers, func(t shardTask) error {
+		f := fusion[t.c.node]
+		sc := pool.Get().(*routeScratch)
+		defer pool.Put(sc)
+		if err := routeSegment(sv, f, f.parent.insts[t.lo:t.hi], sc); err != nil {
+			return err
+		}
+		f.left.insts = append(f.left.insts, sc.left...)
+		f.right.insts = append(f.right.insts, sc.right...)
+		return nil
+	})
+}
+
+func tasksOf(sv ShardedView, chunks []*histChunk) [][]shardTask {
+	return planShardTasks(sv, chunks)
+}
+
+// growTreeShardMajor grows one tree with the shard-major schedule. The
+// split decisions, node numbering and leaf weights replicate growTree
+// exactly; only the order shards are touched in changes. Each layer
+// costs one shard sweep (fused routing + child histograms); the last
+// layer's routing is skipped entirely because leaf weights come from
+// the split statistics, never from the child lists.
+func growTreeShardMajor(sv ShardedView, grads, hess []float64, p Params) (*Tree, error) {
+	tree := NewTree()
+	all := make([]int32, sv.Rows())
+	var g0, h0 float64
+	for i := range all {
+		all[i] = int32(i)
+		g0 += grads[i]
+		h0 += hess[i]
+	}
+	active := []*nodeWork{{id: 0, insts: all, g: g0, h: h0}}
+
+	hintDepth(sv, 0)
+	hists, err := buildLayerHistogramsSharded(sv, active, grads, hess, p.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for depth := 0; ; depth++ {
+		last := depth == p.MaxDepth-1
+		var fusion []*fuseTask
+		var next []*nodeWork
+		for k, nw := range active {
+			split := BestSplit(hists[k], nw.g, nw.h, p.Split)
+			if !split.Valid() {
+				tree.SetLeaf(nw.id, LeafWeight(nw.g, nw.h, p.Split.Lambda))
+				continue
+			}
+			threshold := sv.Mapper().Threshold(int(split.Feature), int(split.Bin))
+			leftID, rightID := tree.AddSplit(nw.id, split.Feature, threshold, split.Gain)
+			left := &nodeWork{id: leftID, g: split.GL, h: split.HL}
+			right := &nodeWork{id: rightID, g: nw.g - split.GL, h: nw.h - split.HL}
+			if last {
+				tree.SetLeaf(leftID, LeafWeight(left.g, left.h, p.Split.Lambda))
+				tree.SetLeaf(rightID, LeafWeight(right.g, right.h, p.Split.Lambda))
+				continue
+			}
+			fusion = append(fusion, &fuseTask{parent: nw, feature: split.Feature, bin: split.Bin, left: left, right: right})
+			next = append(next, left, right)
+		}
+		if last || len(next) == 0 {
+			return tree, nil
+		}
+		hintDepth(sv, depth+1)
+		if canFuse(fusion, len(next), p.Workers) {
+			hists, err = fusedSweep(sv, fusion, grads, hess, p.Workers)
+		} else {
+			if err = partitionSweepSharded(sv, fusion, p.Workers); err != nil {
+				return nil, err
+			}
+			hists, err = buildLayerHistogramsSharded(sv, next, grads, hess, p.Workers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		active = next
+	}
+}

@@ -1,0 +1,177 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"vf2boost/internal/dataset"
+)
+
+// chunkedView exposes an in-memory BinnedMatrix as a ShardedView with
+// fixed-height row shards — the pure scheduling harness: no disk, no
+// cache, so any model difference is the shard-major schedule's fault.
+type chunkedView struct {
+	*BinnedMatrix
+	chunk      int
+	prefetched []int
+}
+
+func (v *chunkedView) NumShards() int {
+	return (v.Rows() + v.chunk - 1) / v.chunk
+}
+
+func (v *chunkedView) ShardRowRange(k int) (int, int) {
+	lo := k * v.chunk
+	return lo, min(lo+v.chunk, v.Rows())
+}
+
+func (v *chunkedView) PrefetchShard(k int) { v.prefetched = append(v.prefetched, k) }
+
+var (
+	_ ShardedView     = (*chunkedView)(nil)
+	_ ShardPrefetcher = (*chunkedView)(nil)
+)
+
+func synthBinned(t *testing.T, rows, cols int, seed int64) (*dataset.Dataset, *BinnedMatrix) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenOptions{Rows: rows, Cols: cols, Density: 0.5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewBinMapper(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, NewBinnedMatrix(d, mapper)
+}
+
+func modelBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The shard-major schedule must grow byte-identical trees to the
+// node-major one — float addition is not associative, so this only
+// holds if the schedule replays the node-major accumulation units and
+// merge order exactly. Rows > 1024 exercises the narrow-layer chunked
+// path (and its two-pass fallback) under workers > 1.
+func TestShardMajorModelParity(t *testing.T) {
+	for _, rows := range []int{300, 2500} {
+		d, bm := synthBinned(t, rows, 8, 42)
+		for _, workers := range []int{1, 2, 4} {
+			p := DefaultParams()
+			p.NumTrees = 3
+			p.MaxDepth = 4
+			p.MaxBins = 16
+			p.Workers = workers
+
+			ref, err := TrainBinned(bm, d.Labels, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, chunk := range []int{64, 1 << 10} {
+				cv := &chunkedView{BinnedMatrix: bm, chunk: chunk}
+				got, err := TrainBinned(cv, d.Labels, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(modelBytes(t, ref)) != string(modelBytes(t, got)) {
+					t.Fatalf("rows=%d workers=%d chunk=%d: shard-major model differs from node-major", rows, workers, chunk)
+				}
+				if len(cv.prefetched) == 0 && cv.NumShards() > 1 {
+					t.Fatalf("rows=%d chunk=%d: sweep never announced a next shard", rows, chunk)
+				}
+			}
+		}
+	}
+}
+
+// BuildHistograms (the federated engines' entry point) must produce
+// bit-equal histograms under the shard-major schedule for ascending
+// lists, and fall back to node-major for non-ascending ones.
+func TestBuildHistogramsShardedParity(t *testing.T) {
+	d, bm := synthBinned(t, 2000, 6, 7)
+	n := d.Rows()
+	grads := make([]float64, n)
+	hess := make([]float64, n)
+	for i := range grads {
+		grads[i] = float64(i%17) * 0.25
+		hess[i] = 1 + float64(i%5)*0.125
+	}
+	// Ascending lists of varied sizes, including one crossing the 1024
+	// chunking threshold and one empty.
+	var big, small, empty []int32
+	for i := 0; i < n; i += 2 {
+		big = append(big, int32(i))
+	}
+	for i := 1; i < 200; i += 3 {
+		small = append(small, int32(i))
+	}
+	lists := [][]int32{big, small, empty}
+
+	for _, workers := range []int{1, 2, 4} {
+		ref, err := BuildHistograms(bm, lists, grads, hess, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv := &chunkedView{BinnedMatrix: bm, chunk: 256}
+		got, err := BuildHistograms(cv, lists, grads, hess, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range ref {
+			if !reflect.DeepEqual(ref[k].G, got[k].G) || !reflect.DeepEqual(ref[k].H, got[k].H) || !reflect.DeepEqual(ref[k].Count, got[k].Count) {
+				t.Fatalf("workers=%d: histogram %d differs between schedules", workers, k)
+			}
+		}
+	}
+
+	// A non-ascending list cannot be split at shard boundaries; the
+	// dispatch must fall back to node-major, not misroute rows.
+	desc := []int32{900, 500, 100, 3}
+	ref, err := BuildHistograms(bm, [][]int32{desc}, grads, hess, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := &chunkedView{BinnedMatrix: bm, chunk: 256}
+	got, err := BuildHistograms(cv, [][]int32{desc}, grads, hess, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref[0].G, got[0].G) {
+		t.Fatal("non-ascending list mishandled by sharded dispatch")
+	}
+	if len(cv.prefetched) != 0 {
+		t.Fatal("fallback path should not have swept shards")
+	}
+}
+
+// planShardTasks must cover every instance exactly once, split at shard
+// boundaries, in ascending order.
+func TestPlanShardTasks(t *testing.T) {
+	_, bm := synthBinned(t, 1000, 4, 3)
+	cv := &chunkedView{BinnedMatrix: bm, chunk: 300}
+	insts := []int32{0, 5, 299, 300, 301, 899, 900, 999}
+	c := &histChunk{insts: insts}
+	tasks := planShardTasks(cv, []*histChunk{c})
+	var flat []int32
+	for s := range tasks {
+		for _, task := range tasks[s] {
+			lo, hi := cv.ShardRowRange(s)
+			for _, i := range task.c.insts[task.lo:task.hi] {
+				if int(i) < lo || int(i) >= hi {
+					t.Fatalf("instance %d assigned to shard %d [%d,%d)", i, s, lo, hi)
+				}
+				flat = append(flat, i)
+			}
+		}
+	}
+	if !reflect.DeepEqual(flat, insts) {
+		t.Fatalf("tasks cover %v, want %v", flat, insts)
+	}
+}

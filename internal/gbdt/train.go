@@ -171,7 +171,14 @@ func TrainBinned(bv BinView, labels []float64, p Params) (*Model, error) {
 // growTree grows one tree layer-by-layer. A view failure (a disk-backed
 // view that could not deliver a row even after its self-healing path ran)
 // aborts the tree and surfaces as the view's typed error.
+//
+// Views that expose row-range shards (ShardedView, see shardmajor.go)
+// are grown shard-major instead: identical trees, one shard load per
+// layer instead of one per node.
 func growTree(bm BinView, grads, hess []float64, p Params) (*Tree, error) {
+	if sv, ok := shardMajor(bm); ok {
+		return growTreeShardMajor(sv, grads, hess, p)
+	}
 	tree := NewTree()
 	all := make([]int32, bm.Rows())
 	var g0, h0 float64
@@ -264,6 +271,9 @@ func BuildHistograms(bm BinView, lists [][]int32, grads, hess []float64, workers
 	nodes := make([]*nodeWork, len(lists))
 	for k, l := range lists {
 		nodes[k] = &nodeWork{insts: l}
+	}
+	if sv, ok := shardMajor(bm); ok && listsAscending(lists) {
+		return buildLayerHistogramsSharded(sv, nodes, grads, hess, workers)
 	}
 	return buildLayerHistograms(bm, nodes, grads, hess, workers)
 }

@@ -41,8 +41,39 @@ type Source interface {
 	Scan(fn func(row int, indices []int32, values []float64, label float64) error) error
 }
 
+// RangeSource is an optional Source capability: the row count is known
+// up front and any contiguous row range can be replayed independently.
+// ScanRange(lo, hi, fn) delivers exactly rows [lo, hi) in order, with
+// the same row indices, entries and labels a full Scan would deliver
+// for those rows, and must be safe to call from multiple goroutines
+// concurrently (each call carries its own iteration state) — it is what
+// lets the build pass discretize chunks in parallel and the store
+// rebuild a single shard without replaying the whole stream.
+type RangeSource interface {
+	Source
+	Rows() int
+	ScanRange(lo, hi int, fn func(row int, indices []int32, values []float64, label float64) error) error
+}
+
+// AsRangeSource unwraps src to its range-scannable form if it has one:
+// either src implements RangeSource directly, or it is a ColumnSlice
+// over one (the projection is re-applied with per-call buffers so
+// concurrent range scans don't share state).
+func AsRangeSource(src Source) (RangeSource, bool) {
+	if rs, ok := src.(RangeSource); ok {
+		return rs, true
+	}
+	if cs, ok := src.(*ColumnSlice); ok {
+		if inner, ok := AsRangeSource(cs.src); ok {
+			return &rangeColumnSlice{ColumnSlice: cs, inner: inner}, true
+		}
+	}
+	return nil, false
+}
+
 // LibSVMSource streams a LibSVM file from disk. The file is reopened on
-// every Scan, so memory stays O(1) per row.
+// every Scan, so memory stays O(1) per row. It is not a RangeSource:
+// line boundaries are unknown without a full scan.
 type LibSVMSource struct {
 	path string
 	cols int
@@ -118,6 +149,16 @@ func (s *SynthSource) Scan(fn func(row int, indices []int32, values []float64, l
 	return s.gen.Scan(fn)
 }
 
+// Rows returns the configured row count.
+func (s *SynthSource) Rows() int { return s.gen.Rows() }
+
+// ScanRange replays rows [lo, hi); every row is generated from its own
+// seed, so any range reproduces exactly the rows a full Scan delivers
+// and concurrent calls are independent.
+func (s *SynthSource) ScanRange(lo, hi int, fn func(row int, indices []int32, values []float64, label float64) error) error {
+	return s.gen.ScanRange(lo, hi, fn)
+}
+
 // DatasetSource adapts an in-memory Dataset to the Source interface —
 // mostly a test instrument: building a store from the same Dataset the
 // in-memory path binned is how byte-identical parity is asserted.
@@ -134,7 +175,19 @@ func (s *DatasetSource) Labeled() bool { return s.d.Labels != nil }
 
 // Scan replays the dataset's rows.
 func (s *DatasetSource) Scan(fn func(row int, indices []int32, values []float64, label float64) error) error {
-	for i := 0; i < s.d.Rows(); i++ {
+	return s.ScanRange(0, s.d.Rows(), fn)
+}
+
+// Rows returns the dataset's row count.
+func (s *DatasetSource) Rows() int { return s.d.Rows() }
+
+// ScanRange replays rows [lo, hi); the dataset is immutable, so
+// concurrent range scans are safe.
+func (s *DatasetSource) ScanRange(lo, hi int, fn func(row int, indices []int32, values []float64, label float64) error) error {
+	if lo < 0 || hi > s.d.Rows() || lo > hi {
+		return fmt.Errorf("ooc: row range [%d,%d) out of [0,%d)", lo, hi, s.d.Rows())
+	}
+	for i := lo; i < hi; i++ {
 		cols, vals := s.d.Row(i)
 		label := 0.0
 		if s.d.Labels != nil {
@@ -188,5 +241,37 @@ func (s *ColumnSlice) Scan(fn func(row int, indices []int32, values []float64, l
 			label = 0
 		}
 		return fn(row, s.idxBuf, s.valBuf, label)
+	})
+}
+
+// rangeColumnSlice is a ColumnSlice whose underlying source is
+// range-scannable. Unlike the ColumnSlice Scan path — which reuses one
+// buffer pair across rows — each ScanRange call owns local buffers, so
+// concurrent range scans of different chunks never share state.
+type rangeColumnSlice struct {
+	*ColumnSlice
+	inner RangeSource
+}
+
+// Rows returns the underlying source's row count (a column slice keeps
+// every row for instance alignment).
+func (s *rangeColumnSlice) Rows() int { return s.inner.Rows() }
+
+// ScanRange replays the projected rows [lo, hi).
+func (s *rangeColumnSlice) ScanRange(lo, hi int, fn func(row int, indices []int32, values []float64, label float64) error) error {
+	var idxBuf []int32
+	var valBuf []float64
+	return s.inner.ScanRange(lo, hi, func(row int, indices []int32, values []float64, label float64) error {
+		idxBuf, valBuf = idxBuf[:0], valBuf[:0]
+		for k, j := range indices {
+			if int(j) >= s.ColumnSlice.lo && int(j) < s.ColumnSlice.hi {
+				idxBuf = append(idxBuf, j-int32(s.ColumnSlice.lo))
+				valBuf = append(valBuf, values[k])
+			}
+		}
+		if !s.keepLabels {
+			label = 0
+		}
+		return fn(row, idxBuf, valBuf, label)
 	})
 }

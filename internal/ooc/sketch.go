@@ -67,7 +67,16 @@ func proposeCuts(src Source, opt BuildOptions) (*gbdt.BinMapper, int, error) {
 	eps := 0.5 / float64(opt.MaxBins)
 	accs := make([]featAcc, src.Cols())
 	rows := 0
-	err := src.Scan(func(row int, indices []int32, values []float64, label float64) error {
+	scan := src.Scan
+	if rs, ok := AsRangeSource(src); ok && opt.Workers > 1 {
+		// Same callback, same row order — chunk generation runs on the
+		// workers while the accumulators consume sequentially, so the
+		// proposed cuts stay byte-identical to a serial scan.
+		scan = func(fn func(row int, indices []int32, values []float64, label float64) error) error {
+			return scanOrdered(rs, opt.ChunkRows, opt.Workers, fn)
+		}
+	}
+	err := scan(func(row int, indices []int32, values []float64, label float64) error {
 		rows++
 		for k, j := range indices {
 			accs[j].add(values[k], eps)

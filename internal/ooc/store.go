@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -21,10 +22,11 @@ type Options struct {
 	// trainer cannot make progress otherwise), and eviction brings the
 	// cache back under budget before the next admit.
 	MemBudget int64
-	// Prefetch enables next-shard readahead while the tree is shallow
-	// (depth <= 1), where row access is near-sequential across the whole
-	// store. Prefetched shards never evict the shard that triggered them
-	// and are skipped entirely when the budget has no room.
+	// Prefetch enables shard readahead: the shard-major sweep announces
+	// the next shard of its plan (PrefetchShard), and a demand miss on
+	// the Row path reads the following shard ahead. Prefetched shards
+	// never evict the most recently used resident shard and are skipped
+	// entirely when the budget has no room.
 	Prefetch bool
 	// RetryLoads is how many extra read attempts a failed demand load
 	// gets before the store escalates to quarantine-and-rebuild. Retries
@@ -58,15 +60,24 @@ func (o *Options) normalize() {
 
 // Store is a disk-backed gbdt.BinView over a built shard directory: rows
 // resolve against an LRU cache of loaded shards kept under Options.
-// MemBudget. The read path (Row) is lock-free on cache hits; loads and
-// evictions serialize on a mutex.
+// MemBudget. The read path (Row) is lock-free on cache hits. Misses go
+// through a per-shard singleflight: concurrent loads of distinct shards
+// run their disk I/O fully in parallel, concurrent loads of the same
+// shard coalesce onto one read, and the store mutex is held only for
+// bookkeeping (budget reservation, cache install, stats) — never across
+// I/O. Budget accounting is reservation-based: a load reserves its
+// manifest-estimated footprint before reading (evicting LRU shards to
+// make room first) and settles to the exact size on commit, so parallel
+// loads cannot overshoot the budget unseen.
 //
 // The load path self-heals instead of failing stop: a shard that fails
 // its CRC or validation is retried (bounded by Options.RetryLoads), then
 // quarantined and rebuilt from Options.Source; only when both fail does
 // Row surface a *ShardError. A rebuild republishes the shard under a new
 // file name and commits a new manifest generation, so a crash anywhere in
-// the repair reopens at the previous consistent generation.
+// the repair reopens at the previous consistent generation. Rebuilds
+// serialize on their own mutex (sources need not support concurrent
+// re-scans) without blocking healthy loads of other shards.
 type Store struct {
 	dir    string
 	fs     fsfault.FS
@@ -76,14 +87,17 @@ type Store struct {
 	opt    Options
 
 	data    []atomic.Pointer[shardData]
+	flights []atomic.Pointer[flight]
 	lastUse []atomic.Int64
 	clock   atomic.Int64
 	depth   atomic.Int32
 
-	mu       sync.Mutex // serializes load/evict; guards resident + stats + closed
+	mu       sync.Mutex // guards resident + stats + closed + manifest mutations
 	resident int64
 	stats    CacheStats
 	closed   bool
+
+	repairMu sync.Mutex // serializes quarantine-and-rebuild source re-scans
 
 	prefetching atomic.Bool
 	prefetchWG  sync.WaitGroup
@@ -91,6 +105,17 @@ type Store struct {
 	labelsOnce sync.Once
 	labels     []float64
 	labelsErr  error
+}
+
+// flight is one in-progress shard load. Whoever CASes it into
+// Store.flights owns the read; everyone else waiting on the same shard
+// blocks on done and consumes the result. The owner publishes sd/err
+// before closing done.
+type flight struct {
+	demand bool
+	done   chan struct{}
+	sd     *shardData
+	err    error
 }
 
 // CacheStats counts shard-cache activity since Open.
@@ -143,8 +168,10 @@ func (e *ShardError) Unwrap() error { return e.Err }
 var ErrClosed = errors.New("ooc: store is closed")
 
 var (
-	_ gbdt.BinView     = (*Store)(nil)
-	_ gbdt.DepthHinter = (*Store)(nil)
+	_ gbdt.BinView         = (*Store)(nil)
+	_ gbdt.DepthHinter     = (*Store)(nil)
+	_ gbdt.ShardedView     = (*Store)(nil)
+	_ gbdt.ShardPrefetcher = (*Store)(nil)
 )
 
 // Open loads a store's newest consistent manifest generation and
@@ -163,6 +190,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		mapper:  man.mapper(),
 		opt:     opt,
 		data:    make([]atomic.Pointer[shardData], len(man.Shards)),
+		flights: make([]atomic.Pointer[flight], len(man.Shards)),
 		lastUse: make([]atomic.Int64, len(man.Shards)),
 	}, nil
 }
@@ -176,6 +204,12 @@ func (s *Store) Mapper() *gbdt.BinMapper { return s.mapper }
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.man.Shards) }
 
+// ShardRowRange returns the half-open row range [lo, hi) of shard k.
+func (s *Store) ShardRowRange(k int) (lo, hi int) {
+	rec := &s.man.Shards[k]
+	return rec.StartRow, rec.StartRow + rec.Rows
+}
+
 // Generation returns the manifest generation the store is running on; it
 // advances when a shard rebuild commits.
 func (s *Store) Generation() int {
@@ -184,9 +218,20 @@ func (s *Store) Generation() int {
 	return s.gen
 }
 
-// HintDepth records the layer the trainer is about to build; readahead
-// runs only while depth <= 1.
-func (s *Store) HintDepth(depth int) { s.depth.Store(int32(depth)) }
+// HintDepth records the layer the trainer is about to sweep. The hint is
+// advisory (see gbdt.DepthHinter): it never changes what Row returns,
+// and any int is accepted — negative depths clamp to 0 and oversized
+// ones to MaxInt32. Readahead itself follows the sweep's explicit
+// PrefetchShard announcements and the Row-miss heuristic, not the depth.
+func (s *Store) HintDepth(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > math.MaxInt32 {
+		depth = math.MaxInt32
+	}
+	s.depth.Store(int32(depth))
+}
 
 // Row returns row i's sorted (columns, bins) pair. The slices alias the
 // owning shard's arrays and stay valid after eviction (eviction only
@@ -229,10 +274,11 @@ func (s *Store) Stats() CacheStats {
 	return st
 }
 
-// Close marks the store closed, joins the prefetch goroutine and drops
+// Close marks the store closed, joins the prefetch goroutines and drops
 // the shard cache. Subsequent loads fail with ErrClosed; rows already
-// handed out stay valid (they alias shard arrays the GC owns). Close is
-// idempotent.
+// handed out stay valid (they alias shard arrays the GC owns). A demand
+// load in flight at Close time aborts at its commit point and releases
+// its budget reservation. Close is idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -246,98 +292,187 @@ func (s *Store) Close() error {
 
 	s.mu.Lock()
 	for i := range s.data {
-		if s.data[i].Load() != nil {
+		if sd := s.data[i].Load(); sd != nil {
 			s.data[i].Store(nil)
+			s.resident -= sd.memBytes()
 		}
 	}
-	s.resident = 0
 	s.mu.Unlock()
 	return nil
 }
 
-// loadShard demand-loads shard k, evicting LRU shards to fit the budget
-// (k itself is always admitted), then kicks readahead when shallow.
+// loadShard demand-loads shard k through the per-shard singleflight. The
+// winner of the flight slot does the read; losers wait for its result.
+// A waiter that inherited a failed prefetch flight retries the load as a
+// demand (prefetch reads don't self-heal; demand loads must).
 func (s *Store) loadShard(k int) (*shardData, error) {
+	for {
+		if sd := s.data[k].Load(); sd != nil {
+			return sd, nil
+		}
+		f := &flight{demand: true, done: make(chan struct{})}
+		if s.flights[k].CompareAndSwap(nil, f) {
+			sd, err := s.runFlight(k, f, true)
+			if err != nil {
+				return nil, err
+			}
+			// Row-miss readahead: the demand sweep is moving through row
+			// space, so read the next shard behind it.
+			s.PrefetchShard(k + 1)
+			return sd, nil
+		}
+		cur := s.flights[k].Load()
+		if cur == nil {
+			continue
+		}
+		<-cur.done
+		if cur.sd != nil {
+			return cur.sd, nil
+		}
+		if cur.demand {
+			return nil, cur.err
+		}
+	}
+}
+
+// PrefetchShard asynchronously reads shard k ahead of use. It never
+// blocks: the read runs on its own goroutine, at most one readahead is
+// in flight at a time, and a shard that is resident, already loading,
+// out of range, or unaffordable under the budget is skipped. Prefetch
+// reads never evict the most recently used resident shard (the one the
+// trainer is sweeping right now) and never trigger self-healing — any
+// failure is left for the eventual demand load to repair.
+func (s *Store) PrefetchShard(k int) {
+	if !s.opt.Prefetch || k < 0 || k >= len(s.data) || s.data[k].Load() != nil {
+		return
+	}
+	if !s.prefetching.CompareAndSwap(false, true) {
+		return
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		s.prefetching.Store(false)
+		return
 	}
-	sd := s.data[k].Load()
-	if sd == nil {
-		var err error
-		sd, err = s.readAndAdmit(k, k, true)
-		if err != nil {
-			s.mu.Unlock()
-			return nil, err
-		}
-		s.stats.Loads++
-	}
+	s.prefetchWG.Add(1)
 	s.mu.Unlock()
-
-	if s.opt.Prefetch && s.depth.Load() <= 1 && k+1 < len(s.data) && s.data[k+1].Load() == nil {
-		if s.prefetching.CompareAndSwap(false, true) {
-			s.prefetchWG.Add(1)
-			go func(next, protect int) {
-				defer s.prefetchWG.Done()
-				defer s.prefetching.Store(false)
-				s.mu.Lock()
-				defer s.mu.Unlock()
-				if s.closed || s.data[next].Load() != nil {
-					return
-				}
-				if _, err := s.readAndAdmit(next, protect, false); err == nil {
-					s.stats.Prefetches++
-				}
-			}(k+1, k)
-		}
-	}
-	return sd, nil
+	go s.prefetch(k)
 }
 
-// readAndAdmit reads shard k from disk and installs it, evicting LRU
-// shards (never protect, never k) to make room. With force (demand
-// loads), the shard is admitted even if the budget cannot be met
-// (one-shard floor) and the read self-heals through retry and rebuild;
-// without it (prefetch), an errNoRoom sentinel is returned on budget
-// pressure and read failures propagate untreated — opportunistic
-// readahead never repairs. Caller holds s.mu.
-func (s *Store) readAndAdmit(k, protect int, force bool) (*shardData, error) {
+func (s *Store) prefetch(k int) {
+	defer s.prefetchWG.Done()
+	defer s.prefetching.Store(false)
+	if s.data[k].Load() != nil {
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	if !s.flights[k].CompareAndSwap(nil, f) {
+		return // someone else is already loading it
+	}
+	s.runFlight(k, f, false)
+}
+
+// runFlight performs one shard load owned by flight f: reserve budget
+// (evicting to make room), read outside any lock, then commit into the
+// cache — or roll the reservation back. The flight slot is cleared and
+// its waiters released whichever way it ends.
+func (s *Store) runFlight(k int, f *flight, demand bool) (*shardData, error) {
+	defer func() {
+		s.flights[k].CompareAndSwap(f, nil)
+		close(f.done)
+	}()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		f.err = ErrClosed
+		return nil, ErrClosed
+	}
+	if sd := s.data[k].Load(); sd != nil {
+		s.mu.Unlock()
+		f.sd = sd
+		return sd, nil
+	}
 	rec := s.man.Shards[k]
 	size := estShardBytes(rec.Rows, rec.NNZ)
 	if s.opt.MemBudget > 0 {
 		for s.resident+size > s.opt.MemBudget {
+			protect := -1
+			if !demand {
+				// Opportunistic readahead must not evict the shard the
+				// trainer is using right now.
+				protect = s.mruResident(k)
+			}
 			if !s.evictLRU(k, protect) {
-				if !force {
+				if !demand {
+					s.mu.Unlock()
+					f.err = errNoRoom
 					return nil, errNoRoom
 				}
-				break
+				break // one-shard floor: admit over budget
 			}
 		}
 	}
-	var sd *shardData
-	var err error
-	if force {
-		sd, err = s.readShardHealing(k)
-	} else {
-		sd, err = s.readShardOnce(k)
-	}
-	if err != nil {
-		return nil, err
-	}
-	s.data[k].Store(sd)
-	s.lastUse[k].Store(s.clock.Add(1))
-	s.resident += sd.memBytes()
+	s.resident += size
 	if s.resident > s.stats.PeakBytes {
 		s.stats.PeakBytes = s.resident
 	}
+	s.mu.Unlock()
+
+	var sd *shardData
+	var err error
+	if demand {
+		sd, err = s.readShardHealing(k, rec)
+	} else {
+		sd, err = s.readShardOnce(rec)
+	}
+
+	s.mu.Lock()
+	if err == nil && s.closed {
+		err = ErrClosed
+	}
+	if err != nil {
+		s.resident -= size
+		s.mu.Unlock()
+		f.err = err
+		return nil, err
+	}
+	s.resident += sd.memBytes() - size
+	if s.resident > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.resident
+	}
+	s.data[k].Store(sd)
+	s.lastUse[k].Store(s.clock.Add(1))
+	if demand {
+		s.stats.Loads++
+	} else {
+		s.stats.Prefetches++
+	}
+	s.mu.Unlock()
+	f.sd = sd
 	return sd, nil
 }
 
-// readShardOnce reads and cross-checks shard k against its manifest
-// record, once.
-func (s *Store) readShardOnce(k int) (*shardData, error) {
-	rec := s.man.Shards[k]
+// mruResident returns the most recently used resident shard (excluding
+// skip), or -1. Caller holds s.mu.
+func (s *Store) mruResident(skip int) int {
+	best, bestUse := -1, int64(-1)
+	for i := range s.data {
+		if i == skip || s.data[i].Load() == nil {
+			continue
+		}
+		if use := s.lastUse[i].Load(); use > bestUse {
+			best, bestUse = i, use
+		}
+	}
+	return best
+}
+
+// readShardOnce reads and cross-checks a shard against its manifest
+// record, once. rec is the caller's snapshot of the record (taken under
+// s.mu), so concurrent manifest commits for other shards can't tear it.
+func (s *Store) readShardOnce(rec shardRecord) (*shardData, error) {
 	sd, err := readShard(s.fs, filepath.Join(s.dir, rec.File), s.man.Cols)
 	if err != nil {
 		return nil, err
@@ -352,15 +487,18 @@ func (s *Store) readShardOnce(k int) (*shardData, error) {
 // readShardHealing is the demand-load read with the full healing ladder:
 // bounded retry (transient read faults leave the disk bytes intact, so a
 // clean re-read often succeeds), then quarantine-and-rebuild from the
-// source, then a typed *ShardError. Caller holds s.mu.
-func (s *Store) readShardHealing(k int) (*shardData, error) {
+// source, then a typed *ShardError. Runs outside s.mu — only stat
+// updates take it.
+func (s *Store) readShardHealing(k int, rec shardRecord) (*shardData, error) {
 	attempts := 1 + s.opt.RetryLoads
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			s.mu.Lock()
 			s.stats.RetriedLoads++
+			s.mu.Unlock()
 		}
-		sd, err := s.readShardOnce(k)
+		sd, err := s.readShardOnce(rec)
 		if err == nil {
 			return sd, nil
 		}
@@ -370,12 +508,12 @@ func (s *Store) readShardHealing(k int) (*shardData, error) {
 			break
 		}
 	}
-	sd, rbErr := s.rebuildShard(k)
+	sd, rbErr := s.rebuildShard(k, rec)
 	if rbErr != nil {
 		return nil, &ShardError{
 			Dir:        s.dir,
 			Shard:      k,
-			File:       s.man.Shards[k].File,
+			File:       rec.File,
 			Attempts:   attempts,
 			Err:        lastErr,
 			RebuildErr: rbErr,
@@ -394,24 +532,31 @@ var errStopScan = errors.New("ooc: stop scan")
 // against the manifest record, published under a generation-stamped name
 // and committed by a new manifest generation. Every step is re-runnable:
 // a crash at any point leaves the previous generation consistent and a
-// reopened store heals the same shard again. Caller holds s.mu.
-func (s *Store) rebuildShard(k int) (*shardData, error) {
+// reopened store heals the same shard again.
+//
+// Rebuilds serialize on repairMu — a Source need not support concurrent
+// scans — and take s.mu only around manifest/stat mutations, so healthy
+// loads of other shards keep flowing while a repair runs.
+func (s *Store) rebuildShard(k int, rec shardRecord) (*shardData, error) {
 	if s.opt.Source == nil {
 		return nil, errors.New("no source attached (Options.Source) to rebuild from")
 	}
-	rec := s.man.Shards[k]
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
 
 	old := filepath.Join(s.dir, rec.File)
 	if _, err := s.fs.Stat(old); err == nil {
 		if err := s.fs.Rename(old, old+quarantineSuffix); err != nil {
 			return nil, fmt.Errorf("quarantining %s: %w", rec.File, err)
 		}
+		s.mu.Lock()
 		s.stats.Quarantined++
+		s.mu.Unlock()
 	}
 
 	sd := &shardData{startRow: rec.StartRow, rowPtr: []int32{0}}
 	end := rec.StartRow + rec.Rows
-	err := s.opt.Source.Scan(func(row int, indices []int32, values []float64, label float64) error {
+	emit := func(row int, indices []int32, values []float64, label float64) error {
 		if row < rec.StartRow {
 			return nil
 		}
@@ -424,7 +569,13 @@ func (s *Store) rebuildShard(k int) (*shardData, error) {
 		}
 		sd.rowPtr = append(sd.rowPtr, int32(len(sd.cols)))
 		return nil
-	})
+	}
+	var err error
+	if rs, ok := AsRangeSource(s.opt.Source); ok {
+		err = rs.ScanRange(rec.StartRow, end, emit)
+	} else {
+		err = s.opt.Source.Scan(emit)
+	}
 	if err != nil && !errors.Is(err, errStopScan) {
 		return nil, fmt.Errorf("rescanning source: %w", err)
 	}
@@ -433,23 +584,30 @@ func (s *Store) rebuildShard(k int) (*shardData, error) {
 			len(sd.rowPtr)-1, len(sd.cols), rec.Rows, rec.NNZ)
 	}
 
-	name := fmt.Sprintf("shard-%06d.g%06d.bin", k, s.gen+1)
+	gen := s.Generation()
+	name := fmt.Sprintf("shard-%06d.g%06d.bin", k, gen+1)
 	if err := writeRetryNoSpace(s.fs, s.dir, func() error {
 		return writeShard(s.fs, filepath.Join(s.dir, name), sd)
 	}); err != nil {
 		return nil, fmt.Errorf("writing rebuilt shard: %w", err)
 	}
+	s.mu.Lock()
 	s.man.Shards[k].File = name
+	s.mu.Unlock()
 	if err := writeRetryNoSpace(s.fs, s.dir, func() error {
-		return writeManifest(s.fs, s.dir, s.man, s.gen+1)
+		return writeManifest(s.fs, s.dir, s.man, gen+1)
 	}); err != nil {
 		// Roll the in-memory record back so a later attempt re-derives a
 		// consistent state instead of pointing at an uncommitted name.
+		s.mu.Lock()
 		s.man.Shards[k].File = rec.File
+		s.mu.Unlock()
 		return nil, fmt.Errorf("committing rebuilt manifest: %w", err)
 	}
+	s.mu.Lock()
 	s.gen++
 	s.stats.Rebuilds++
+	s.mu.Unlock()
 	return sd, nil
 }
 

@@ -85,9 +85,9 @@ echo "== out-of-core scale (rows/sec and peak heap vs shard-cache budget) ==" >&
 if [ "$short" -eq 1 ]; then
   # Smoke only: tiny row count, result discarded (never clobbers the
   # committed baseline).
-  go run ./cmd/experiments -run oocscale -ooc-rows 100000 -trees 2 >&2
+  go run ./cmd/experiments -run oocscale -ooc-rows 100000 -trees 2 -build-workers 4 >&2
 else
-  go run ./cmd/experiments -run oocscale -json BENCH_ooc.json >&2
+  go run ./cmd/experiments -run oocscale -build-workers 4 -json BENCH_ooc.json >&2
   echo "wrote BENCH_ooc.json" >&2
 fi
 

@@ -31,6 +31,16 @@ echo "== ooc smoke (bounded-memory training under GOMEMLIMIT, race-enabled) =="
 # silently grow the heap.
 GOMEMLIMIT=256MiB go test -race -short -count=1 -run 'TestBoundedMemoryTraining|TestModelByteParity' ./internal/ooc
 
+echo "== parallel ooc smoke (shard-major schedule, lock-split store, parallel build; race-enabled) =="
+# The shard-major scheduling layer and the lock-split shard cache move
+# real work off the store mutex, so this leg runs their parity and
+# concurrency regressions under the race detector: node-major vs
+# shard-major byte identity, serial vs parallel build byte identity,
+# the loads bound, and the slow-prefetch-never-blocks-demand contract.
+go test -race -count=1 \
+  -run 'TestShardMajorModelParity|TestBuildHistogramsShardedParity|TestPlanShardTasks|TestParallelBuildByteIdentity|TestTrainingLoadsBound|TestSlowPrefetchDoesNotBlockDemandLoad|TestConcurrentRowPrefetchCloseRace|TestHintDepthClamp' \
+  ./internal/gbdt ./internal/ooc
+
 echo "== chaos smoke (seeded faults must reproduce the fault-free model) =="
 go test -race -run 'TestChaosTrainingMatchesBaseline|TestSessionCheckpointResume' ./internal/core
 
@@ -98,6 +108,9 @@ if [ -f BENCH_crypto.json ]; then
 fi
 if [ -f BENCH_he.json ]; then
   go run ./cmd/benchfmt -check BENCH_he.json
+fi
+if [ -f BENCH_ooc.json ]; then
+  go run ./cmd/benchfmt -check BENCH_ooc.json
 fi
 
 echo "== ci ok =="
